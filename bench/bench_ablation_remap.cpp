@@ -1,0 +1,140 @@
+// Beyond-paper ablations of MP5 design knobs that §3.4/§3.5 discuss
+// qualitatively:
+//   * remap period of the dynamic sharding heuristic ("every few 100s of
+//     clock cycles");
+//   * bounded FIFO depth (the ASIC uses 8 entries/lane; the paper sized it
+//     from the observed max queue depth of 11) -> drop behaviour;
+//   * cost of conservative phantoms (stateful predicates) vs a resolvable
+//     rewrite of the same program.
+#include <iostream>
+
+#include "apps/programs.hpp"
+#include "bench_util.hpp"
+
+using namespace mp5;
+using namespace mp5::bench;
+
+int main() {
+  constexpr std::uint64_t kPackets = 20000;
+  constexpr int kRuns = 5;
+
+  print_header("Ablation: dynamic-sharding remap period", "");
+  {
+    const auto prog = compile_for_mp5(apps::make_synthetic_source(4, 512));
+    TextTable table({"remap period (cycles)", "throughput (skewed)",
+                     "remap moves"});
+    for (const std::uint32_t period : {0u, 25u, 50u, 100u, 200u, 400u, 800u}) {
+      RunningStats throughput;
+      std::uint64_t moves = 0;
+      for (int run = 1; run <= kRuns; ++run) {
+        SensitivityPoint point;
+        point.pattern = AccessPattern::kSkewed;
+        point.packets = kPackets;
+        point.active_flows = 32;
+        SimOptions opts = mp5_options(4, run);
+        opts.remap_period = period;
+        if (period == 0) opts.sharding = ShardingPolicy::kStaticRandom;
+        Mp5Simulator sim(prog, opts);
+        const auto result = sim.run(make_trace(point, run));
+        throughput.add(result.normalized_throughput());
+        moves += result.remap_moves;
+      }
+      table.add_row({period == 0 ? "off (static)" : std::to_string(period),
+                     TextTable::num(throughput.mean(), 3),
+                     TextTable::integer(static_cast<long long>(moves / kRuns))});
+    }
+    table.print(std::cout);
+  }
+
+  print_header("Ablation: bounded FIFO depth vs drops",
+               "paper sizes 8 entries/lane from observed max depth 11");
+  {
+    const auto prog = compile_for_mp5(apps::make_synthetic_source(4, 512));
+    TextTable table({"FIFO capacity/lane", "throughput", "drop fraction",
+                     "phantom drops", "data drops"});
+    for (const std::size_t cap : {1ul, 2ul, 4ul, 8ul, 16ul, 0ul}) {
+      SensitivityPoint point;
+      point.pattern = AccessPattern::kSkewed;
+      point.packets = kPackets;
+      point.active_flows = 32;
+      SimOptions opts = mp5_options(4, 1);
+      opts.fifo_capacity = cap;
+      Mp5Simulator sim(prog, opts);
+      const auto result = sim.run(make_trace(point, 1));
+      table.add_row(
+          {cap == 0 ? "unbounded" : std::to_string(cap),
+           TextTable::num(result.normalized_throughput(), 3),
+           TextTable::pct(result.drop_fraction()),
+           TextTable::integer(static_cast<long long>(result.dropped_phantom)),
+           TextTable::integer(static_cast<long long>(result.dropped_data))});
+    }
+    table.print(std::cout);
+  }
+
+  print_header("Ablation: conservative phantoms (stateful predicate)",
+               "one wasted pop cycle per cancelled phantom, §3.3");
+  {
+    const auto prog = compile_for_mp5(apps::stateful_predicate_source());
+    TextTable table({"pipelines", "throughput", "wasted cycles / packet"});
+    for (const std::uint32_t k : {2u, 4u, 8u}) {
+      RunningStats throughput, wasted;
+      for (int run = 1; run <= kRuns; ++run) {
+        SyntheticConfig config; // reuse the generic 3-field random trace
+        config.stateful_stages = 2;
+        config.reg_size = 64;
+        config.pipelines = k;
+        config.packets = kPackets;
+        config.seed = static_cast<std::uint64_t>(run);
+        auto trace = make_synthetic_trace(config);
+        Mp5Simulator sim(prog, mp5_options(k, run));
+        const auto result = sim.run(trace);
+        throughput.add(result.normalized_throughput());
+        wasted.add(static_cast<double>(result.wasted_cycles) /
+                   static_cast<double>(result.offered));
+      }
+      table.add_row({TextTable::integer(k), TextTable::num(throughput.mean(), 3),
+                     TextTable::num(wasted.mean(), 3)});
+    }
+    table.print(std::cout);
+  }
+  print_header("Ablation: starvation guard and ECN marking (§3.4)",
+               "guard drops stateless packets for over-age stateful queues; "
+               "marking flags packets joining congested FIFOs");
+  {
+    // Mixed stateful/stateless traffic on a serial (scalar) register.
+    const auto prog = compile_for_mp5(R"(
+      struct Packet { int kind; int v; }
+      ;
+      int counter = 0;
+      void f(struct Packet p) {
+        if (p.kind == 1) { counter = counter + 1; p.v = counter; }
+      }
+    )");
+    Rng field_rng(99);
+    Trace trace;
+    LineRateClock clock(4, 1.0);
+    for (int i = 0; i < 20000; ++i) {
+      TraceItem item;
+      item.arrival_time = clock.next(64);
+      item.port = static_cast<std::uint32_t>(i % 64);
+      item.fields = {field_rng.chance(0.5) ? 1 : 0, 0};
+      trace.push_back(std::move(item));
+    }
+    TextTable table({"starvation threshold", "throughput", "starved drops",
+                     "ECN-marked"});
+    for (const std::uint64_t threshold : {0ull, 200ull, 50ull, 10ull}) {
+      SimOptions opts = mp5_options(4, 1);
+      opts.starvation_threshold = threshold;
+      opts.ecn_threshold = 16;
+      Mp5Simulator sim(prog, opts);
+      const auto result = sim.run(trace);
+      table.add_row(
+          {threshold == 0 ? "off" : std::to_string(threshold),
+           TextTable::num(result.normalized_throughput(), 3),
+           TextTable::integer(static_cast<long long>(result.dropped_starved)),
+           TextTable::integer(static_cast<long long>(result.ecn_marked))});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces the D3 microbenchmark (§4.3.2): feed-forward inter-pipeline
+// steering versus packet re-circulation. The paper reports a 31-77%
+// throughput reduction for recirculation relative to MP5 across ten
+// streams, and that when the average number of recirculations per packet
+// exceeds the number of pipelines, recirculation is worse than even the
+// naive all-state-in-one-pipeline design.
+#include <iostream>
+
+#include "apps/programs.hpp"
+#include "bench_util.hpp"
+
+using namespace mp5;
+using namespace mp5::bench;
+
+int main() {
+  constexpr int kStreams = 10;
+  constexpr std::uint64_t kPackets = 20000;
+
+  print_header("D3: inter-pipeline steering vs re-circulation",
+               "recirculation 31-77% below MP5; worse than naive when "
+               "recircs/pkt > pipelines");
+
+  const auto prog = compile_for_mp5(apps::make_synthetic_source(4, 512));
+
+  TextTable table({"stream", "MP5", "recirc", "naive", "reduction vs MP5",
+                   "recircs/pkt"});
+  RunningStats reductions;
+  for (int stream = 1; stream <= kStreams; ++stream) {
+    SensitivityPoint point;
+    point.pattern = AccessPattern::kSkewed;
+    point.packets = kPackets;
+    point.active_flows = 32;
+    const auto trace = make_trace(point, static_cast<std::uint64_t>(stream));
+
+    Mp5Simulator mp5(prog, mp5_options(4, stream));
+    const double t_mp5 = mp5.run(trace).normalized_throughput();
+
+    RecircOptions ropts;
+    ropts.seed = static_cast<std::uint64_t>(stream);
+    RecircSimulator recirc(prog, ropts);
+    const auto r_recirc = recirc.run(trace);
+    const double t_recirc = r_recirc.normalized_throughput();
+
+    Mp5Simulator naive(prog, naive_options(4, stream));
+    const double t_naive = naive.run(trace).normalized_throughput();
+
+    const double reduction = t_mp5 > 0 ? 1.0 - t_recirc / t_mp5 : 0.0;
+    reductions.add(reduction);
+    table.add_row(
+        {TextTable::integer(stream), TextTable::num(t_mp5, 3),
+         TextTable::num(t_recirc, 3), TextTable::num(t_naive, 3),
+         TextTable::pct(reduction),
+         TextTable::num(static_cast<double>(r_recirc.recirculations) /
+                            static_cast<double>(r_recirc.offered),
+                        2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreduction range: " << TextTable::pct(reductions.min())
+            << " - " << TextTable::pct(reductions.max()) << "\n";
+
+  // Worst case: many sharded states spread over few pipelines -> average
+  // recirculations per packet exceed k and recirculation drops below the
+  // naive design.
+  std::cout << "\n--- worst case: 6 stateful stages, 2 pipelines ---\n";
+  const auto prog6 = compile_for_mp5(apps::make_synthetic_source(6, 512));
+  SensitivityPoint point;
+  point.stateful_stages = 6;
+  point.pipelines = 2;
+  point.packets = kPackets;
+  point.pattern = AccessPattern::kUniform;
+  const auto trace = make_trace(point, 1);
+
+  Mp5Simulator mp5(prog6, mp5_options(2, 1));
+  RecircOptions ropts2;
+  ropts2.pipelines = 2;
+  RecircSimulator recirc(prog6, ropts2);
+  Mp5Simulator naive(prog6, naive_options(2, 1));
+  const double t_mp5 = mp5.run(trace).normalized_throughput();
+  const auto r_recirc = recirc.run(trace);
+  const double t_naive = naive.run(trace).normalized_throughput();
+
+  TextTable worst({"design", "throughput", "recircs/pkt"});
+  worst.add_row({"MP5", TextTable::num(t_mp5, 3), "0"});
+  worst.add_row({"recirculation",
+                 TextTable::num(r_recirc.normalized_throughput(), 3),
+                 TextTable::num(static_cast<double>(r_recirc.recirculations) /
+                                    static_cast<double>(r_recirc.offered),
+                                2)});
+  worst.add_row({"naive (one pipeline)", TextTable::num(t_naive, 3), "0"});
+  worst.print(std::cout);
+  return 0;
+}

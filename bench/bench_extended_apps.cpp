@@ -1,0 +1,60 @@
+// Beyond-paper: throughput of seven further stateful in-network
+// algorithms from the family the paper analyzed for preemptive address
+// resolution (count-min sketch, SYN-flood detection, DNS-amplification
+// mitigation, RCP, sampled NetFlow, Bloom-filter firewall, DCTCP ECN
+// accounting), on the §4.4 realistic workload.
+//
+// NetFlow's sampling predicate is stateful (the one class §3.3 predicts a
+// nominal penalty for), and its global ticker plus RCP's global
+// accumulators are §3.5.2's fundamentally serial programs — visible in the
+// throughput column at high pipeline counts with small packets.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace mp5;
+using namespace mp5::bench;
+
+int main() {
+  constexpr int kRuns = 3;
+  constexpr std::uint64_t kPackets = 15000;
+
+  print_header("Extended applications on MP5", "");
+  std::cout << "workload: web-search flows, bimodal 200/1400 B packets, "
+            << kRuns << " streams x " << kPackets << " packets\n\n";
+
+  TextTable table({"app", "k=4 thr", "k=8 thr", "max queue", "conservative",
+                   "pinned", "wasted/pkt"});
+  for (const auto& app : apps::extended_apps()) {
+    const auto prog = compile_for_mp5(app.source);
+    std::vector<std::string> row{app.name};
+    std::size_t max_queue = 0;
+    double wasted_per_pkt = 0.0;
+    for (const std::uint32_t k : {4u, 8u}) {
+      RunningStats throughput;
+      for (int run = 1; run <= kRuns; ++run) {
+        FlowWorkloadConfig config;
+        config.pipelines = k;
+        config.packets = kPackets;
+        config.seed = static_cast<std::uint64_t>(run);
+        const auto trace = make_flow_trace(config, app.filler);
+        Mp5Simulator sim(prog, mp5_options(k, config.seed));
+        const auto result = sim.run(trace);
+        throughput.add(result.normalized_throughput());
+        max_queue = std::max(max_queue, result.max_queue_depth);
+        wasted_per_pkt = static_cast<double>(result.wasted_cycles) /
+                         static_cast<double>(result.offered);
+      }
+      row.push_back(TextTable::num(throughput.mean(), 3));
+    }
+    row.push_back(TextTable::integer(static_cast<long long>(max_queue)));
+    row.push_back(TextTable::integer(
+        static_cast<long long>(prog.conservative_accesses())));
+    row.push_back(
+        TextTable::integer(static_cast<long long>(prog.pinned_registers())));
+    row.push_back(TextTable::num(wasted_per_pkt, 3));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

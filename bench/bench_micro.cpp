@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the performance-critical pieces
+// of the library: the stage FIFO operations, the Domino compiler, address
+// resolution, and whole-simulator cycle throughput.
+#include <benchmark/benchmark.h>
+
+#include "apps/programs.hpp"
+#include "banzai/single_pipeline.hpp"
+#include "baseline/presets.hpp"
+#include "domino/compiler.hpp"
+#include "mp5/simulator.hpp"
+#include "mp5/stage_fifo.hpp"
+#include "mp5/transform.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+using namespace mp5;
+
+void BM_StageFifoPushInsertPop(benchmark::State& state) {
+  StageFifo fifo(4, 0, false);
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    fifo.push_phantom(seq, 0, static_cast<RegIndex>(seq % 64), seq % 4);
+    Packet pkt;
+    pkt.seq = seq;
+    fifo.insert_data(std::move(pkt));
+    benchmark::DoNotOptimize(fifo.pop());
+    ++seq;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(seq));
+}
+BENCHMARK(BM_StageFifoPushInsertPop);
+
+void BM_StageFifoIdealPop(benchmark::State& state) {
+  StageFifo fifo(4, 0, true);
+  SeqNo seq = 0;
+  for (auto _ : state) {
+    fifo.push_phantom(seq, 0, static_cast<RegIndex>(seq % 8), seq % 4);
+    Packet pkt;
+    pkt.seq = seq;
+    fifo.insert_data(std::move(pkt));
+    benchmark::DoNotOptimize(fifo.pop());
+    ++seq;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(seq));
+}
+BENCHMARK(BM_StageFifoIdealPop);
+
+void BM_CompileFlowlet(benchmark::State& state) {
+  const auto source = apps::flowlet_app().source;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        domino::compile(source, banzai::MachineSpec{}, 1));
+  }
+}
+BENCHMARK(BM_CompileFlowlet);
+
+void BM_TransformFlowlet(benchmark::State& state) {
+  const auto pvsm =
+      domino::compile(apps::flowlet_app().source, banzai::MachineSpec{}, 1)
+          .pvsm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform(pvsm));
+  }
+}
+BENCHMARK(BM_TransformFlowlet);
+
+void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto prog =
+      transform(domino::compile(apps::make_synthetic_source(4, 512),
+                                banzai::MachineSpec{}, 1)
+                    .pvsm);
+  SyntheticConfig config;
+  config.pipelines = k;
+  config.packets = 5000;
+  const auto trace = make_synthetic_trace(config);
+  std::uint64_t cycles = 0, packets = 0;
+  for (auto _ : state) {
+    Mp5Simulator sim(prog, mp5_options(k, 1));
+    const auto result = sim.run(trace);
+    cycles += result.cycles_run;
+    packets += result.egressed;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["packets/s"] = benchmark::Counter(
+      static_cast<double>(packets), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorCyclesPerSecond)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ReferenceSwitch(benchmark::State& state) {
+  const auto pvsm =
+      domino::compile(apps::make_synthetic_source(4, 512)).pvsm;
+  banzai::ReferenceSwitch sw(pvsm);
+  std::vector<Value> headers(pvsm.num_slots(), 0);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    headers[0] = static_cast<Value>(n % 512);
+    benchmark::DoNotOptimize(sw.process(headers));
+    ++n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ReferenceSwitch);
+
+} // namespace

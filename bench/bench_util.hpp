@@ -1,0 +1,71 @@
+// Shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "apps/programs.hpp"
+#include "baseline/presets.hpp"
+#include "baseline/recirc.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "domino/compiler.hpp"
+#include "mp5/simulator.hpp"
+#include "mp5/transform.hpp"
+#include "trace/workloads.hpp"
+
+namespace mp5::bench {
+
+inline Mp5Program compile_for_mp5(const std::string& source) {
+  return transform(
+      domino::compile(source, banzai::MachineSpec{}, /*reserve_stages=*/1)
+          .pvsm);
+}
+
+/// Default experiment configuration of §4.3.1: 64-port switch, 16-stage
+/// machine, 4 pipelines, 4 stateful stages, register size 512, 64 B
+/// packets at line rate, remap every 100 cycles.
+struct SensitivityPoint {
+  std::uint32_t pipelines = 4;
+  std::uint32_t stateful_stages = 4;
+  std::size_t reg_size = 512;
+  std::uint32_t packet_bytes = 64;
+  AccessPattern pattern = AccessPattern::kUniform;
+  std::uint64_t packets = 20000;
+  std::uint32_t active_flows = 0; // 0 = i.i.d. sampling
+};
+
+inline Trace make_trace(const SensitivityPoint& point, std::uint64_t seed) {
+  SyntheticConfig config;
+  config.stateful_stages = point.stateful_stages;
+  config.reg_size = point.reg_size;
+  config.pattern = point.pattern;
+  config.pipelines = point.pipelines;
+  config.packet_bytes = point.packet_bytes;
+  config.packets = point.packets;
+  config.seed = seed;
+  config.active_flows = point.active_flows;
+  return make_synthetic_trace(config);
+}
+
+/// Mean normalized throughput over `runs` independent streams.
+inline double mean_throughput(const Mp5Program& prog,
+                              const SensitivityPoint& point,
+                              const SimOptions& base_opts, int runs) {
+  RunningStats stats;
+  for (int run = 0; run < runs; ++run) {
+    SimOptions opts = base_opts;
+    opts.seed = static_cast<std::uint64_t>(run + 1);
+    Mp5Simulator sim(prog, opts);
+    stats.add(sim.run(make_trace(point, opts.seed)).normalized_throughput());
+  }
+  return stats.mean();
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << "\n=== " << title << " ===\n";
+  if (!paper.empty()) std::cout << "paper: " << paper << "\n";
+  std::cout << "\n";
+}
+
+} // namespace mp5::bench

@@ -1,0 +1,62 @@
+// The motivating example of design principle D2 (§3.1): per-source-IP
+// packet counters (DDoS / heavy-hitter detection) stored as a register
+// table. Storing the whole table in one pipeline limits throughput to 1/k
+// of line rate; MP5's dynamically sharded shared memory processes packets
+// in parallel across all pipelines.
+//
+//   $ ./examples/heavy_hitter
+#include <iostream>
+
+#include "baseline/presets.hpp"
+#include "common/table.hpp"
+#include "domino/compiler.hpp"
+#include "mp5/simulator.hpp"
+#include "mp5/transform.hpp"
+#include "trace/workloads.hpp"
+
+int main() {
+  using namespace mp5;
+
+  const std::string source = R"(
+    struct Packet { int src_ip; int hits; };
+    const int TABLE = 4096;
+    int counters[4096] = {0};
+    void ddos(struct Packet p) {
+      counters[hash2(p.src_ip, 0) % TABLE] =
+          counters[hash2(p.src_ip, 0) % TABLE] + 1;
+      p.hits = counters[hash2(p.src_ip, 0) % TABLE];
+    }
+  )";
+  const Mp5Program program =
+      transform(domino::compile(source, banzai::MachineSpec{}, 1).pvsm);
+
+  SyntheticConfig traffic;
+  traffic.stateful_stages = 1;
+  traffic.reg_size = 4096;
+  traffic.pattern = AccessPattern::kSkewed; // a few sources dominate
+  traffic.pipelines = 4;
+  traffic.packets = 30000;
+  traffic.active_flows = 64;
+  const Trace trace = make_synthetic_trace(traffic);
+
+  TextTable table({"design", "throughput", "max stage queue"});
+  auto run = [&](const char* name, const SimOptions& opts) {
+    Mp5Simulator sim(program, opts);
+    const auto result = sim.run(trace);
+    table.add_row({name, TextTable::num(result.normalized_throughput(), 3),
+                   TextTable::integer(
+                       static_cast<long long>(result.max_queue_depth))});
+  };
+
+  run("naive: table + all packets in one pipeline", naive_options(4, 1));
+  run("static random sharding (no D2)", no_d2_options(4, 1));
+  run("MP5: dynamic sharding + steering + phantoms", mp5_options(4, 1));
+  run("ideal MP5 (upper bound)", ideal_options(4, 1));
+
+  std::cout << "\nPer-source counters over 4 pipelines, skewed traffic, "
+               "line-rate 64 B input:\n\n";
+  table.print(std::cout);
+  std::cout << "\nThe naive shared-memory design caps at ~1/4 line rate; "
+               "MP5 approaches the ideal bound (§3.1, §4.3).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Banzai atom templates.
+//
+// Banzai (the machine model underlying Domino and MP5, §2.1) provides a
+// small set of progressively richer stateful atom circuits; a program is
+// implementable on a given switch only if each of its fused stateful atoms
+// fits the switch's template. This module classifies a compiled atom into
+// the canonical template hierarchy:
+//
+//   kRead       state is only read
+//   kWrite      state is only written, with values independent of it
+//   kReadWrite  read and overwrite, the new value independent of the old
+//   kRaw        read-add-write: new = old + f(packet)
+//   kPraw       predicated RAW: the update is guarded
+//   kSub        RAW with subtraction / min / max / bitwise combining
+//   kIfElseRaw  new = pred ? f1(old, pkt) : f2(old, pkt)
+//   kNested     multi-level predication or a non-additive ALU (e.g. mul)
+//   kPairs      multiple independent read/write pairs in one atom
+//
+// The ranks are ordered by circuit complexity; MachineSpec can cap the
+// template a target supports (Tofino-class switches sit near kPairs,
+// simpler targets lower).
+#pragma once
+
+#include <string>
+
+#include "banzai/ir.hpp"
+
+namespace mp5::banzai {
+
+enum class AtomTemplate : std::uint8_t {
+  kRead,
+  kWrite,
+  kReadWrite,
+  kRaw,
+  kPraw,
+  kSub,
+  kIfElseRaw,
+  kNested,
+  kPairs,
+};
+
+/// Complexity order (monotone with circuit depth/area).
+int template_rank(AtomTemplate t);
+
+const char* to_string(AtomTemplate t);
+
+/// Classify a stateful atom. Throws Error for stateless atoms.
+AtomTemplate classify_atom(const ir::Atom& atom);
+
+/// The most complex template used by any stateful atom of the program.
+AtomTemplate max_template(const ir::Pvsm& program);
+
+} // namespace mp5::banzai

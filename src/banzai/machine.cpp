@@ -1,0 +1,100 @@
+#include "banzai/machine.hpp"
+
+#include <string>
+
+#include <algorithm>
+#include "common/error.hpp"
+
+namespace mp5::banzai {
+
+void MachineSpec::check(const ir::Pvsm& program) const {
+  if (program.stages.size() > max_stages) {
+    throw ResourceError("program needs " +
+                        std::to_string(program.stages.size()) +
+                        " stages, machine has " + std::to_string(max_stages));
+  }
+  for (std::size_t s = 0; s < program.stages.size(); ++s) {
+    const auto& stage = program.stages[s];
+    if (stage.atoms.size() > max_atoms_per_stage) {
+      throw ResourceError("stage " + std::to_string(s) + " has " +
+                          std::to_string(stage.atoms.size()) +
+                          " atoms, machine allows " +
+                          std::to_string(max_atoms_per_stage));
+    }
+    std::uint32_t stateful = 0;
+    std::uint64_t entries = 0;
+    for (const auto& atom : stage.atoms) {
+      if (atom.stateful()) {
+        ++stateful;
+        entries += program.registers[atom.reg].size;
+      }
+      if (atom.stateful() && !atom.body.empty()) {
+        const AtomTemplate t = classify_atom(atom);
+        if (template_rank(t) > template_rank(max_atom_template)) {
+          throw ResourceError(
+              "stage " + std::to_string(s) + ": register '" +
+              program.registers[atom.reg].name + "' needs the " +
+              std::string(to_string(t)) +
+              " atom template, machine only provides " +
+              to_string(max_atom_template));
+        }
+      }
+      if (atom.body.size() > max_atom_ops) {
+        throw ResourceError(
+            "stage " + std::to_string(s) + " has an atom with " +
+            std::to_string(atom.body.size()) + " ops, machine allows " +
+            std::to_string(max_atom_ops) + " per atom");
+      }
+    }
+    if (stateful > max_stateful_atoms_per_stage) {
+      throw ResourceError("stage " + std::to_string(s) + " has " +
+                          std::to_string(stateful) +
+                          " stateful atoms, machine allows " +
+                          std::to_string(max_stateful_atoms_per_stage));
+    }
+    if (entries > max_register_entries_per_stage) {
+      throw ResourceError("stage " + std::to_string(s) + " holds " +
+                          std::to_string(entries) +
+                          " register entries, machine allows " +
+                          std::to_string(max_register_entries_per_stage));
+    }
+  }
+}
+
+MachineUsage usage(const ir::Pvsm& program) {
+  MachineUsage u;
+  u.stages = static_cast<std::uint32_t>(program.stages.size());
+  for (const auto& stage : program.stages) {
+    u.max_atoms_in_stage = std::max(
+        u.max_atoms_in_stage, static_cast<std::uint32_t>(stage.atoms.size()));
+    std::uint32_t stateful = 0;
+    std::uint64_t entries = 0;
+    for (const auto& atom : stage.atoms) {
+      u.max_atom_ops = std::max(u.max_atom_ops,
+                                static_cast<std::uint32_t>(atom.body.size()));
+      if (!atom.stateful()) continue;
+      ++stateful;
+      entries += program.registers[atom.reg].size;
+      if (!atom.body.empty()) {
+        const AtomTemplate t = classify_atom(atom);
+        if (template_rank(t) > template_rank(u.max_template)) {
+          u.max_template = t;
+        }
+      }
+    }
+    u.max_stateful_in_stage = std::max(u.max_stateful_in_stage, stateful);
+    u.max_entries_in_stage = std::max(u.max_entries_in_stage, entries);
+  }
+  return u;
+}
+
+bool MachineSpec::fits(const ir::Pvsm& program) const {
+  try {
+    check(program);
+    return true;
+  } catch (const ResourceError&) {
+    return false;
+  }
+}
+
+} // namespace mp5::banzai

@@ -1,0 +1,49 @@
+// Banzai machine resource model (§2.1, §3.3 code-generation phase).
+//
+// The PVSM assumes no computational or resource limits; code generation
+// checks the program against a concrete machine: number of stages, atoms
+// per stage, atom circuit depth, and register capacity. The defaults match
+// the paper's reference points: 16 stages (§4.3.1), with most practical
+// stateful programs needing 4-10 stages (§4.2).
+#pragma once
+
+#include <cstdint>
+
+#include "banzai/atom_templates.hpp"
+#include "banzai/ir.hpp"
+
+namespace mp5::banzai {
+
+struct MachineSpec {
+  std::uint32_t max_stages = 16;
+  std::uint32_t max_atoms_per_stage = 64;
+  std::uint32_t max_stateful_atoms_per_stage = 4;
+  /// Maximum TAC instructions in one atom body — stands in for the bounded
+  /// depth of a Banzai atom template's digital circuit.
+  std::uint32_t max_atom_ops = 32;
+  std::uint64_t max_register_entries_per_stage = 1ull << 20;
+  /// Richest stateful atom circuit the target provides (§2.1; the Domino
+  /// template hierarchy). Tofino-class defaults to the most general.
+  AtomTemplate max_atom_template = AtomTemplate::kPairs;
+
+  /// Throws ResourceError when the program does not fit this machine.
+  void check(const ir::Pvsm& program) const;
+
+  /// True when the program fits (no throw).
+  bool fits(const ir::Pvsm& program) const;
+};
+
+/// Resource footprint of a compiled program, for reports (mp5c) and
+/// capacity planning against a MachineSpec.
+struct MachineUsage {
+  std::uint32_t stages = 0;
+  std::uint32_t max_atoms_in_stage = 0;
+  std::uint32_t max_stateful_in_stage = 0;
+  std::uint32_t max_atom_ops = 0;
+  std::uint64_t max_entries_in_stage = 0;
+  AtomTemplate max_template = AtomTemplate::kRead;
+};
+
+MachineUsage usage(const ir::Pvsm& program);
+
+} // namespace mp5::banzai

@@ -1,0 +1,73 @@
+// Logical single-pipeline Banzai switch: the functional-equivalence
+// reference (§2.2).
+//
+// A single pipeline processes packets strictly in arrival order, and every
+// state operation is atomic within its stage, so the end-to-end semantics
+// are exactly "run the whole program on each packet, one packet at a time,
+// in arrival order". ReferenceSwitch implements that semantics and records
+// everything the equivalence checker needs: final register state, final
+// per-packet headers, and the per-state access order (the order C1 is
+// defined against).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "banzai/ir.hpp"
+#include "common/types.hpp"
+
+namespace mp5::banzai {
+
+/// Sequence of packets (by arrival seq) that touched each (reg, index).
+struct AccessLog {
+  /// key = (reg << 32) | index
+  std::unordered_map<std::uint64_t, std::vector<SeqNo>> order;
+
+  static std::uint64_t key(RegId reg, RegIndex index) {
+    return (static_cast<std::uint64_t>(reg) << 32) | index;
+  }
+
+  void record(RegId reg, RegIndex index, SeqNo seq);
+};
+
+struct ReferenceResult {
+  std::vector<std::vector<Value>> final_registers;
+  /// Final header contents per packet, in arrival order.
+  std::vector<std::vector<Value>> egress_headers;
+  AccessLog accesses;
+};
+
+class ReferenceSwitch {
+public:
+  explicit ReferenceSwitch(const ir::Pvsm& program);
+
+  /// Process one packet (headers sized to program.num_slots(), declared
+  /// fields filled; temporaries zero). Returns the final headers.
+  std::vector<Value> process(std::vector<Value> headers);
+
+  /// Convenience: process a whole batch in order and collect everything.
+  ReferenceResult run(const std::vector<std::vector<Value>>& packets);
+
+  const std::vector<std::vector<Value>>& registers() const {
+    return regs_.storage();
+  }
+  const AccessLog& accesses() const { return log_; }
+
+private:
+  struct Observer final : ir::AccessObserver {
+    void on_state_access(RegId reg, RegIndex index, bool is_write) override;
+    AccessLog* log = nullptr;
+    SeqNo current_seq = 0;
+    RegId last_reg = ir::kNoReg;
+    RegIndex last_index = 0;
+    bool seen = false;
+  };
+
+  const ir::Pvsm* program_;
+  ir::FlatRegFile regs_;
+  AccessLog log_;
+  SeqNo next_seq_ = 0;
+};
+
+} // namespace mp5::banzai

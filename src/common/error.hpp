@@ -1,0 +1,56 @@
+// Exception hierarchy for the MP5 library.
+//
+// Compiler front-end errors (syntax, semantics) and back-end resource
+// errors (program does not fit the machine) are distinct types so callers
+// can report them differently; both derive from Error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mp5 {
+
+/// Root of all errors thrown by the MP5 library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Lexical or syntactic error in a Domino program.
+class ParseError : public Error {
+public:
+  ParseError(int line, int col, const std::string& msg)
+      : Error("parse error at " + std::to_string(line) + ":" +
+              std::to_string(col) + ": " + msg),
+        line_(line), col_(col) {}
+
+  int line() const noexcept { return line_; }
+  int col() const noexcept { return col_; }
+
+private:
+  int line_;
+  int col_;
+};
+
+/// Semantic error (undeclared identifier, bad types, ...).
+class SemanticError : public Error {
+public:
+  explicit SemanticError(const std::string& msg)
+      : Error("semantic error: " + msg) {}
+};
+
+/// Program does not fit the target machine (too many stages, atoms, ...).
+class ResourceError : public Error {
+public:
+  explicit ResourceError(const std::string& msg)
+      : Error("resource error: " + msg) {}
+};
+
+/// Invalid configuration of a simulator or runtime component.
+class ConfigError : public Error {
+public:
+  explicit ConfigError(const std::string& msg)
+      : Error("config error: " + msg) {}
+};
+
+} // namespace mp5

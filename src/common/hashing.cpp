@@ -1,0 +1,56 @@
+#include "common/hashing.hpp"
+
+namespace mp5 {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+namespace {
+
+std::uint64_t combine(std::uint64_t seed, std::uint64_t v) noexcept {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+Value to_value(std::uint64_t h) noexcept {
+  // Domino values are signed; keep hashes non-negative so that `h % N`
+  // indexing behaves identically everywhere.
+  return static_cast<Value>(h >> 1);
+}
+
+} // namespace
+
+Value hash2(Value a, Value b) noexcept {
+  std::uint64_t h = combine(0x2545f4914f6cdd1dULL, static_cast<std::uint64_t>(a));
+  h = combine(h, static_cast<std::uint64_t>(b));
+  return to_value(h);
+}
+
+Value hash3(Value a, Value b, Value c) noexcept {
+  std::uint64_t h = combine(0x27d4eb2f165667c5ULL, static_cast<std::uint64_t>(a));
+  h = combine(h, static_cast<std::uint64_t>(b));
+  h = combine(h, static_cast<std::uint64_t>(c));
+  return to_value(h);
+}
+
+Value hash5(Value a, Value b, Value c, Value d, Value e) noexcept {
+  std::uint64_t h = combine(0x9e3779b185ebca87ULL, static_cast<std::uint64_t>(a));
+  h = combine(h, static_cast<std::uint64_t>(b));
+  h = combine(h, static_cast<std::uint64_t>(c));
+  h = combine(h, static_cast<std::uint64_t>(d));
+  h = combine(h, static_cast<std::uint64_t>(e));
+  return to_value(h);
+}
+
+Value floor_mod(Value v, Value m) noexcept {
+  if (m <= 0) return 0;
+  Value r = v % m;
+  return r < 0 ? r + m : r;
+}
+
+} // namespace mp5

@@ -1,0 +1,32 @@
+// Deterministic integer hashing used by the Domino builtins (hash2/hash3)
+// and by the simulators (flow hashing, static sharding).
+//
+// Both a single-pipeline reference run and an MP5 run of the same program
+// must compute identical hashes, so these functions are pure and fixed
+// across platforms (no std::hash, whose output is implementation-defined).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mp5 {
+
+/// 64-bit finalizer (SplitMix64 mix function). Good avalanche behaviour.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Hash of two values, as exposed to Domino programs via hash2(a, b).
+Value hash2(Value a, Value b) noexcept;
+
+/// Hash of three values, as exposed to Domino programs via hash3(a, b, c).
+Value hash3(Value a, Value b, Value c) noexcept;
+
+/// Hash of five values — convenience for 5-tuple flow hashing.
+Value hash5(Value a, Value b, Value c, Value d, Value e) noexcept;
+
+/// Non-negative remainder: result in [0, m) for m > 0, matching how packet
+/// processing programs index register arrays (reg[h % N] must be in range
+/// even for negative hash values).
+Value floor_mod(Value v, Value m) noexcept;
+
+} // namespace mp5

@@ -1,0 +1,59 @@
+// Lightweight statistics accumulators used by the metrics module and the
+// benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mp5 {
+
+/// Streaming mean / min / max / variance accumulator (Welford).
+class RunningStats {
+public:
+  void add(double x);
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * buckets); values beyond
+/// the last bucket are clamped into it. Used for queue-depth distributions.
+class Histogram {
+public:
+  Histogram(double bucket_width, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Value below which `q` (in [0,1]) of the mass lies, to bucket precision.
+  double quantile(double q) const;
+
+  const std::vector<std::uint64_t>& buckets() const noexcept { return counts_; }
+  double bucket_width() const noexcept { return width_; }
+
+private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile of a sample vector (copies and sorts; for small vectors
+/// such as per-run throughput samples).
+double percentile(std::vector<double> samples, double q);
+
+} // namespace mp5

@@ -1,0 +1,31 @@
+// Plain-text aligned table printer for benchmark output.
+//
+// Every bench binary reproduces a paper table/figure by printing rows; this
+// helper keeps their output uniform and easy to diff against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mp5 {
+
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Format helpers for numeric cells.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mp5

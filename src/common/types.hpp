@@ -1,0 +1,35 @@
+// Fundamental scalar types shared across the MP5 code base.
+#pragma once
+
+#include <cstdint>
+
+namespace mp5 {
+
+/// Value carried in packet header fields and registers. The Domino subset
+/// is integer-only (as in the paper's examples); we use a 64-bit signed
+/// value so arithmetic in programs never overflows in practice.
+using Value = std::int64_t;
+
+/// Simulation time in pipeline clock cycles.
+using Cycle = std::uint64_t;
+
+/// Global packet sequence number, assigned in switch-arrival order.
+/// This is the total order a logical single pipeline would process in,
+/// and therefore the order condition C1 is defined against.
+using SeqNo = std::uint64_t;
+
+/// Identifier of a register array declared by a program.
+using RegId = std::uint32_t;
+
+/// Index within a register array.
+using RegIndex = std::uint32_t;
+
+/// Pipeline identifier (0..k-1).
+using PipelineId = std::uint32_t;
+
+/// Pipeline stage identifier (0..s-1).
+using StageId = std::uint32_t;
+
+inline constexpr SeqNo kInvalidSeqNo = ~SeqNo{0};
+
+} // namespace mp5

@@ -1,0 +1,60 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mp5 {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  if (n == 0) throw ConfigError("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0; // guard against FP round-off at the tail
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+TwoClassSkewSampler::TwoClassSkewSampler(std::uint64_t n, Rng& permutation_rng,
+                                         double hot_fraction_of_traffic,
+                                         double hot_fraction_of_keys)
+    : n_(n), hot_traffic_(hot_fraction_of_traffic) {
+  if (n == 0) throw ConfigError("TwoClassSkewSampler: n must be > 0");
+  if (hot_fraction_of_traffic < 0.0 || hot_fraction_of_traffic > 1.0 ||
+      hot_fraction_of_keys < 0.0 || hot_fraction_of_keys > 1.0) {
+    throw ConfigError("TwoClassSkewSampler: fractions must lie in [0, 1]");
+  }
+  hot_keys_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(hot_fraction_of_keys * static_cast<double>(n))));
+  hot_keys_ = std::min(hot_keys_, n_);
+  permutation_.resize(n);
+  std::iota(permutation_.begin(), permutation_.end(), 0);
+  permutation_rng.shuffle(permutation_);
+}
+
+std::uint64_t TwoClassSkewSampler::sample(Rng& rng) const {
+  const bool hot = rng.chance(hot_traffic_) || hot_keys_ == n_;
+  const std::uint64_t cold_keys = n_ - hot_keys_;
+  std::uint64_t slot;
+  if (hot || cold_keys == 0) {
+    slot = rng.next_below(hot_keys_);
+  } else {
+    slot = hot_keys_ + rng.next_below(cold_keys);
+  }
+  return permutation_[slot];
+}
+
+} // namespace mp5

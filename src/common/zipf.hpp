@@ -1,0 +1,61 @@
+// Zipf-distributed and two-class-skewed integer samplers.
+//
+// The paper's sensitivity analysis (§4.3.1) uses two state-access patterns:
+//   * uniform  — every register index equally likely;
+//   * skewed   — 95% of packets access 30% of indexes (heavy-tail, derived
+//                from datacenter traffic studies).
+// ZipfSampler provides a classic Zipf(s) law used by the extended ablations;
+// TwoClassSkewSampler implements the exact 95/30 pattern from the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mp5 {
+
+/// Samples integers in [0, n) with P(i) proportional to 1/(i+1)^s,
+/// using an inverse-CDF table (O(log n) per sample).
+class ZipfSampler {
+public:
+  ZipfSampler(std::uint64_t n, double exponent);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double exponent() const noexcept { return exponent_; }
+
+private:
+  std::uint64_t n_;
+  double exponent_;
+  std::vector<double> cdf_;
+};
+
+/// Samples integers in [0, n): with probability `hot_fraction_of_traffic`
+/// the sample is drawn uniformly from the first
+/// ceil(hot_fraction_of_keys * n) "hot" indexes, otherwise uniformly from
+/// the remaining "cold" indexes. A deterministic permutation decouples
+/// hotness from numeric index order so that range-based sharding cannot
+/// accidentally align with the hot set.
+class TwoClassSkewSampler {
+public:
+  /// Defaults reproduce the paper's skewed pattern: 95% of packets access
+  /// 30% of states.
+  TwoClassSkewSampler(std::uint64_t n, Rng& permutation_rng,
+                      double hot_fraction_of_traffic = 0.95,
+                      double hot_fraction_of_keys = 0.30);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const noexcept { return n_; }
+  std::uint64_t hot_keys() const noexcept { return hot_keys_; }
+
+private:
+  std::uint64_t n_;
+  std::uint64_t hot_keys_;
+  double hot_traffic_;
+  std::vector<std::uint64_t> permutation_;
+};
+
+} // namespace mp5

@@ -1,0 +1,86 @@
+// Abstract syntax tree for the Domino subset.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "banzai/ir.hpp"
+#include "common/types.hpp"
+
+namespace mp5::domino {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kIntLit,  // int_value
+    kField,   // p.<name>
+    kIdent,   // bare identifier: scalar register or const (resolved in sema)
+    kReg,     // <name>[index]
+    kUnary,   // un a
+    kBinary,  // a bin b
+    kTernary, // a ? b : c
+    kCall,    // name(args...): hash2 hash3 hash5 min max
+  };
+
+  Kind kind = Kind::kIntLit;
+  Value int_value = 0;
+  std::string name;
+  ExprPtr index;
+  ir::UnOp un = ir::UnOp::kNeg;
+  ir::BinOp bin = ir::BinOp::kAdd;
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;
+  int line = 0, col = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind { kAssign, kIf };
+
+  Kind kind = Kind::kAssign;
+  // kAssign: lhs = rhs (compound assignments are desugared by the parser)
+  ExprPtr lhs;
+  ExprPtr rhs;
+  // kIf
+  ExprPtr cond;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+  int line = 0, col = 0;
+};
+
+/// A match table with constant entries (§2.1: match tables are populated
+/// by the control plane before runtime and stay constant — the functional
+/// equivalence assumption of §2.2.1 — so const entries compile to
+/// predicated execution, exactly the Figure 5 stateful-stage template).
+struct TableDecl {
+  std::string name;
+  ExprPtr key;                       // matched against entry values
+  struct Entry {
+    Value match;                     // exact-match constant
+    std::vector<StmtPtr> body;       // the entry's action
+  };
+  std::vector<Entry> entries;
+  std::vector<StmtPtr> default_body; // optional default action
+};
+
+/// A whole parsed program: one packet struct, register declarations,
+/// compile-time constants, match tables, and a single packet-processing
+/// function.
+struct Ast {
+  std::string func_name;
+  std::string packet_param;              // parameter name, e.g. "p"
+  std::vector<std::string> fields;       // declared packet fields, in order
+  std::vector<ir::RegisterSpec> registers;
+  std::vector<std::pair<std::string, Value>> constants;
+  std::vector<StmtPtr> body;
+};
+
+/// Deep structural clone (used by tests and the AST interpreter harness).
+ExprPtr clone(const Expr& e);
+
+} // namespace mp5::domino

@@ -1,0 +1,49 @@
+// Direct AST interpreter for Domino programs.
+//
+// This is the compiler's differential-testing oracle: the property suite
+// runs random programs over random packets through (a) this interpreter
+// and (b) the compiled PVSM executed by the single-pipeline reference
+// switch, and requires identical final packet fields and register state.
+//
+// Semantics notes (shared with the compiled code):
+//   * integer-only values (64-bit signed);
+//   * division/modulo by zero yield 0 (hardware-style total operators);
+//   * && and || evaluate both operands — expressions are side-effect-free
+//     in this subset, so this is observationally equal to short-circuit;
+//   * register indexes are reduced modulo the array size (non-negative).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "domino/ast.hpp"
+
+namespace mp5::domino {
+
+class AstInterp {
+public:
+  explicit AstInterp(const Ast& ast);
+
+  /// Process one packet; missing fields default to 0. Returns the final
+  /// value of every declared field.
+  std::unordered_map<std::string, Value> process(
+      const std::unordered_map<std::string, Value>& fields);
+
+  const std::vector<std::vector<Value>>& registers() const { return regs_; }
+
+private:
+  Value eval(const Expr& e,
+             const std::unordered_map<std::string, Value>& env) const;
+  void exec(const Stmt& stmt, std::unordered_map<std::string, Value>& env);
+
+  Value* lvalue_reg(const Expr& e,
+                    const std::unordered_map<std::string, Value>& env);
+
+  const Ast* ast_;
+  std::unordered_map<std::string, std::size_t> reg_index_;
+  std::unordered_map<std::string, Value> consts_;
+  std::vector<std::vector<Value>> regs_;
+};
+
+} // namespace mp5::domino

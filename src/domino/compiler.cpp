@@ -1,0 +1,49 @@
+#include "domino/compiler.hpp"
+
+#include "common/error.hpp"
+#include "domino/optimize.hpp"
+#include "domino/parser.hpp"
+
+namespace mp5::domino {
+namespace {
+
+banzai::MachineSpec with_reserved(const banzai::MachineSpec& machine,
+                                  std::uint32_t reserve_stages) {
+  banzai::MachineSpec spec = machine;
+  if (reserve_stages >= spec.max_stages) {
+    throw ResourceError("machine has no stages left after reserving " +
+                        std::to_string(reserve_stages));
+  }
+  spec.max_stages -= reserve_stages;
+  return spec;
+}
+
+} // namespace
+
+CompileResult compile(const Ast& ast, const banzai::MachineSpec& machine,
+                      std::uint32_t reserve_stages) {
+  const banzai::MachineSpec target = with_reserved(machine, reserve_stages);
+  LoweredProgram lowered = lower(ast);
+  optimize(lowered);
+
+  PipelineOptions serialize;
+  serialize.serialize_stateful = true;
+  ir::Pvsm serialized = pipeline(lowered, serialize);
+  if (target.fits(serialized)) {
+    return CompileResult{std::move(serialized), /*serialized=*/true};
+  }
+
+  PipelineOptions packed;
+  packed.serialize_stateful = false;
+  ir::Pvsm unserialized = pipeline(lowered, packed);
+  target.check(unserialized); // throws with a useful message if still too big
+  return CompileResult{std::move(unserialized), /*serialized=*/false};
+}
+
+CompileResult compile(const std::string& source,
+                      const banzai::MachineSpec& machine,
+                      std::uint32_t reserve_stages) {
+  return compile(parse(source), machine, reserve_stages);
+}
+
+} // namespace mp5::domino

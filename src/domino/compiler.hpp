@@ -1,0 +1,41 @@
+// Top-level Domino compiler driver (§3.3, Figure 5 left):
+//   source -> parse -> lower (preprocessing) -> pipeline (PVSM)
+//          -> machine resource check (code generation)
+//
+// The MP5 target additionally reserves pipeline stages at the front for
+// address resolution (the PVSM-to-PVSM transformer prepends them), so
+// callers compiling for MP5 pass reserve_stages >= 1.
+//
+// Per §3.3, the compiler first tries to serialize register-array accesses
+// (one array per stage) to keep every array shardable; if the serialized
+// program does not fit the machine's stage budget, it falls back to the
+// unserialized schedule and the transformer pins co-staged arrays to a
+// single pipeline.
+#pragma once
+
+#include <string>
+
+#include "banzai/machine.hpp"
+#include "domino/ast.hpp"
+#include "domino/lower.hpp"
+#include "domino/pipeline.hpp"
+
+namespace mp5::domino {
+
+struct CompileResult {
+  ir::Pvsm pvsm;
+  /// True when the stateful-serialization schedule was used.
+  bool serialized = true;
+};
+
+/// Compile Domino source for a machine. Throws ParseError / SemanticError /
+/// ResourceError.
+CompileResult compile(const std::string& source,
+                      const banzai::MachineSpec& machine = {},
+                      std::uint32_t reserve_stages = 0);
+
+/// Compile an already parsed program.
+CompileResult compile(const Ast& ast, const banzai::MachineSpec& machine = {},
+                      std::uint32_t reserve_stages = 0);
+
+} // namespace mp5::domino

@@ -1,0 +1,241 @@
+#include "domino/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace mp5::domino {
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const std::unordered_map<std::string, Tok> kw = {
+      {"struct", Tok::kStruct}, {"int", Tok::kInt},   {"void", Tok::kVoid},
+      {"if", Tok::kIf},         {"else", Tok::kElse}, {"const", Tok::kConst},
+  };
+  return kw;
+}
+
+} // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1, col = 1;
+
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < source.size() ? source[i + off] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    ++i;
+  };
+  auto emit = [&](Tok kind, std::string text, int l, int c) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = l;
+    t.col = c;
+    out.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    const char ch = peek();
+    const int l = line, c = col;
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      advance();
+      continue;
+    }
+    if (ch == '/' && peek(1) == '/') {
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (ch == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (i < source.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= source.size()) throw ParseError(l, c, "unterminated comment");
+      advance();
+      advance();
+      continue;
+    }
+    if (ch == '#') { // skip preprocessor-style lines
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      std::string ident;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        ident += peek();
+        advance();
+      }
+      auto it = keywords().find(ident);
+      emit(it != keywords().end() ? it->second : Tok::kIdent, ident, l, c);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      Value v = 0;
+      std::string text;
+      if (ch == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        advance();
+        advance();
+        bool any = false;
+        while (i < source.size() &&
+               std::isxdigit(static_cast<unsigned char>(peek()))) {
+          const char d = peek();
+          const int digit = std::isdigit(static_cast<unsigned char>(d))
+                                ? d - '0'
+                                : std::tolower(d) - 'a' + 10;
+          v = v * 16 + digit;
+          text += d;
+          any = true;
+          advance();
+        }
+        if (!any) throw ParseError(l, c, "bad hex literal");
+      } else {
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+          v = v * 10 + (peek() - '0');
+          text += peek();
+          advance();
+        }
+      }
+      Token t;
+      t.kind = Tok::kIntLit;
+      t.text = text;
+      t.int_value = v;
+      t.line = l;
+      t.col = c;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    auto two = [&](char second) { return peek(1) == second; };
+    switch (ch) {
+      case '{': emit(Tok::kLBrace, "{", l, c); advance(); continue;
+      case '}': emit(Tok::kRBrace, "}", l, c); advance(); continue;
+      case '(': emit(Tok::kLParen, "(", l, c); advance(); continue;
+      case ')': emit(Tok::kRParen, ")", l, c); advance(); continue;
+      case '[': emit(Tok::kLBracket, "[", l, c); advance(); continue;
+      case ']': emit(Tok::kRBracket, "]", l, c); advance(); continue;
+      case ';': emit(Tok::kSemi, ";", l, c); advance(); continue;
+      case ',': emit(Tok::kComma, ",", l, c); advance(); continue;
+      case '.': emit(Tok::kDot, ".", l, c); advance(); continue;
+      case '?': emit(Tok::kQuestion, "?", l, c); advance(); continue;
+      case ':': emit(Tok::kColon, ":", l, c); advance(); continue;
+      case '~': emit(Tok::kTilde, "~", l, c); advance(); continue;
+      case '^': emit(Tok::kCaret, "^", l, c); advance(); continue;
+      case '+':
+        if (two('+')) { emit(Tok::kPlusPlus, "++", l, c); advance(); advance(); }
+        else if (two('=')) { emit(Tok::kPlusAssign, "+=", l, c); advance(); advance(); }
+        else { emit(Tok::kPlus, "+", l, c); advance(); }
+        continue;
+      case '-':
+        if (two('-')) { emit(Tok::kMinusMinus, "--", l, c); advance(); advance(); }
+        else if (two('=')) { emit(Tok::kMinusAssign, "-=", l, c); advance(); advance(); }
+        else { emit(Tok::kMinus, "-", l, c); advance(); }
+        continue;
+      case '*':
+        if (two('=')) { emit(Tok::kStarAssign, "*=", l, c); advance(); advance(); }
+        else { emit(Tok::kStar, "*", l, c); advance(); }
+        continue;
+      case '/': emit(Tok::kSlash, "/", l, c); advance(); continue;
+      case '%': emit(Tok::kPercent, "%", l, c); advance(); continue;
+      case '&':
+        if (two('&')) { emit(Tok::kAmpAmp, "&&", l, c); advance(); advance(); }
+        else { emit(Tok::kAmp, "&", l, c); advance(); }
+        continue;
+      case '|':
+        if (two('|')) { emit(Tok::kPipePipe, "||", l, c); advance(); advance(); }
+        else { emit(Tok::kPipe, "|", l, c); advance(); }
+        continue;
+      case '<':
+        if (two('<')) { emit(Tok::kShl, "<<", l, c); advance(); advance(); }
+        else if (two('=')) { emit(Tok::kLe, "<=", l, c); advance(); advance(); }
+        else { emit(Tok::kLt, "<", l, c); advance(); }
+        continue;
+      case '>':
+        if (two('>')) { emit(Tok::kShr, ">>", l, c); advance(); advance(); }
+        else if (two('=')) { emit(Tok::kGe, ">=", l, c); advance(); advance(); }
+        else { emit(Tok::kGt, ">", l, c); advance(); }
+        continue;
+      case '=':
+        if (two('=')) { emit(Tok::kEqEq, "==", l, c); advance(); advance(); }
+        else { emit(Tok::kAssign, "=", l, c); advance(); }
+        continue;
+      case '!':
+        if (two('=')) { emit(Tok::kNe, "!=", l, c); advance(); advance(); }
+        else { emit(Tok::kBang, "!", l, c); advance(); }
+        continue;
+      default:
+        throw ParseError(l, c, std::string("unexpected character '") + ch + "'");
+    }
+  }
+  Token end;
+  end.kind = Tok::kEnd;
+  end.line = line;
+  end.col = col;
+  out.push_back(std::move(end));
+  return out;
+}
+
+std::string tok_name(Tok kind) {
+  switch (kind) {
+    case Tok::kEnd: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kStruct: return "'struct'";
+    case Tok::kInt: return "'int'";
+    case Tok::kVoid: return "'void'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kConst: return "'const'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kDot: return "'.'";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kColon: return "':'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kStarAssign: return "'*='";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kMinusMinus: return "'--'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kEqEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kAmpAmp: return "'&&'";
+    case Tok::kPipePipe: return "'||'";
+    case Tok::kBang: return "'!'";
+    case Tok::kTilde: return "'~'";
+  }
+  return "<bad token>";
+}
+
+} // namespace mp5::domino

@@ -1,0 +1,51 @@
+// Lexer for the Domino subset (§3.3).
+//
+// Domino is a C-like language; the subset implemented here covers every
+// construct used by the paper's example (Figure 3) and by the four real
+// applications of §4.4: integer packet fields, global register arrays,
+// if/else, ternaries, the usual C arithmetic/logic operators, compound
+// assignments, and hash builtins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mp5::domino {
+
+enum class Tok {
+  kEnd,
+  kIdent, kIntLit,
+  // keywords
+  kStruct, kInt, kVoid, kIf, kElse, kConst,
+  // punctuation
+  kLBrace, kRBrace, kLParen, kRParen, kLBracket, kRBracket,
+  kSemi, kComma, kDot, kQuestion, kColon,
+  // operators
+  kAssign, kPlusAssign, kMinusAssign, kStarAssign,
+  kPlusPlus, kMinusMinus,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kShl, kShr,
+  kLt, kLe, kGt, kGe, kEqEq, kNe,
+  kAmpAmp, kPipePipe, kBang, kTilde,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  Value int_value = 0;
+  int line = 1;
+  int col = 1;
+};
+
+/// Tokenize a full source string. Throws ParseError on bad input.
+/// `//` and `/* */` comments and `#` preprocessor-style lines are skipped
+/// (so programs copied from domino-examples with #define headers still
+/// lex; constants should be declared with `const int`).
+std::vector<Token> lex(const std::string& source);
+
+/// Name of a token kind, for error messages.
+std::string tok_name(Tok kind);
+
+} // namespace mp5::domino

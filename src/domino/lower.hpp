@@ -1,0 +1,41 @@
+// Lowering: AST -> flat three-address code (the compiler's preprocessing
+// phase, §3.3 phase (i)).
+//
+// Transformations performed here:
+//   * semantic checking (undeclared fields/registers, builtin arity, ...);
+//   * if-conversion: branches become (a) Select instructions for packet
+//     field updates and (b) guard predicates on register accesses — the
+//     guarded-state-access form matches the Banzai stateful-stage template
+//     in Figure 5;
+//   * SSA renaming of packet fields: each assignment defines a fresh
+//     version slot, eliminating WAR/WAW hazards so that pipelining only
+//     has to respect true dataflow. Final versions are copied back to the
+//     declared ("canonical") slots by explicit egress copies;
+//   * common-subexpression elimination over pure instructions. Because
+//     slots are single-assignment and register reads are never merged, CSE
+//     is semantics-preserving; it also canonicalizes register index
+//     expressions so that all accesses to one array resolve to the same
+//     operand (a requirement for Banzai's one-index-per-atom model).
+#pragma once
+
+#include <vector>
+
+#include "banzai/ir.hpp"
+#include "domino/ast.hpp"
+
+namespace mp5::domino {
+
+struct LoweredProgram {
+  std::vector<ir::FieldInfo> fields;
+  std::unordered_map<std::string, ir::Slot> declared_slot;
+  std::vector<ir::RegisterSpec> registers;
+  /// Program order; SSA over slots; guards only on RegRead/RegWrite.
+  std::vector<ir::TacInstr> instrs;
+  /// Indices into `instrs` of the trailing canonical write-back copies.
+  std::vector<std::size_t> egress_copies;
+};
+
+/// Lower a parsed program. Throws SemanticError on semantic faults.
+LoweredProgram lower(const Ast& ast);
+
+} // namespace mp5::domino

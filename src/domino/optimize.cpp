@@ -1,0 +1,216 @@
+#include "domino/optimize.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace mp5::domino {
+namespace {
+
+using ir::Operand;
+using ir::Slot;
+using ir::TacInstr;
+using ir::TacOp;
+
+class Optimizer {
+public:
+  explicit Optimizer(LoweredProgram& program) : prog_(&program) {}
+
+  OptimizeStats run() {
+    // Iterate to fixpoint: folding can enable propagation and vice versa.
+    for (;;) {
+      const std::size_t before = stats_.total();
+      forward_pass();
+      if (stats_.total() == before) break;
+    }
+    dce();
+    return stats_;
+  }
+
+private:
+  bool is_egress_copy(std::size_t idx) const {
+    for (const std::size_t e : prog_->egress_copies) {
+      if (e == idx) return true;
+    }
+    return false;
+  }
+
+  /// Apply accumulated slot replacements to one operand.
+  void substitute(Operand& op) {
+    while (!op.is_const) {
+      auto it = replace_.find(op.slot);
+      if (it == replace_.end()) return;
+      op = it->second;
+    }
+  }
+
+  void substitute_all(TacInstr& instr) {
+    substitute(instr.a);
+    substitute(instr.b);
+    substitute(instr.c);
+    for (auto& arg : instr.hash_args) substitute(arg);
+    substitute(instr.index);
+    if (instr.guard != ir::kNoSlot) {
+      Operand g = Operand::make_slot(instr.guard);
+      substitute(g);
+      if (g.is_const) {
+        guard_const_ = g.constant != 0;
+        guard_is_const_ = true;
+      } else {
+        instr.guard = g.slot;
+        guard_is_const_ = false;
+      }
+    } else {
+      guard_is_const_ = false;
+    }
+  }
+
+  void forward_pass() {
+    std::vector<TacInstr> kept;
+    std::vector<std::size_t> kept_egress;
+    kept.reserve(prog_->instrs.size());
+
+    for (std::size_t i = 0; i < prog_->instrs.size(); ++i) {
+      TacInstr instr = prog_->instrs[i];
+      const bool egress = is_egress_copy(i);
+      substitute_all(instr);
+
+      // Guard simplification on register accesses.
+      if ((instr.op == TacOp::kRegRead || instr.op == TacOp::kRegWrite) &&
+          guard_is_const_) {
+        const bool passes = instr.guard_negate ? !guard_const_ : guard_const_;
+        if (passes) {
+          instr.guard = ir::kNoSlot;
+          instr.guard_negate = false;
+          ++stats_.guards_simplified;
+        } else {
+          // Never executes: a skipped read leaves its destination at the
+          // initial 0; a skipped write vanishes.
+          if (instr.op == TacOp::kRegRead) {
+            replace_[instr.dst] = Operand::make_const(0);
+          }
+          ++stats_.guards_simplified;
+          continue;
+        }
+      }
+
+      switch (instr.op) {
+        case TacOp::kCopy:
+          // Never propagate a copy whose source is a declared (canonical)
+          // slot: such copies are the snapshots that keep the parallel
+          // egress write-back acyclic (see Lowerer::emit_egress_copies).
+          if (!egress &&
+              (instr.a.is_const ||
+               !prog_->fields[static_cast<std::size_t>(instr.a.slot)]
+                    .declared)) {
+            replace_[instr.dst] = instr.a;
+            ++stats_.copies_propagated;
+            continue;
+          }
+          break;
+        case TacOp::kUn:
+          if (instr.a.is_const) {
+            replace_[instr.dst] =
+                Operand::make_const(ir::apply_un(instr.un, instr.a.constant));
+            ++stats_.folded;
+            continue;
+          }
+          break;
+        case TacOp::kBin:
+          if (instr.a.is_const && instr.b.is_const) {
+            replace_[instr.dst] = Operand::make_const(
+                ir::apply_bin(instr.bin, instr.a.constant, instr.b.constant));
+            ++stats_.folded;
+            continue;
+          }
+          break;
+        case TacOp::kSelect:
+          if (instr.a.is_const) {
+            replace_[instr.dst] = instr.a.constant != 0 ? instr.b : instr.c;
+            ++stats_.folded;
+            continue;
+          }
+          if (!instr.b.is_const && !instr.c.is_const &&
+              instr.b.slot == instr.c.slot) {
+            // Both branches identical: the select is a copy.
+            replace_[instr.dst] = instr.b;
+            ++stats_.folded;
+            continue;
+          }
+          break;
+        default:
+          break;
+      }
+      if (egress) kept_egress.push_back(kept.size());
+      kept.push_back(std::move(instr));
+    }
+    prog_->instrs = std::move(kept);
+    prog_->egress_copies = std::move(kept_egress);
+  }
+
+  void dce() {
+    // Roots: register accesses (their operands, indexes, guards) and the
+    // egress copies that materialize declared fields.
+    std::unordered_set<Slot> live;
+    auto mark = [&](const Operand& op) {
+      if (!op.is_const) live.insert(op.slot);
+    };
+    std::unordered_set<std::size_t> keep;
+    for (std::size_t i = 0; i < prog_->instrs.size(); ++i) {
+      const auto& instr = prog_->instrs[i];
+      if (instr.op == TacOp::kRegRead || instr.op == TacOp::kRegWrite ||
+          is_egress_copy(i)) {
+        keep.insert(i);
+      }
+    }
+    // Backward liveness propagation (SSA: one def per temp).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = prog_->instrs.size(); i-- > 0;) {
+        const auto& instr = prog_->instrs[i];
+        const bool needed =
+            keep.count(i) ||
+            (instr.dst != ir::kNoSlot && live.count(instr.dst));
+        if (!needed) continue;
+        if (keep.insert(i).second) changed = true;
+        const std::size_t before = live.size();
+        mark(instr.a);
+        mark(instr.b);
+        mark(instr.c);
+        for (const auto& arg : instr.hash_args) mark(arg);
+        mark(instr.index);
+        if (instr.guard != ir::kNoSlot) live.insert(instr.guard);
+        if (live.size() != before) changed = true;
+      }
+    }
+    std::vector<TacInstr> kept;
+    std::vector<std::size_t> kept_egress;
+    kept.reserve(keep.size());
+    for (std::size_t i = 0; i < prog_->instrs.size(); ++i) {
+      if (!keep.count(i)) {
+        ++stats_.dead_removed;
+        continue;
+      }
+      if (is_egress_copy(i)) kept_egress.push_back(kept.size());
+      kept.push_back(prog_->instrs[i]);
+    }
+    prog_->instrs = std::move(kept);
+    prog_->egress_copies = std::move(kept_egress);
+  }
+
+  LoweredProgram* prog_;
+  std::unordered_map<Slot, Operand> replace_;
+  OptimizeStats stats_;
+  bool guard_is_const_ = false;
+  bool guard_const_ = false;
+};
+
+} // namespace
+
+OptimizeStats optimize(LoweredProgram& program) {
+  return Optimizer(program).run();
+}
+
+} // namespace mp5::domino

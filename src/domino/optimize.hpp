@@ -1,0 +1,40 @@
+// TAC optimizer, run between lowering and pipelining.
+//
+// Pipeline stages and atom circuits are the scarce resources on a switch
+// (§2.1, §4.2), so shrinking the instruction list directly improves how
+// programs fit the machine. Passes (iterated to fixpoint):
+//   * constant folding of pure instructions (the operator semantics are
+//     the shared total semantics of banzai/ir.hpp);
+//   * copy propagation through SSA slots;
+//   * select-with-constant-condition reduction;
+//   * guard simplification on register accesses: a statically false guard
+//     deletes the access (a read's destination becomes the constant 0,
+//     matching the reference executor's skip semantics), a statically
+//     true guard is removed;
+//   * dead-code elimination, rooted at register accesses and the egress
+//     copies of declared fields.
+//
+// Correctness is enforced by the differential suite: random programs must
+// behave identically under the AST interpreter, the compiled reference
+// switch, and MP5, with and without optimization.
+#pragma once
+
+#include "domino/lower.hpp"
+
+namespace mp5::domino {
+
+struct OptimizeStats {
+  std::size_t folded = 0;
+  std::size_t copies_propagated = 0;
+  std::size_t guards_simplified = 0;
+  std::size_t dead_removed = 0;
+
+  std::size_t total() const {
+    return folded + copies_propagated + guards_simplified + dead_removed;
+  }
+};
+
+/// Optimize in place; returns what happened.
+OptimizeStats optimize(LoweredProgram& program);
+
+} // namespace mp5::domino

@@ -1,0 +1,558 @@
+#include "domino/parser.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "domino/lexer.hpp"
+
+namespace mp5::domino {
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Ast run() {
+    Ast ast;
+    bool saw_packet = false, saw_func = false;
+    while (!at(Tok::kEnd)) {
+      if (at(Tok::kStruct)) {
+        if (saw_packet) fail("duplicate packet struct declaration");
+        parse_packet_decl(ast);
+        saw_packet = true;
+      } else if (at(Tok::kConst)) {
+        parse_const_decl(ast);
+      } else if (at(Tok::kIdent) && cur().text == "table") {
+        parse_table_decl();
+      } else if (at(Tok::kInt)) {
+        parse_reg_decl(ast);
+      } else if (at(Tok::kVoid)) {
+        if (saw_func) fail("only one packet-processing function is allowed");
+        parse_func_decl(ast);
+        saw_func = true;
+      } else {
+        fail("expected a declaration, got " + tok_name(cur().kind));
+      }
+    }
+    if (!saw_packet) {
+      throw SemanticError("program has no 'struct Packet' declaration");
+    }
+    if (!saw_func) {
+      throw SemanticError("program has no packet-processing function");
+    }
+    return ast;
+  }
+
+private:
+  // ---- token plumbing -------------------------------------------------
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok kind) const { return cur().kind == kind; }
+  Token eat() { return toks_[pos_++]; }
+  Token expect(Tok kind) {
+    if (!at(kind)) {
+      fail("expected " + tok_name(kind) + ", got " + tok_name(cur().kind));
+    }
+    return eat();
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(cur().line, cur().col, msg);
+  }
+
+  // ---- declarations ----------------------------------------------------
+  void parse_packet_decl(Ast& ast) {
+    expect(Tok::kStruct);
+    const Token name = expect(Tok::kIdent);
+    if (name.text != "Packet") fail("packet struct must be named 'Packet'");
+    expect(Tok::kLBrace);
+    std::unordered_set<std::string> seen;
+    while (!at(Tok::kRBrace)) {
+      expect(Tok::kInt);
+      const Token field = expect(Tok::kIdent);
+      if (!seen.insert(field.text).second) {
+        throw SemanticError("duplicate packet field '" + field.text + "'");
+      }
+      ast.fields.push_back(field.text);
+      expect(Tok::kSemi);
+    }
+    expect(Tok::kRBrace);
+    expect(Tok::kSemi);
+  }
+
+  void parse_const_decl(Ast& ast) {
+    expect(Tok::kConst);
+    expect(Tok::kInt);
+    const Token name = expect(Tok::kIdent);
+    expect(Tok::kAssign);
+    const Value v = parse_const_expr();
+    expect(Tok::kSemi);
+    declare_unique(name.text);
+    consts_[name.text] = v;
+    ast.constants.emplace_back(name.text, v);
+  }
+
+  void parse_reg_decl(Ast& ast) {
+    expect(Tok::kInt);
+    const Token name = expect(Tok::kIdent);
+    ir::RegisterSpec spec;
+    spec.name = name.text;
+    spec.size = 1;
+    if (at(Tok::kLBracket)) {
+      eat();
+      const Value n = parse_const_expr();
+      if (n <= 0) throw SemanticError("register '" + spec.name +
+                                      "' must have positive size");
+      spec.size = static_cast<std::size_t>(n);
+      expect(Tok::kRBracket);
+    }
+    if (at(Tok::kAssign)) {
+      eat();
+      if (at(Tok::kLBrace)) {
+        eat();
+        spec.init.push_back(parse_const_expr());
+        while (at(Tok::kComma)) {
+          eat();
+          spec.init.push_back(parse_const_expr());
+        }
+        expect(Tok::kRBrace);
+        if (spec.init.size() > spec.size) {
+          throw SemanticError("register '" + spec.name +
+                              "' initializer is longer than the array");
+        }
+      } else {
+        spec.init.push_back(parse_const_expr());
+      }
+    }
+    expect(Tok::kSemi);
+    declare_unique(spec.name);
+    regs_.insert(spec.name);
+    ast.registers.push_back(std::move(spec));
+  }
+
+  // table <name> (<key expr>) { <const> : { stmts } ... default : {...} }
+  // Desugared at `apply <name>;` into an if/else-if chain — constant
+  // entries are exactly predicated execution (Figure 5's Match part).
+  void parse_table_decl() {
+    expect(Tok::kIdent); // 'table'
+    const Token name = expect(Tok::kIdent);
+    declare_unique(name.text);
+    TableDecl table;
+    table.name = name.text;
+    expect(Tok::kLParen);
+    table.key = parse_expr();
+    expect(Tok::kRParen);
+    expect(Tok::kLBrace);
+    bool saw_default = false;
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kIdent) && cur().text == "default") {
+        if (saw_default) fail("duplicate default entry");
+        eat();
+        expect(Tok::kColon);
+        table.default_body = parse_stmt_or_block();
+        saw_default = true;
+      } else {
+        TableDecl::Entry entry;
+        entry.match = parse_const_expr();
+        expect(Tok::kColon);
+        entry.body = parse_stmt_or_block();
+        table.entries.push_back(std::move(entry));
+      }
+    }
+    expect(Tok::kRBrace);
+    if (table.entries.empty() && table.default_body.empty()) {
+      throw SemanticError("table '" + table.name + "' has no entries");
+    }
+    tables_[table.name] = std::move(table);
+  }
+
+  static StmtPtr clone_stmt(const Stmt& stmt) {
+    auto out = std::make_unique<Stmt>();
+    out->kind = stmt.kind;
+    out->line = stmt.line;
+    out->col = stmt.col;
+    if (stmt.lhs) out->lhs = clone(*stmt.lhs);
+    if (stmt.rhs) out->rhs = clone(*stmt.rhs);
+    if (stmt.cond) out->cond = clone(*stmt.cond);
+    for (const auto& child : stmt.then_body) {
+      out->then_body.push_back(clone_stmt(*child));
+    }
+    for (const auto& child : stmt.else_body) {
+      out->else_body.push_back(clone_stmt(*child));
+    }
+    return out;
+  }
+
+  /// apply <table>; -> if (key == m1) {a1} else if (key == m2) {a2} ...
+  StmtPtr desugar_apply(const TableDecl& table, int line, int col) {
+    if (table.entries.empty()) {
+      // Default-only table: the default action applies unconditionally.
+      auto always = std::make_unique<Stmt>();
+      always->kind = Stmt::Kind::kIf;
+      always->line = line;
+      always->col = col;
+      always->cond = make_int(1);
+      for (const auto& stmt : table.default_body) {
+        always->then_body.push_back(clone_stmt(*stmt));
+      }
+      return always;
+    }
+    std::vector<StmtPtr> else_body;
+    for (const auto& stmt : table.default_body) {
+      else_body.push_back(clone_stmt(*stmt));
+    }
+    for (auto it = table.entries.rbegin(); it != table.entries.rend(); ++it) {
+      auto branch = std::make_unique<Stmt>();
+      branch->kind = Stmt::Kind::kIf;
+      branch->line = line;
+      branch->col = col;
+      branch->cond =
+          make_bin(ir::BinOp::kEq, clone(*table.key), make_int(it->match));
+      for (const auto& stmt : it->body) {
+        branch->then_body.push_back(clone_stmt(*stmt));
+      }
+      branch->else_body = std::move(else_body);
+      else_body.clear();
+      else_body.push_back(std::move(branch));
+    }
+    return std::move(else_body.front());
+  }
+
+  void parse_func_decl(Ast& ast) {
+    expect(Tok::kVoid);
+    ast.func_name = expect(Tok::kIdent).text;
+    expect(Tok::kLParen);
+    expect(Tok::kStruct);
+    const Token pname = expect(Tok::kIdent);
+    if (pname.text != "Packet") fail("parameter must have type 'struct Packet'");
+    ast.packet_param = expect(Tok::kIdent).text;
+    expect(Tok::kRParen);
+    expect(Tok::kLBrace);
+    while (!at(Tok::kRBrace)) ast.body.push_back(parse_stmt());
+    expect(Tok::kRBrace);
+  }
+
+  void declare_unique(const std::string& name) {
+    if (consts_.count(name) || regs_.count(name)) {
+      throw SemanticError("duplicate declaration of '" + name + "'");
+    }
+  }
+
+  // ---- statements -------------------------------------------------------
+  StmtPtr parse_stmt() {
+    if (at(Tok::kIf)) return parse_if();
+    if (at(Tok::kIdent) && cur().text == "apply") {
+      const int line = cur().line, col = cur().col;
+      eat();
+      const Token name = expect(Tok::kIdent);
+      expect(Tok::kSemi);
+      auto it = tables_.find(name.text);
+      if (it == tables_.end()) {
+        throw SemanticError("unknown table '" + name.text + "'");
+      }
+      return desugar_apply(it->second, line, col);
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kAssign;
+    stmt->line = cur().line;
+    stmt->col = cur().col;
+    ExprPtr lhs = parse_unary(); // lvalue: p.x, reg[expr], or bare ident
+    if (lhs->kind != Expr::Kind::kField && lhs->kind != Expr::Kind::kReg &&
+        lhs->kind != Expr::Kind::kIdent) {
+      fail("assignment target must be a packet field or register");
+    }
+    if (at(Tok::kPlusPlus) || at(Tok::kMinusMinus)) {
+      const bool inc = eat().kind == Tok::kPlusPlus;
+      stmt->rhs = make_bin(inc ? ir::BinOp::kAdd : ir::BinOp::kSub,
+                           clone(*lhs), make_int(1));
+      stmt->lhs = std::move(lhs);
+      expect(Tok::kSemi);
+      return stmt;
+    }
+    ir::BinOp compound{};
+    bool is_compound = true;
+    switch (cur().kind) {
+      case Tok::kPlusAssign: compound = ir::BinOp::kAdd; break;
+      case Tok::kMinusAssign: compound = ir::BinOp::kSub; break;
+      case Tok::kStarAssign: compound = ir::BinOp::kMul; break;
+      default: is_compound = false; break;
+    }
+    if (is_compound) {
+      eat();
+      stmt->rhs = make_bin(compound, clone(*lhs), parse_expr());
+    } else {
+      expect(Tok::kAssign);
+      stmt->rhs = parse_expr();
+    }
+    stmt->lhs = std::move(lhs);
+    expect(Tok::kSemi);
+    return stmt;
+  }
+
+  StmtPtr parse_if() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->line = cur().line;
+    stmt->col = cur().col;
+    expect(Tok::kIf);
+    expect(Tok::kLParen);
+    stmt->cond = parse_expr();
+    expect(Tok::kRParen);
+    stmt->then_body = parse_stmt_or_block();
+    if (at(Tok::kElse)) {
+      eat();
+      if (at(Tok::kIf)) {
+        stmt->else_body.push_back(parse_if()); // else-if chain
+      } else {
+        stmt->else_body = parse_stmt_or_block();
+      }
+    }
+    return stmt;
+  }
+
+  std::vector<StmtPtr> parse_stmt_or_block() {
+    std::vector<StmtPtr> body;
+    if (at(Tok::kLBrace)) {
+      eat();
+      while (!at(Tok::kRBrace)) body.push_back(parse_stmt());
+      expect(Tok::kRBrace);
+    } else {
+      body.push_back(parse_stmt());
+    }
+    return body;
+  }
+
+  // ---- expressions (C precedence, precedence climbing) ------------------
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_binary(0);
+    if (!at(Tok::kQuestion)) return cond;
+    eat();
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kTernary;
+    e->line = cond->line;
+    e->col = cond->col;
+    e->a = std::move(cond);
+    e->b = parse_expr();
+    expect(Tok::kColon);
+    e->c = parse_expr();
+    return e;
+  }
+
+  struct OpInfo {
+    ir::BinOp op;
+    int prec;
+  };
+
+  bool binop_info(Tok kind, OpInfo& out) const {
+    switch (kind) {
+      case Tok::kPipePipe: out = {ir::BinOp::kLOr, 1}; return true;
+      case Tok::kAmpAmp: out = {ir::BinOp::kLAnd, 2}; return true;
+      case Tok::kPipe: out = {ir::BinOp::kBitOr, 3}; return true;
+      case Tok::kCaret: out = {ir::BinOp::kBitXor, 4}; return true;
+      case Tok::kAmp: out = {ir::BinOp::kBitAnd, 5}; return true;
+      case Tok::kEqEq: out = {ir::BinOp::kEq, 6}; return true;
+      case Tok::kNe: out = {ir::BinOp::kNe, 6}; return true;
+      case Tok::kLt: out = {ir::BinOp::kLt, 7}; return true;
+      case Tok::kLe: out = {ir::BinOp::kLe, 7}; return true;
+      case Tok::kGt: out = {ir::BinOp::kGt, 7}; return true;
+      case Tok::kGe: out = {ir::BinOp::kGe, 7}; return true;
+      case Tok::kShl: out = {ir::BinOp::kShl, 8}; return true;
+      case Tok::kShr: out = {ir::BinOp::kShr, 8}; return true;
+      case Tok::kPlus: out = {ir::BinOp::kAdd, 9}; return true;
+      case Tok::kMinus: out = {ir::BinOp::kSub, 9}; return true;
+      case Tok::kStar: out = {ir::BinOp::kMul, 10}; return true;
+      case Tok::kSlash: out = {ir::BinOp::kDiv, 10}; return true;
+      case Tok::kPercent: out = {ir::BinOp::kMod, 10}; return true;
+      default: return false;
+    }
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      OpInfo info;
+      if (!binop_info(cur().kind, info) || info.prec < min_prec) return lhs;
+      eat();
+      ExprPtr rhs = parse_binary(info.prec + 1);
+      lhs = make_bin(info.op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  ExprPtr parse_unary() {
+    const int l = cur().line, c = cur().col;
+    if (at(Tok::kMinus) || at(Tok::kBang) || at(Tok::kTilde)) {
+      const Tok kind = eat().kind;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->un = kind == Tok::kMinus  ? ir::UnOp::kNeg
+              : kind == Tok::kBang ? ir::UnOp::kLNot
+                                   : ir::UnOp::kBitNot;
+      e->a = parse_unary();
+      e->line = l;
+      e->col = c;
+      return e;
+    }
+    if (at(Tok::kPlus)) { // unary plus is a no-op
+      eat();
+      return parse_unary();
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    for (;;) {
+      if (at(Tok::kDot)) {
+        eat();
+        const Token field = expect(Tok::kIdent);
+        if (e->kind != Expr::Kind::kIdent) fail("'.' on a non-packet value");
+        auto f = std::make_unique<Expr>();
+        f->kind = Expr::Kind::kField;
+        f->name = field.text;
+        f->line = e->line;
+        f->col = e->col;
+        // remember the struct value name so sema can verify it is the
+        // packet parameter
+        f->args.push_back(std::move(e));
+        e = std::move(f);
+      } else if (at(Tok::kLBracket)) {
+        eat();
+        if (e->kind != Expr::Kind::kIdent) fail("'[' on a non-register value");
+        auto r = std::make_unique<Expr>();
+        r->kind = Expr::Kind::kReg;
+        r->name = e->name;
+        r->index = parse_expr();
+        r->line = e->line;
+        r->col = e->col;
+        expect(Tok::kRBracket);
+        e = std::move(r);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_primary() {
+    const int l = cur().line, c = cur().col;
+    if (at(Tok::kIntLit)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIntLit;
+      e->int_value = eat().int_value;
+      e->line = l;
+      e->col = c;
+      return e;
+    }
+    if (at(Tok::kLParen)) {
+      eat();
+      ExprPtr e = parse_expr();
+      expect(Tok::kRParen);
+      return e;
+    }
+    if (at(Tok::kIdent)) {
+      const Token name = eat();
+      if (at(Tok::kLParen)) {
+        eat();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kCall;
+        e->name = name.text;
+        e->line = l;
+        e->col = c;
+        if (!at(Tok::kRParen)) {
+          e->args.push_back(parse_expr());
+          while (at(Tok::kComma)) {
+            eat();
+            e->args.push_back(parse_expr());
+          }
+        }
+        expect(Tok::kRParen);
+        return e;
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIdent;
+      e->name = name.text;
+      e->line = l;
+      e->col = c;
+      return e;
+    }
+    fail("expected an expression, got " + tok_name(cur().kind));
+  }
+
+  // ---- constant expressions (register sizes & initializers) -------------
+  Value parse_const_expr() {
+    ExprPtr e = parse_expr();
+    return fold_const(*e);
+  }
+
+  Value fold_const(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        return e.int_value;
+      case Expr::Kind::kIdent: {
+        auto it = consts_.find(e.name);
+        if (it == consts_.end()) {
+          throw SemanticError("'" + e.name +
+                              "' is not a compile-time constant");
+        }
+        return it->second;
+      }
+      case Expr::Kind::kUnary:
+        return ir::apply_un(e.un, fold_const(*e.a));
+      case Expr::Kind::kBinary:
+        return ir::apply_bin(e.bin, fold_const(*e.a), fold_const(*e.b));
+      case Expr::Kind::kTernary:
+        return fold_const(*e.a) != 0 ? fold_const(*e.b) : fold_const(*e.c);
+      default:
+        throw SemanticError("expression is not a compile-time constant");
+    }
+  }
+
+  // ---- tiny AST factories ------------------------------------------------
+  static ExprPtr make_int(Value v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kIntLit;
+    e->int_value = v;
+    return e;
+  }
+  static ExprPtr make_bin(ir::BinOp op, ExprPtr a, ExprPtr b) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->bin = op;
+    e->line = a->line;
+    e->col = a->col;
+    e->a = std::move(a);
+    e->b = std::move(b);
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, Value> consts_;
+  std::unordered_set<std::string> regs_;
+  std::unordered_map<std::string, TableDecl> tables_;
+};
+
+} // namespace
+
+ExprPtr clone(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->int_value = e.int_value;
+  out->name = e.name;
+  out->un = e.un;
+  out->bin = e.bin;
+  out->line = e.line;
+  out->col = e.col;
+  if (e.index) out->index = clone(*e.index);
+  if (e.a) out->a = clone(*e.a);
+  if (e.b) out->b = clone(*e.b);
+  if (e.c) out->c = clone(*e.c);
+  for (const auto& arg : e.args) out->args.push_back(clone(*arg));
+  return out;
+}
+
+Ast parse(const std::string& source) {
+  return Parser(lex(source)).run();
+}
+
+} // namespace mp5::domino

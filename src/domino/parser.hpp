@@ -1,0 +1,28 @@
+// Recursive-descent parser for the Domino subset.
+//
+// Grammar (loosely):
+//   program   := decl*
+//   decl      := packet_decl | const_decl | reg_decl | func_decl
+//   packet_decl := 'struct' 'Packet' '{' ('int' ident ';')* '}' ';'
+//   const_decl  := 'const' 'int' ident '=' const_expr ';'
+//   reg_decl    := 'int' ident ('[' const_expr ']')? ('=' init)? ';'
+//   init        := const_expr | '{' const_expr (',' const_expr)* '}'
+//   func_decl   := 'void' ident '(' 'struct' 'Packet' ident ')' block
+//   stmt        := assign ';' | 'if' '(' expr ')' stmt_or_block
+//                  ('else' stmt_or_block)?
+//   assign      := lvalue ('='|'+='|'-='|'*=') expr | lvalue '++' | ...
+// Expressions use C precedence; `p.<field>` references packet fields.
+#pragma once
+
+#include <string>
+
+#include "domino/ast.hpp"
+
+namespace mp5::domino {
+
+/// Parse a full Domino program. Throws ParseError on syntax errors and
+/// SemanticError on (the few) semantic issues detectable at parse time,
+/// e.g. duplicate declarations or non-constant initializers.
+Ast parse(const std::string& source);
+
+} // namespace mp5::domino

@@ -1,0 +1,39 @@
+// Pipelining: three-address code -> PVSM (§3.3 phase (ii)).
+//
+// Builds the dataflow DAG over the lowered instructions, fuses every
+// register's accesses (plus the computations between a read and the write
+// it feeds) into a single stateful atom — Banzai's "atomic state operation
+// within one stage" requirement (§2.1) — and assigns atoms to stages by
+// longest-path levelling.
+//
+// Additional MP5-specific policy: by default, stateful atoms are
+// *serialized* so each stage holds at most one register array (unless two
+// atoms have provably mutually-exclusive guards, i.e. the if/else template
+// of Figure 5). This is the compiler behaviour of §3.3: "if there are
+// enough pipeline stages available, the compiler would try to serialize
+// the register array accesses such that a packet accesses at most one
+// register array per stage". With serialization disabled, co-staged
+// register arrays are later pinned to one pipeline by the transformer.
+//
+// Rejected programs (SemanticError):
+//   * accesses of one register with distinct index expressions (a Banzai
+//     atom has a single memory port);
+//   * computations that would require updating two registers atomically
+//     (a dependency cycle between two stateful atoms).
+#pragma once
+
+#include "banzai/ir.hpp"
+#include "domino/lower.hpp"
+
+namespace mp5::domino {
+
+struct PipelineOptions {
+  /// Serialize stateful atoms so each stage has at most one register array
+  /// (mutually-exclusive-guard pairs may share a stage).
+  bool serialize_stateful = true;
+};
+
+ir::Pvsm pipeline(const LoweredProgram& lowered,
+                  const PipelineOptions& options = {});
+
+} // namespace mp5::domino

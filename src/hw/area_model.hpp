@@ -1,0 +1,94 @@
+// Analytic hardware cost model for MP5's new components (§4.2, Table 1).
+//
+// The paper synthesized the System Verilog design with Synopsys DC on the
+// 15 nm NanGate open cell library; that toolchain is not available here, so
+// this model reproduces Table 1 from the published scaling laws and data
+// points (see DESIGN.md, substitutions):
+//   * chip area grows linearly with the number of stages and quadratically
+//     with the number of pipelines, dominated by the k x k crossbars;
+//   * the per-stage constant is calibrated so that k = 4 matches Table 1
+//     exactly (0.21 mm^2/stage); k = 2 then matches exactly and k = 8 is
+//     within ~5% of the published 0.8 mm^2/stage;
+//   * every configuration meets 1 GHz (crossbar depth grows only with
+//     log2 k);
+//   * SRAM overhead is 30 bits per register index: 6 bits of pipeline id
+//     in the index-to-pipeline map, a 16-bit packet access counter and an
+//     8-bit in-flight counter.
+#pragma once
+
+#include <cstdint>
+
+namespace mp5::hw {
+
+struct HwConfig {
+  std::uint32_t pipelines = 4;
+  std::uint32_t stages = 16;
+  std::uint32_t fifo_depth = 8;      // entries per lane (§4.2 uses 8)
+  std::uint32_t phantom_bits = 48;   // phantom packet size (§4.2)
+  std::uint32_t header_bits = 512;   // data packet header size (§4.2)
+};
+
+struct AreaBreakdown {
+  double data_crossbar_mm2 = 0;
+  double phantom_crossbar_mm2 = 0;
+  double fifo_mm2 = 0;
+  double steering_logic_mm2 = 0;
+  double total_mm2 = 0;
+};
+
+/// Total chip area of the MP5-specific components (crossbars, per-stage
+/// FIFOs, steering and sharding logic) for the whole pipeline array.
+AreaBreakdown chip_area(const HwConfig& config);
+
+/// Estimated achievable clock in GHz (critical path through one crossbar
+/// traversal plus FIFO head arbitration).
+double clock_ghz(const HwConfig& config);
+
+/// True when the configuration meets the 1 GHz target of §4.2.
+bool meets_1ghz(const HwConfig& config);
+
+struct SramOverhead {
+  static constexpr std::uint32_t kPipelineBits = 6;
+  static constexpr std::uint32_t kAccessCounterBits = 16;
+  static constexpr std::uint32_t kInFlightBits = 8;
+  static constexpr std::uint32_t kBitsPerIndex =
+      kPipelineBits + kAccessCounterBits + kInFlightBits; // 30 (§4.2)
+};
+
+/// SRAM bytes per pipeline for the index-to-pipeline map and the sharding
+/// counters: stateful_stages * entries_per_stage indexes at 30 bits each.
+double sram_overhead_bytes_per_pipeline(std::uint32_t stateful_stages,
+                                        std::uint64_t entries_per_stage);
+
+/// Published Table 1 totals (mm^2) for comparison, or a negative value if
+/// (pipelines, stages) is not one of the paper's grid points.
+double paper_table1_mm2(std::uint32_t pipelines, std::uint32_t stages);
+
+// --- §3.5.3 future-work extension: chiplet disaggregation -------------
+//
+// The paper sketches spreading the processing pipelines across multiple
+// digital chiplets. Splitting a k-pipeline crossbar into c chiplets turns
+// each full k x k crossbar into c local (k/c x k/c) crossbars plus
+// die-to-die (D2D) serdes links for the cross-chiplet lanes. Area shrinks
+// quadratically per chiplet while the D2D interfaces add a per-crossing
+// cost and a latency penalty that caps the achievable stage clock.
+
+struct ChipletConfig {
+  HwConfig base;
+  std::uint32_t chiplets = 2; // must divide base.pipelines
+};
+
+struct ChipletCost {
+  double local_crossbar_mm2 = 0; // sum over chiplets
+  double d2d_interface_mm2 = 0;  // serdes for cross-chiplet lanes
+  double total_mm2 = 0;
+  /// Achievable clock for stages whose packets cross chiplets.
+  double cross_chiplet_ghz = 0;
+  /// Fraction of uniformly-sprayed steering crossings that leave the
+  /// source chiplet (1 - 1/c), i.e. how often the D2D penalty is paid.
+  double cross_traffic_fraction = 0;
+};
+
+ChipletCost chiplet_cost(const ChipletConfig& config);
+
+} // namespace mp5::hw

@@ -1,0 +1,19 @@
+#include "metrics/c1_checker.hpp"
+
+namespace mp5 {
+
+void C1Checker::on_access(RegId reg, RegIndex index, SeqNo seq) {
+  ++accesses_;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(reg) << 32) | index;
+  auto [it, inserted] = last_seq_.try_emplace(key, seq);
+  if (inserted) return;
+  if (seq < it->second) {
+    // `seq` arrives at the state after a later-arriving packet: inversion.
+    violators_.insert(seq);
+  } else {
+    it->second = seq;
+  }
+}
+
+} // namespace mp5

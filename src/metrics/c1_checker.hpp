@@ -1,0 +1,44 @@
+// Checker for condition C1 (§3): "for each register state, the same set of
+// input packets must access the state and in the same order in both the
+// single and multi-pipelined switch".
+//
+// In a single-pipelined switch the access order at every state is the
+// packet arrival order, so C1 reduces to: at every (reg, index), observed
+// access sequence numbers must be non-decreasing... strictly increasing.
+// A packet "violates C1" when it accesses some state after a packet that
+// arrived later than it already accessed that state (i.e. it participates
+// in an inversion as the late side). The §4.3.2 D4 experiment reports the
+// fraction of packets with at least one such violation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hpp"
+
+namespace mp5 {
+
+class C1Checker {
+public:
+  /// Record that packet `seq` performed an access at (reg, index).
+  void on_access(RegId reg, RegIndex index, SeqNo seq);
+
+  std::uint64_t violating_packets() const { return violators_.size(); }
+  std::uint64_t total_accesses() const { return accesses_; }
+
+  /// Fraction of `total_packets` that violated C1 at least once.
+  double violation_fraction(std::uint64_t total_packets) const {
+    return total_packets == 0
+               ? 0.0
+               : static_cast<double>(violators_.size()) /
+                     static_cast<double>(total_packets);
+  }
+
+private:
+  std::unordered_map<std::uint64_t, SeqNo> last_seq_; // key -> max seq seen
+  std::unordered_set<SeqNo> violators_;
+  std::uint64_t accesses_ = 0;
+};
+
+} // namespace mp5

@@ -1,0 +1,75 @@
+#include "metrics/equivalence.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mp5 {
+
+EquivalenceReport check_equivalence(const ir::Pvsm& program,
+                                    const banzai::ReferenceResult& reference,
+                                    const SimResult& result) {
+  EquivalenceReport report;
+  auto note = [&](const std::string& msg) {
+    if (report.first_difference.empty()) report.first_difference = msg;
+  };
+
+  // Register state. The simulated final_registers may carry extra hidden
+  // arrays (e.g. the flow-order dummy register); compare the declared ones.
+  for (std::size_t r = 0; r < reference.final_registers.size(); ++r) {
+    if (r >= result.final_registers.size()) {
+      report.registers_equal = false;
+      ++report.register_mismatches;
+      note("register array '" + program.registers[r].name + "' missing");
+      continue;
+    }
+    const auto& want = reference.final_registers[r];
+    const auto& got = result.final_registers[r];
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      if (i >= got.size() || want[i] != got[i]) {
+        report.registers_equal = false;
+        ++report.register_mismatches;
+        std::ostringstream os;
+        os << "register " << program.registers[r].name << "[" << i
+           << "]: reference " << want[i] << ", got "
+           << (i < got.size() ? std::to_string(got[i]) : "<missing>");
+        note(os.str());
+      }
+    }
+  }
+
+  // Packet state: compare declared header fields per packet, by seq.
+  std::vector<const EgressRecord*> by_seq(reference.egress_headers.size(),
+                                          nullptr);
+  for (const auto& rec : result.egress) {
+    if (rec.seq < by_seq.size()) by_seq[rec.seq] = &rec;
+  }
+  for (SeqNo seq = 0; seq < reference.egress_headers.size(); ++seq) {
+    const EgressRecord* rec = by_seq[seq];
+    if (rec == nullptr) {
+      report.packets_equal = false;
+      ++report.packet_mismatches;
+      note("packet " + std::to_string(seq) + " never egressed");
+      continue;
+    }
+    bool mismatch = false;
+    for (const auto& [name, slot] : program.declared_slot) {
+      const auto s = static_cast<std::size_t>(slot);
+      const Value want = reference.egress_headers[seq][s];
+      const Value got = s < rec->headers.size() ? rec->headers[s] : 0;
+      if (want != got) {
+        mismatch = true;
+        std::ostringstream os;
+        os << "packet " << seq << " field '" << name << "': reference "
+           << want << ", got " << got;
+        note(os.str());
+      }
+    }
+    if (mismatch) {
+      report.packets_equal = false;
+      ++report.packet_mismatches;
+    }
+  }
+  return report;
+}
+
+} // namespace mp5

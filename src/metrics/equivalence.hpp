@@ -1,0 +1,39 @@
+// Functional-equivalence checking (§2.2.1).
+//
+// A multi-pipelined switch is functionally equivalent to the logical
+// single-pipelined switch when, from the same initial state and input
+// stream (and with no packet loss):
+//   * register state: every register array ends with identical values;
+//   * packet state: every packet leaves with identical header contents.
+// Only declared packet fields are compared — compiler temporaries are
+// scratch metadata, not packet state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "banzai/ir.hpp"
+#include "banzai/single_pipeline.hpp"
+#include "metrics/sim_result.hpp"
+
+namespace mp5 {
+
+struct EquivalenceReport {
+  bool registers_equal = true;
+  bool packets_equal = true;
+  std::uint64_t register_mismatches = 0;
+  std::uint64_t packet_mismatches = 0;
+  std::string first_difference; // human-readable, empty when equivalent
+
+  bool equivalent() const { return registers_equal && packets_equal; }
+};
+
+/// Compare a simulator run against the single-pipeline reference run of the
+/// same program over the same packet stream. `result.egress` must be
+/// recorded and the run must be lossless (drops legitimately break
+/// equivalence, §3.5.1 — callers should check result.drop_fraction() first).
+EquivalenceReport check_equivalence(const ir::Pvsm& program,
+                                    const banzai::ReferenceResult& reference,
+                                    const SimResult& result);
+
+} // namespace mp5

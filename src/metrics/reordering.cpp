@@ -1,0 +1,92 @@
+#include "metrics/reordering.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mp5 {
+namespace {
+
+/// Count inversions by merge sort, O(n log n).
+std::uint64_t count_inversions(std::vector<SeqNo>& v, std::vector<SeqNo>& tmp,
+                               std::size_t lo, std::size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::uint64_t inv = count_inversions(v, tmp, lo, mid) +
+                      count_inversions(v, tmp, mid, hi);
+  std::merge(v.begin() + static_cast<std::ptrdiff_t>(lo),
+             v.begin() + static_cast<std::ptrdiff_t>(mid),
+             v.begin() + static_cast<std::ptrdiff_t>(mid),
+             v.begin() + static_cast<std::ptrdiff_t>(hi),
+             tmp.begin() + static_cast<std::ptrdiff_t>(lo));
+  // Count crossings: elements from the right half placed before remaining
+  // left-half elements.
+  std::size_t i = lo, j = mid;
+  while (i < mid && j < hi) {
+    if (v[j] < v[i]) {
+      inv += mid - i;
+      ++j;
+    } else {
+      ++i;
+    }
+  }
+  std::copy(tmp.begin() + static_cast<std::ptrdiff_t>(lo),
+            tmp.begin() + static_cast<std::ptrdiff_t>(hi),
+            v.begin() + static_cast<std::ptrdiff_t>(lo));
+  return inv;
+}
+
+} // namespace
+
+ReorderingReport analyze_reordering(std::vector<EgressRecord> egress) {
+  ReorderingReport report;
+  report.packets = egress.size();
+  if (egress.size() < 2) return report;
+
+  std::sort(egress.begin(), egress.end(),
+            [](const EgressRecord& a, const EgressRecord& b) {
+              if (a.egress_cycle != b.egress_cycle) {
+                return a.egress_cycle < b.egress_cycle;
+              }
+              return a.seq < b.seq;
+            });
+
+  // Arrival ranks: seqs are not necessarily dense (drops) — rank them.
+  std::vector<SeqNo> seqs_sorted;
+  seqs_sorted.reserve(egress.size());
+  for (const auto& rec : egress) seqs_sorted.push_back(rec.seq);
+  std::sort(seqs_sorted.begin(), seqs_sorted.end());
+  std::unordered_map<SeqNo, std::uint64_t> arrival_rank;
+  for (std::size_t i = 0; i < seqs_sorted.size(); ++i) {
+    arrival_rank[seqs_sorted[i]] = i;
+  }
+
+  std::vector<SeqNo> order;
+  order.reserve(egress.size());
+  std::unordered_map<std::uint64_t, SeqNo> flow_max;
+  for (std::size_t i = 0; i < egress.size(); ++i) {
+    const auto& rec = egress[i];
+    order.push_back(rec.seq);
+    const std::uint64_t rank = arrival_rank[rec.seq];
+    const std::uint64_t displacement =
+        rank > i ? rank - i : i - rank;
+    report.max_displacement = std::max(report.max_displacement, displacement);
+    auto [it, inserted] = flow_max.try_emplace(rec.flow, rec.seq);
+    if (!inserted) {
+      if (rec.seq < it->second) {
+        ++report.intra_flow_reordered;
+      } else {
+        it->second = rec.seq;
+      }
+    }
+  }
+
+  std::vector<SeqNo> tmp(order.size());
+  report.inversions = count_inversions(order, tmp, 0, order.size());
+  const double pairs = static_cast<double>(report.packets) *
+                       static_cast<double>(report.packets - 1) / 2.0;
+  report.kendall_tau =
+      1.0 - 2.0 * static_cast<double>(report.inversions) / pairs;
+  return report;
+}
+
+} // namespace mp5

@@ -1,0 +1,33 @@
+// Packet reordering analysis (§3.4 "Handling starvation and packet
+// re-ordering"): quantifies how far egress order departs from arrival
+// order, globally and within flows — the effect that hurts TCP-like
+// protocols and that the flow-order dummy stage eliminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace mp5 {
+
+struct ReorderingReport {
+  std::uint64_t packets = 0;
+  /// Pairs (i, j) with arrival i < j but egress j before i.
+  std::uint64_t inversions = 0;
+  /// Kendall rank correlation between arrival and egress order:
+  /// 1 = identical order, -1 = fully reversed.
+  double kendall_tau = 1.0;
+  /// Max |egress rank - arrival rank| over all packets.
+  std::uint64_t max_displacement = 0;
+  /// Packets that egressed before some earlier-arrived packet of the
+  /// *same flow* (the §3.4 per-flow concern).
+  std::uint64_t intra_flow_reordered = 0;
+};
+
+/// Analyze egress records (any order; egress order is reconstructed from
+/// egress_cycle, ties broken by seq — same-cycle departures on different
+/// pipelines count as in-order).
+ReorderingReport analyze_reordering(std::vector<EgressRecord> egress);
+
+} // namespace mp5

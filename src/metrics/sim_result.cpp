@@ -1,0 +1,25 @@
+#include "metrics/sim_result.hpp"
+
+#include <algorithm>
+
+namespace mp5 {
+
+double SimResult::input_rate() const {
+  if (offered == 0) return 0.0;
+  const Cycle window = last_arrival >= first_arrival
+                           ? last_arrival - first_arrival + 1
+                           : 1;
+  return static_cast<double>(offered) / static_cast<double>(window);
+}
+
+double SimResult::normalized_throughput() const {
+  if (offered == 0 || egressed == 0) return 0.0;
+  const Cycle drain = last_egress >= first_arrival
+                          ? last_egress - first_arrival + 1
+                          : 1;
+  const double delivered_rate =
+      static_cast<double>(egressed) / static_cast<double>(drain);
+  return std::min(1.0, delivered_rate / input_rate());
+}
+
+} // namespace mp5

@@ -1,0 +1,66 @@
+// Result record common to all switch simulators (MP5, baselines).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+
+namespace mp5 {
+
+struct SimResult {
+  // --- packet accounting ---
+  std::uint64_t offered = 0;
+  std::uint64_t egressed = 0;
+  std::uint64_t dropped_phantom = 0; // phantoms dropped at bounded FIFOs
+  std::uint64_t dropped_data = 0;    // data packets dropped (missing phantom)
+  std::uint64_t dropped_starved = 0; // stateless drops by the §3.4 guard
+  std::uint64_t ecn_marked = 0;      // §3.4 backpressure marks
+
+  // --- timing ---
+  Cycle first_arrival = 0;
+  Cycle last_arrival = 0;
+  Cycle last_egress = 0;
+  Cycle cycles_run = 0;
+
+  // --- MP5 mechanics ---
+  std::uint64_t steers = 0;        // inter-pipeline crossbar traversals
+  std::uint64_t wasted_cycles = 0; // cancelled-phantom pop slots
+  std::uint64_t blocked_cycles = 0;
+  std::uint64_t remap_moves = 0;
+  std::uint64_t recirculations = 0; // recirculation baseline only
+  std::size_t max_queue_depth = 0;  // entries at any (pipeline, stage) FIFO
+
+  // --- correctness ---
+  std::uint64_t c1_violating_packets = 0;
+  std::uint64_t reordered_flow_packets = 0; // egress inversions within a flow
+
+  // --- final state (for equivalence checks) ---
+  std::vector<std::vector<Value>> final_registers;
+  std::vector<EgressRecord> egress; // sorted by seq when recorded
+
+  /// Packet throughput normalized to the input packet rate, the paper's
+  /// §4.3 metric. Offered N packets over the arrival window at rate r,
+  /// drained by `last_egress`: delivered-rate / offered-rate.
+  double normalized_throughput() const;
+
+  /// Measured input rate in packets per cycle.
+  double input_rate() const;
+
+  /// Fraction of processed packets that violated C1 at least once.
+  /// (Packets dropped at ingress never touched state and are excluded.)
+  double c1_fraction() const {
+    return egressed == 0 ? 0.0
+                         : static_cast<double>(c1_violating_packets) /
+                               static_cast<double>(egressed);
+  }
+
+  double drop_fraction() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(offered - egressed) /
+                              static_cast<double>(offered);
+  }
+};
+
+} // namespace mp5

@@ -1,0 +1,83 @@
+#include "mp5/admissibility.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "packet/packet.hpp"
+
+namespace mp5 {
+namespace {
+
+/// Register file stub for the (pure) resolver instructions.
+class NullRegs final : public ir::RegFile {
+public:
+  Value read(RegId, RegIndex) override { return 0; }
+  void write(RegId, RegIndex, Value) override {}
+};
+
+} // namespace
+
+AdmissibilityReport analyze_admissibility(const Mp5Program& program,
+                                          const Trace& trace,
+                                          std::uint32_t pipelines) {
+  AdmissibilityReport report;
+  if (trace.empty() || pipelines == 0) return report;
+
+  NullRegs regs;
+  std::unordered_map<std::uint64_t, std::uint64_t> state_hits;
+  std::unordered_map<StageId, std::uint64_t> stage_hits;
+
+  for (const auto& item : trace) {
+    std::vector<Value> headers(program.pvsm.num_slots(), 0);
+    for (std::size_t i = 0; i < item.fields.size() && i < headers.size();
+         ++i) {
+      headers[i] = item.fields[i];
+    }
+    for (const auto& instr : program.resolver) {
+      ir::exec_instr(instr, headers, regs, program.pvsm.registers);
+    }
+    for (const auto& desc : program.accesses) {
+      if (desc.guard != ir::kNoSlot && desc.guard_resolvable) {
+        const bool truthy =
+            headers[static_cast<std::size_t>(desc.guard)] != 0;
+        if (desc.guard_negate ? truthy : !truthy) continue;
+      }
+      const RegIndex index =
+          desc.index_resolvable
+              ? ir::resolve_index(desc.index, headers,
+                                  program.pvsm.registers[desc.reg].size)
+              : kUnresolvedIndex; // pinned array: one serial pool
+      ++state_hits[(static_cast<std::uint64_t>(desc.reg) << 32) | index];
+      ++stage_hits[desc.stage];
+    }
+  }
+
+  const double n = static_cast<double>(trace.size());
+  for (const auto& [key, hits] : state_hits) {
+    const double fraction = static_cast<double>(hits) / n;
+    if (fraction > report.hottest_state_fraction) {
+      report.hottest_state_fraction = fraction;
+      report.hottest_reg = static_cast<RegId>(key >> 32);
+      report.hottest_index = static_cast<RegIndex>(key & 0xffffffffu);
+    }
+  }
+  for (const auto& [stage, hits] : stage_hits) {
+    const double load = static_cast<double>(hits) / n;
+    if (load > report.hottest_stage_load) {
+      report.hottest_stage_load = load;
+      report.hottest_stage = stage;
+    }
+  }
+
+  double bound = 1.0;
+  if (report.hottest_state_fraction > 0.0) {
+    bound = std::min(bound, 1.0 / (pipelines * report.hottest_state_fraction));
+  }
+  if (report.hottest_stage_load > 0.0) {
+    bound = std::min(bound, 1.0 / report.hottest_stage_load);
+  }
+  report.bound = std::min(1.0, bound);
+  return report;
+}
+
+} // namespace mp5

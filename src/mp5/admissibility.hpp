@@ -1,0 +1,49 @@
+// Fundamental throughput bounds (§3.5.2): "maximum packet processing rate
+// is a function of the packet processing program being implemented".
+//
+// Given a program and a trace, this analyzer computes how fast ANY
+// k-pipeline design respecting Banzai's one-access-per-state-per-cycle
+// rule could process it:
+//   * per-state serial bound — a single (reg, index) serves one packet per
+//     cycle, so throughput <= 1 / (k * f_max) of line rate, where f_max is
+//     the largest fraction of packets accessing one state (a global
+//     counter has f_max = 1: the 1/k limit of the paper's example);
+//   * per-stage aggregate bound — a stage's k pipeline copies serve k
+//     accesses per cycle, so throughput <= 1 / f_stage, where f_stage is
+//     the average number of accesses per packet at that stage (1 when
+//     every packet is stateful there).
+// The reported bound is the minimum. Measured MP5 throughput can approach
+// but never exceed it; the gap is MP5's practical overhead (§3.5.2's HOL
+// blocking and heuristic sharding).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mp5/transform.hpp"
+#include "trace/trace.hpp"
+
+namespace mp5 {
+
+struct AdmissibilityReport {
+  /// Largest per-(reg, index) access fraction and where it occurs.
+  double hottest_state_fraction = 0.0;
+  RegId hottest_reg = 0;
+  RegIndex hottest_index = 0;
+  /// Largest per-stage accesses-per-packet.
+  double hottest_stage_load = 0.0;
+  StageId hottest_stage = 0;
+  /// Upper bound on normalized throughput for k pipelines.
+  double bound = 1.0;
+};
+
+/// Analyze a trace against a compiled MP5 program for a k-pipeline switch.
+/// Uses the same address-resolution logic as the simulator (resolvable
+/// guards respected; conservative accesses counted as taken; unresolvable
+/// indexes pool into one per-array serial state, reflecting the pinned
+/// fallback).
+AdmissibilityReport analyze_admissibility(const Mp5Program& program,
+                                          const Trace& trace,
+                                          std::uint32_t pipelines);
+
+} // namespace mp5

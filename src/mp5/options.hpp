@@ -1,0 +1,84 @@
+// Configuration of the MP5 switch simulator and its ablated variants.
+#pragma once
+
+#include <cstdint>
+
+#include "mp5/shard_map.hpp"
+#include "mp5/timeline.hpp"
+
+namespace mp5 {
+
+struct SimOptions {
+  /// Number of parallel pipelines (k). The paper's default is 4 (§4.3.1).
+  std::uint32_t pipelines = 4;
+
+  /// Per-lane FIFO capacity at each stateful stage; 0 = unbounded, which
+  /// models the paper's "dynamically adapt per-stage FIFO sizes to ensure
+  /// no packet loss" simulator configuration (§4.3.1). The ASIC sizing of
+  /// §4.2 uses 8 entries per lane.
+  std::size_t fifo_capacity = 0;
+
+  /// Dynamic-state-sharding period in cycles (Figure 6 runs "every few
+  /// 100s of clock cycles"; the experiments use 100). Ignored for static
+  /// sharding policies.
+  std::uint32_t remap_period = 100;
+
+  ShardingPolicy sharding = ShardingPolicy::kDynamic;
+
+  /// Model the phantom channel as a physical pipeline: a phantom
+  /// generated at arrival hops one stage per cycle on its dedicated
+  /// channel and reaches stage s after s cycles (the data packet needs at
+  /// least s+1: ingress plus per-stage processing, so phantoms still
+  /// always precede their data packets — Invariant 1). When false,
+  /// phantoms are delivered in the arrival cycle (an equivalent
+  /// simplification; see DESIGN.md).
+  bool realistic_phantom_channel = false;
+
+  /// Design principle D4 (phantom packets). Disabling reproduces the
+  /// "MP5 w/ D1-D3 but w/o D4" ablation of Figure 3 / §4.3.2: stateful
+  /// packets are queued directly on arrival at the stateful stage, so
+  /// ordering holds only among packets already present.
+  bool phantoms = true;
+
+  /// Ideal MP5 upper bound (§3.5.2/§4.3.3): per-register-index ordering
+  /// (no head-of-line blocking), free reclamation of cancelled phantoms.
+  /// Usually combined with ShardingPolicy::kIdealLpt.
+  bool ideal_queues = false;
+
+  /// Naive shared-memory design from D1's discussion: all state pinned to
+  /// pipeline 0 and every packet admitted to pipeline 0. Forces
+  /// ShardingPolicy::kSinglePipeline.
+  bool naive_single_pipeline = false;
+
+  /// Starvation guard (§3.4): when a stage's oldest queued stateful entry
+  /// has waited more than this many cycles, an arriving stateless
+  /// pass-through packet is dropped instead of being served with priority,
+  /// freeing the slot for the queue. Invariant 2 still holds (the
+  /// stateless packet is dropped, never queued). 0 = disabled.
+  std::uint64_t starvation_threshold = 0;
+
+  /// ECN-style backpressure (§3.4): mark a data packet when it joins a
+  /// stage FIFO whose occupancy exceeds this threshold. The mark is
+  /// metadata (SimResult::ecn_marked counts them); a sender reacting to it
+  /// is outside the switch model. 0 = disabled.
+  std::size_t ecn_threshold = 0;
+
+  /// Safety valve for runaway runs; tests assert it is never hit.
+  std::uint64_t max_cycles = 5'000'000;
+
+  /// Record per-packet egress headers (needed for equivalence checks).
+  bool record_egress = false;
+
+  /// Track C1 violations via the access log.
+  bool check_c1 = true;
+
+  /// Track per-flow egress reordering.
+  bool track_flow_reordering = false;
+
+  std::uint64_t seed = 1;
+
+  /// Optional per-event instrumentation hook (tests, mp5sim --timeline).
+  TimelineHook timeline;
+};
+
+} // namespace mp5

@@ -1,0 +1,70 @@
+#include "mp5/partition.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mp5 {
+
+PartitionedSwitch::PartitionedSwitch(std::vector<PartitionSpec> partitions,
+                                     std::uint32_t total_pipelines)
+    : partitions_(std::move(partitions)) {
+  if (partitions_.empty()) {
+    throw ConfigError("PartitionedSwitch: at least one partition required");
+  }
+  std::uint32_t used = 0;
+  for (const auto& part : partitions_) {
+    if (part.program == nullptr) {
+      throw ConfigError("PartitionedSwitch: partition '" + part.name +
+                        "' has no program");
+    }
+    if (part.pipelines == 0) {
+      throw ConfigError("PartitionedSwitch: partition '" + part.name +
+                        "' has no pipelines");
+    }
+    used += part.pipelines;
+  }
+  if (used != total_pipelines) {
+    throw ConfigError(
+        "PartitionedSwitch: partitions use " + std::to_string(used) +
+        " pipelines, switch has " + std::to_string(total_pipelines));
+  }
+}
+
+std::vector<PartitionResult> PartitionedSwitch::run(
+    const Trace& trace, const PartitionClassifier& classify) {
+  if (!classify) throw ConfigError("PartitionedSwitch: classifier required");
+  std::vector<Trace> sub(partitions_.size());
+  for (const auto& item : trace) {
+    const std::size_t idx = classify(item);
+    if (idx >= partitions_.size()) {
+      throw ConfigError("PartitionedSwitch: classifier returned partition " +
+                        std::to_string(idx) + " of " +
+                        std::to_string(partitions_.size()));
+    }
+    sub[idx].push_back(item);
+  }
+  std::vector<PartitionResult> results;
+  results.reserve(partitions_.size());
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    SimOptions opts = partitions_[i].options;
+    opts.pipelines = partitions_[i].pipelines;
+    Mp5Simulator sim(*partitions_[i].program, opts);
+    results.push_back(PartitionResult{partitions_[i].name, sim.run(sub[i])});
+  }
+  return results;
+}
+
+double PartitionedSwitch::aggregate_throughput(
+    const std::vector<PartitionResult>& results) {
+  double offered_rate = 0.0, delivered_rate = 0.0;
+  for (const auto& part : results) {
+    const auto& r = part.result;
+    if (r.offered == 0) continue;
+    offered_rate += r.input_rate();
+    delivered_rate += r.input_rate() * r.normalized_throughput();
+  }
+  return offered_rate == 0.0 ? 0.0 : delivered_rate / offered_rate;
+}
+
+} // namespace mp5

@@ -1,0 +1,62 @@
+// Multiple independent logical MP5 switches on one physical switch
+// (§3.1, footnote 1): "MP5 programs a subset m of k pipelines with the
+// same program ... allowing the programmers to program the remaining
+// pipelines with some other packet processing programs, thus creating
+// multiple independent logical MP5, each with varying number of parallel
+// pipelines."
+//
+// Partitions do not share pipelines or state, so the composite switch is
+// exactly the product of the per-partition simulations: a front-end
+// classifier routes each arriving packet to its program's partition, and
+// each partition is an independent Mp5Simulator over its pipeline subset.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/sim_result.hpp"
+#include "mp5/simulator.hpp"
+#include "mp5/transform.hpp"
+#include "trace/trace.hpp"
+
+namespace mp5 {
+
+/// Chooses the partition (by index) for an arriving packet.
+using PartitionClassifier = std::function<std::size_t(const TraceItem&)>;
+
+struct PartitionSpec {
+  std::string name;
+  const Mp5Program* program = nullptr;
+  /// Number of physical pipelines dedicated to this logical MP5.
+  std::uint32_t pipelines = 0;
+  /// Per-partition simulator options; `pipelines` above overrides the
+  /// field inside.
+  SimOptions options;
+};
+
+struct PartitionResult {
+  std::string name;
+  SimResult result;
+};
+
+class PartitionedSwitch {
+public:
+  /// total_pipelines must equal the sum of the partitions' pipelines —
+  /// the physical switch is fully divided.
+  PartitionedSwitch(std::vector<PartitionSpec> partitions,
+                    std::uint32_t total_pipelines);
+
+  /// Classify and run. The trace must be sorted by arrival.
+  std::vector<PartitionResult> run(const Trace& trace,
+                                   const PartitionClassifier& classify);
+
+  /// Aggregate normalized throughput: delivered rate over offered rate
+  /// across all partitions.
+  static double aggregate_throughput(const std::vector<PartitionResult>& r);
+
+private:
+  std::vector<PartitionSpec> partitions_;
+};
+
+} // namespace mp5

@@ -1,0 +1,174 @@
+#include "mp5/shard_map.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "packet/packet.hpp"
+
+namespace mp5 {
+
+ShardedState::ShardedState(const std::vector<ir::RegisterSpec>& specs,
+                           const std::vector<bool>& shardable,
+                           std::uint32_t pipelines, ShardingPolicy policy,
+                           Rng rng)
+    : k_(pipelines), policy_(policy), shardable_(shardable) {
+  if (pipelines == 0) throw ConfigError("ShardedState: pipelines must be > 0");
+  if (shardable_.size() != specs.size()) {
+    throw ConfigError("ShardedState: shardable mask size mismatch");
+  }
+  for (const auto& spec : specs) {
+    std::vector<Value> arr(spec.size, 0);
+    for (std::size_t i = 0; i < spec.init.size() && i < spec.size; ++i) {
+      arr[i] = spec.init[i];
+    }
+    if (spec.init.size() == 1) std::fill(arr.begin(), arr.end(), spec.init[0]);
+    values_.push_back(std::move(arr));
+  }
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    PerReg per;
+    per.map.assign(specs[r].size, pin_pipeline());
+    per.access.assign(specs[r].size, 0);
+    per.in_flight.assign(specs[r].size, 0);
+    if (shardable_[r] && policy_ != ShardingPolicy::kSinglePipeline) {
+      // Initial placement: uniform random spread across pipelines. Every
+      // policy starts from the same kind of compile-time placement; the
+      // policies differ only in whether/how they rebalance.
+      for (auto& p : per.map) {
+        p = static_cast<PipelineId>(rng.next_below(k_));
+      }
+    }
+    regs_.push_back(std::move(per));
+  }
+}
+
+Value ShardedState::read(RegId reg, RegIndex index) {
+  return values_[reg][index];
+}
+
+void ShardedState::write(RegId reg, RegIndex index, Value v) {
+  values_[reg][index] = v;
+}
+
+PipelineId ShardedState::pipeline_of(RegId reg, RegIndex index) const {
+  if (!shardable_[reg] || policy_ == ShardingPolicy::kSinglePipeline) {
+    return pin_pipeline();
+  }
+  if (index == kUnresolvedIndex) return pin_pipeline();
+  return regs_[reg].map[index];
+}
+
+void ShardedState::note_resolved(RegId reg, RegIndex index) {
+  if (index == kUnresolvedIndex) return;
+  auto& per = regs_[reg];
+  ++per.access[index];
+  ++per.in_flight[index];
+}
+
+void ShardedState::note_completed(RegId reg, RegIndex index) {
+  if (index == kUnresolvedIndex) return;
+  auto& per = regs_[reg];
+  if (per.in_flight[index] == 0) {
+    throw Error("ShardedState: in-flight counter underflow");
+  }
+  --per.in_flight[index];
+}
+
+std::vector<std::uint64_t> ShardedState::pipeline_load(RegId reg) const {
+  std::vector<std::uint64_t> load(k_, 0);
+  const auto& per = regs_[reg];
+  for (std::size_t i = 0; i < per.map.size(); ++i) {
+    load[per.map[i]] += per.access[i];
+  }
+  return load;
+}
+
+std::size_t ShardedState::rebalance() {
+  if (policy_ == ShardingPolicy::kStaticRandom ||
+      policy_ == ShardingPolicy::kSinglePipeline || k_ == 1) {
+    // Static policies never move state, but the access counters still
+    // reset each period (they are windowed statistics).
+    for (auto& per : regs_) {
+      std::fill(per.access.begin(), per.access.end(), 0);
+    }
+    return 0;
+  }
+  std::size_t moves = 0;
+  for (RegId r = 0; r < regs_.size(); ++r) {
+    if (!shardable_[r]) continue;
+    moves += policy_ == ShardingPolicy::kIdealLpt ? rebalance_lpt(r)
+                                                  : rebalance_one(r);
+    auto& per = regs_[r];
+    std::fill(per.access.begin(), per.access.end(), 0);
+  }
+  total_moves_ += moves;
+  return moves;
+}
+
+std::size_t ShardedState::rebalance_one(RegId reg) {
+  // Figure 6: find pipelines H (max aggregate counter) and L (min); move
+  // the index mapped to H with the largest counter value < (cmax-cmin)/2,
+  // provided its in-flight counter is zero.
+  auto& per = regs_[reg];
+  const auto load = pipeline_load(reg);
+  const auto hi =
+      std::max_element(load.begin(), load.end()) - load.begin();
+  const auto lo =
+      std::min_element(load.begin(), load.end()) - load.begin();
+  if (hi == lo || load[hi] == load[lo]) return 0;
+  const std::uint64_t threshold = (load[hi] - load[lo]) / 2;
+
+  // Candidates in decreasing counter order (skipping in-flight indexes,
+  // per the §3.4 safety rule).
+  std::int64_t best = -1;
+  std::uint64_t best_ctr = 0;
+  for (std::size_t i = 0; i < per.map.size(); ++i) {
+    if (per.map[i] != static_cast<PipelineId>(hi)) continue;
+    if (per.access[i] >= threshold) continue;
+    if (per.in_flight[i] != 0) continue;
+    if (best < 0 || per.access[i] > best_ctr) {
+      best = static_cast<std::int64_t>(i);
+      best_ctr = per.access[i];
+    }
+  }
+  if (best < 0) return 0;
+  per.map[static_cast<std::size_t>(best)] = static_cast<PipelineId>(lo);
+  return 1;
+}
+
+std::size_t ShardedState::rebalance_lpt(RegId reg) {
+  // Ideal baseline: longest-processing-time greedy re-shard — sort indexes
+  // by access count and place each on the least-loaded pipeline. Indexes
+  // with packets in flight stay put (they seed the initial loads).
+  auto& per = regs_[reg];
+  std::vector<std::uint64_t> load(k_, 0);
+  std::vector<std::size_t> movable;
+  movable.reserve(per.map.size());
+  for (std::size_t i = 0; i < per.map.size(); ++i) {
+    // Indexes with zero recent accesses stay put: re-homing them carries
+    // no load now but would herd all cold state onto one pipeline, making
+    // the *next* window's accesses collide there.
+    if (per.in_flight[i] != 0 || per.access[i] == 0) {
+      load[per.map[i]] += per.access[i];
+    } else {
+      movable.push_back(i);
+    }
+  }
+  std::sort(movable.begin(), movable.end(), [&](std::size_t a, std::size_t b) {
+    if (per.access[a] != per.access[b]) return per.access[a] > per.access[b];
+    return a < b;
+  });
+  std::size_t moves = 0;
+  for (const std::size_t i : movable) {
+    const auto target = static_cast<PipelineId>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[target] += per.access[i];
+    if (per.map[i] != target) {
+      per.map[i] = target;
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+} // namespace mp5

@@ -1,0 +1,89 @@
+// Dynamically sharded shared register state (design principle D2, §3.4).
+//
+// The compiler allocates a full copy of every register array in the same
+// stage of each pipeline, but at runtime each index is "active" in exactly
+// one pipeline; the index-to-pipeline map tracks where. MP5 maintains a
+// per-index packet-access counter (incremented at address resolution) and
+// an in-flight counter (incremented at resolution, decremented once the
+// packet has performed the access), and periodically rebalances with the
+// Figure 6 heuristic. An index is only moved when its in-flight counter is
+// zero, so steering tags in flight never go stale.
+//
+// Because accesses are only ever performed at an index's active pipeline,
+// the simulator stores a single flat value per index; the per-pipeline
+// replicas of the paper differ only physically, not observably.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "banzai/ir.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mp5 {
+
+enum class ShardingPolicy {
+  /// Figure 6 heuristic every remap period (the MP5 default).
+  kDynamic,
+  /// Random compile-time sharding, never updated (the no-D2 baseline of
+  /// §4.3.2).
+  kStaticRandom,
+  /// Everything in pipeline 0 (the naive shared-memory design of D1).
+  kSinglePipeline,
+  /// Near-optimal rebalancing: full greedy LPT re-shard each period
+  /// (the "optimal bin packing" side of the ideal baseline, §4.3.3).
+  kIdealLpt,
+};
+
+class ShardedState final : public ir::RegFile {
+public:
+  ShardedState(const std::vector<ir::RegisterSpec>& specs,
+               const std::vector<bool>& shardable, std::uint32_t pipelines,
+               ShardingPolicy policy, Rng rng);
+
+  // -- RegFile (flat storage; see header comment) --
+  Value read(RegId reg, RegIndex index) override;
+  void write(RegId reg, RegIndex index, Value v) override;
+
+  /// Active pipeline of (reg, index). Pinned arrays always map to the pin
+  /// pipeline regardless of index (callers may pass kUnresolvedIndex).
+  PipelineId pipeline_of(RegId reg, RegIndex index) const;
+
+  bool shardable(RegId reg) const { return shardable_[reg]; }
+  PipelineId pin_pipeline() const { return 0; }
+
+  /// Address-resolution bookkeeping (§3.4).
+  void note_resolved(RegId reg, RegIndex index); // access ctr +1, in-flight +1
+  void note_completed(RegId reg, RegIndex index); // in-flight -1
+
+  /// Run the periodic rebalance for every shardable register array.
+  /// Returns the number of indexes moved.
+  std::size_t rebalance();
+
+  /// Aggregate per-pipeline access-counter load for one register array
+  /// under the current mapping (exposed for tests and benches).
+  std::vector<std::uint64_t> pipeline_load(RegId reg) const;
+
+  std::uint64_t total_moves() const { return total_moves_; }
+  const std::vector<std::vector<Value>>& storage() const { return values_; }
+
+private:
+  struct PerReg {
+    std::vector<PipelineId> map;          // index -> active pipeline
+    std::vector<std::uint32_t> access;    // reset each rebalance
+    std::vector<std::uint32_t> in_flight;
+  };
+
+  std::size_t rebalance_one(RegId reg);      // Figure 6 heuristic
+  std::size_t rebalance_lpt(RegId reg);      // ideal LPT re-shard
+
+  std::uint32_t k_;
+  ShardingPolicy policy_;
+  std::vector<bool> shardable_;
+  std::vector<std::vector<Value>> values_;
+  std::vector<PerReg> regs_;
+  std::uint64_t total_moves_ = 0;
+};
+
+} // namespace mp5

@@ -1,0 +1,534 @@
+#include "mp5/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mp5 {
+namespace {
+
+/// Access observer that feeds the C1 checker, collapsing one packet's
+/// read-modify-write of a state into a single logical access.
+struct C1Observer final : ir::AccessObserver {
+  void on_state_access(RegId reg, RegIndex index, bool /*is_write*/) override {
+    if (seen && reg == last_reg && index == last_index) return;
+    checker->on_access(reg, index, seq);
+    last_reg = reg;
+    last_index = index;
+    seen = true;
+  }
+  C1Checker* checker = nullptr;
+  SeqNo seq = 0;
+  RegId last_reg = ir::kNoReg;
+  RegIndex last_index = 0;
+  bool seen = false;
+};
+
+bool entry_live(const PlannedAccess& e) { return !e.done && !e.cancelled; }
+
+} // namespace
+
+const char* to_string(TimelineEvent::Kind kind) {
+  switch (kind) {
+    case TimelineEvent::Kind::kAdmit: return "admit";
+    case TimelineEvent::Kind::kPhantomPush: return "phantom";
+    case TimelineEvent::Kind::kPassThrough: return "pass";
+    case TimelineEvent::Kind::kInsert: return "insert";
+    case TimelineEvent::Kind::kPopData: return "pop";
+    case TimelineEvent::Kind::kPopWasted: return "wasted";
+    case TimelineEvent::Kind::kBlocked: return "blocked";
+    case TimelineEvent::Kind::kSteer: return "steer";
+    case TimelineEvent::Kind::kCancel: return "cancel";
+    case TimelineEvent::Kind::kEgress: return "egress";
+    case TimelineEvent::Kind::kDropData: return "drop";
+    case TimelineEvent::Kind::kDropStarved: return "drop_starved";
+  }
+  return "?";
+}
+
+Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
+    : prog_(&program), opts_(options) {
+  if (opts_.pipelines == 0) throw ConfigError("pipelines must be > 0");
+  if (opts_.naive_single_pipeline) {
+    opts_.sharding = ShardingPolicy::kSinglePipeline;
+  }
+  k_ = opts_.pipelines;
+  num_stages_ = prog_->num_stages;
+
+  Rng rng(opts_.seed);
+  state_ = std::make_unique<ShardedState>(prog_->pvsm.registers,
+                                          prog_->shardable, k_, opts_.sharding,
+                                          rng.fork());
+  fifos_.resize(k_);
+  arrivals_.resize(k_);
+  for (PipelineId p = 0; p < k_; ++p) {
+    arrivals_[p].resize(num_stages_);
+    fifos_[p].reserve(num_stages_);
+    for (StageId s = 0; s < num_stages_; ++s) {
+      fifos_[p].emplace_back(k_, opts_.fifo_capacity, opts_.ideal_queues);
+    }
+  }
+  ingress_.resize(k_);
+}
+
+SimResult Mp5Simulator::run(const Trace& trace) {
+  trace_ = &trace;
+  cursor_ = 0;
+  result_ = SimResult{};
+  result_.offered = 0;
+
+  Cycle now = 0;
+  bool first = true;
+  while (work_remaining()) {
+    if (now >= opts_.max_cycles) {
+      throw Error("Mp5Simulator: max_cycles exceeded (deadlock or overload?)");
+    }
+    // 1. Arrivals for this cycle (trace is pre-sorted by (time, port)).
+    while (cursor_ < trace_->size() &&
+           (*trace_)[cursor_].arrival_time < static_cast<double>(now + 1)) {
+      admit((*trace_)[cursor_], now);
+      ++cursor_;
+      if (first) {
+        result_.first_arrival = now;
+        first = false;
+      }
+      result_.last_arrival = now;
+    }
+    // 1b. Phantom channel: deliver phantoms whose hop count has elapsed.
+    if (opts_.realistic_phantom_channel) deliver_due_phantoms(now);
+    // 2. Ingress: each pipeline admits one packet into the AR stage.
+    for (PipelineId p = 0; p < k_; ++p) {
+      if (!ingress_[p].empty()) {
+        arrivals_[p][0].push_back(Arrived{std::move(ingress_[p].front()), p});
+        ingress_[p].pop_front();
+      }
+    }
+    // 3. Stage processing, last stage first so packets move one stage per
+    //    cycle (outputs land in already-processed downstream cells).
+    for (StageId st = num_stages_; st-- > 0;) {
+      for (PipelineId p = 0; p < k_; ++p) step_cell(p, st, now);
+    }
+    // 4. Periodic dynamic state sharding (Figure 6).
+    if (opts_.remap_period != 0 &&
+        (now + 1) % opts_.remap_period == 0) {
+      result_.remap_moves += state_->rebalance();
+    }
+    ++now;
+  }
+  result_.cycles_run = now;
+  result_.final_registers = state_->storage();
+  result_.c1_violating_packets = c1_.violating_packets();
+  for (const auto& per_pipe : fifos_) {
+    for (const auto& fifo : per_pipe) {
+      result_.max_queue_depth =
+          std::max(result_.max_queue_depth, fifo.high_water());
+    }
+  }
+  std::sort(result_.egress.begin(), result_.egress.end(),
+            [](const EgressRecord& a, const EgressRecord& b) {
+              return a.seq < b.seq;
+            });
+  return std::move(result_);
+}
+
+void Mp5Simulator::deliver_due_phantoms(Cycle now) {
+  // Collect everything due, then push in global arrival (seq) order so
+  // every FIFO receives its phantoms in generation order (Invariant 1).
+  std::vector<PendingPhantom> due;
+  while (!channel_.empty() && channel_.begin()->first <= now) {
+    channel_index_.erase(channel_key(channel_.begin()->second.seq,
+                                     channel_.begin()->second.pipeline,
+                                     channel_.begin()->second.stage));
+    due.push_back(channel_.begin()->second);
+    channel_.erase(channel_.begin());
+  }
+  std::sort(due.begin(), due.end(),
+            [](const PendingPhantom& a, const PendingPhantom& b) {
+              return a.seq < b.seq;
+            });
+  for (const auto& pending : due) {
+    auto& fifo = fifos_[pending.pipeline][pending.stage];
+    if (!fifo.push_phantom(pending.seq, pending.reg, pending.index,
+                           pending.lane, now)) {
+      ++result_.dropped_phantom;
+      continue; // the data packet will miss its placeholder and be dropped
+    }
+    emit(TimelineEvent::Kind::kPhantomPush, now, pending.pipeline,
+         pending.stage, pending.seq);
+    if (pending.cancelled) {
+      // Cancelled while in flight: arrives as a zombie (one wasted pop).
+      fifo.cancel(pending.seq);
+      emit(TimelineEvent::Kind::kCancel, now, pending.pipeline,
+           pending.stage, pending.seq);
+    }
+  }
+}
+
+bool Mp5Simulator::work_remaining() const {
+  return live_packets_ > 0 || (trace_ != nullptr && cursor_ < trace_->size());
+}
+
+void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
+  Packet pkt;
+  pkt.seq = next_seq_++;
+  pkt.arrival_cycle = now;
+  pkt.port = item.port;
+  pkt.size_bytes = item.size_bytes;
+  pkt.flow = item.flow;
+  pkt.headers.assign(prog_->pvsm.num_slots(), 0);
+  for (std::size_t i = 0; i < item.fields.size() && i < pkt.headers.size();
+       ++i) {
+    pkt.headers[i] = item.fields[i];
+  }
+
+  // Address resolution: execute the hoisted stateless slices. They are
+  // pure, so no register file is touched; pass the real one for interface
+  // uniformity.
+  for (const auto& instr : prog_->resolver) {
+    ir::exec_instr(instr, pkt.headers, *state_, prog_->pvsm.registers);
+  }
+
+  // Build the access plan.
+  const PipelineId admit_lane =
+      opts_.naive_single_pipeline ? 0 : static_cast<PipelineId>(pkt.seq % k_);
+  for (const auto& desc : prog_->accesses) {
+    if (desc.guard != ir::kNoSlot && desc.guard_resolvable) {
+      const bool truthy =
+          pkt.headers[static_cast<std::size_t>(desc.guard)] != 0;
+      if (desc.guard_negate ? truthy : !truthy) continue; // branch not taken
+    }
+    PlannedAccess acc;
+    acc.reg = desc.reg;
+    acc.stage = desc.stage;
+    acc.index = desc.index_resolvable
+                    ? ir::resolve_index(desc.index, pkt.headers,
+                                        prog_->pvsm.registers[desc.reg].size)
+                    : kUnresolvedIndex;
+    acc.pipeline = state_->pipeline_of(desc.reg, acc.index);
+    if (desc.guard != ir::kNoSlot && !desc.guard_resolvable) {
+      acc.guard = GuardStatus::kConservative;
+      acc.guard_known_after_stage = desc.guard_known_after_stage;
+      acc.guard_slot = desc.guard;
+      acc.guard_negate = desc.guard_negate;
+    }
+    state_->note_resolved(desc.reg, acc.index);
+    pkt.plan.push_back(acc);
+  }
+
+  // Phantom generation (D4): one phantom per (stage, pipeline) group — a
+  // packet that must access two co-located arrays in one stage holds a
+  // single place in that stage's FIFO.
+  if (opts_.phantoms) {
+    PipelineId lane_pred = admit_lane;
+    for (std::size_t i = 0; i < pkt.plan.size(); ++i) {
+      auto& acc = pkt.plan[i];
+      std::size_t owner = i;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (pkt.plan[j].stage == acc.stage &&
+            pkt.plan[j].pipeline == acc.pipeline) {
+          owner = pkt.plan[j].phantom_owner;
+          break;
+        }
+      }
+      acc.phantom_owner = owner;
+      acc.phantom_lane = lane_pred;
+      if (owner == i) {
+        if (opts_.realistic_phantom_channel) {
+          // The phantom hops one stage per cycle on its own channel: it
+          // reaches stage s after s cycles, always ahead of the data
+          // packet (which needs ingress + s processing cycles).
+          acc.phantom_delivered = false;
+          PendingPhantom pending;
+          pending.seq = pkt.seq;
+          pending.reg = acc.reg;
+          pending.index = acc.index;
+          pending.pipeline = acc.pipeline;
+          pending.stage = acc.stage;
+          pending.lane = lane_pred;
+          auto it = channel_.emplace(now + acc.stage, pending);
+          channel_index_[channel_key(pkt.seq, acc.pipeline, acc.stage)] = it;
+        } else {
+          const bool ok = fifos_[acc.pipeline][acc.stage].push_phantom(
+              pkt.seq, acc.reg, acc.index, lane_pred, now);
+          if (!ok) {
+            acc.phantom_dropped = true;
+            ++result_.dropped_phantom;
+          } else {
+            emit(TimelineEvent::Kind::kPhantomPush, now, acc.pipeline,
+                 acc.stage, pkt.seq);
+          }
+        }
+      } else {
+        acc.phantom_dropped = pkt.plan[owner].phantom_dropped;
+        acc.phantom_delivered = pkt.plan[owner].phantom_delivered;
+      }
+      lane_pred = acc.pipeline;
+    }
+  }
+
+  ++result_.offered;
+  ++live_packets_;
+  emit(TimelineEvent::Kind::kAdmit, now, admit_lane, 0, pkt.seq);
+  ingress_[admit_lane].push_back(std::move(pkt));
+}
+
+void Mp5Simulator::step_cell(PipelineId p, StageId st, Cycle now) {
+  auto incoming = std::move(arrivals_[p][st]);
+  arrivals_[p][st].clear();
+
+  std::optional<Packet> passthrough;
+  for (auto& arr : incoming) {
+    Packet& pkt = arr.packet;
+    PlannedAccess* acc = pkt.pending_access();
+    if (acc != nullptr && acc->stage == st) {
+      // Arriving for stateful processing here; acc->pipeline == p by
+      // construction of routing.
+      if (opts_.ecn_threshold != 0 &&
+          fifos_[p][st].size() >= opts_.ecn_threshold) {
+        // §3.4 backpressure: mark packets joining a congested FIFO.
+        pkt.ecn_marked = true;
+      }
+      if (!opts_.phantoms) {
+        // no-D4 ablation: queue the data packet directly at the stage.
+        FifoEntry entry;
+        entry.kind = FifoEntry::Kind::kData;
+        entry.seq = pkt.seq;
+        entry.reg = acc->reg;
+        entry.index = acc->index;
+        const SeqNo seq = pkt.seq;
+        entry.packet = std::move(pkt);
+        if (!fifos_[p][st].push_phantom(seq, entry.reg, entry.index,
+                                        arr.from_lane, now)) {
+          drop_packet(std::move(entry.packet), /*counted_as_data_drop=*/true);
+        } else {
+          // Convert the just-pushed placeholder into the data packet.
+          fifos_[p][st].insert_data(std::move(entry.packet));
+        }
+      } else if (acc->phantom_dropped) {
+        emit(TimelineEvent::Kind::kDropData, now, p, st, pkt.seq);
+        drop_packet(std::move(pkt), /*counted_as_data_drop=*/true);
+      } else if (!fifos_[p][st].has_phantom(pkt.seq)) {
+        if (!opts_.realistic_phantom_channel) {
+          // Defensive: phantom vanished despite not being flagged dropped.
+          throw Error("Mp5Simulator: phantom missing at insert");
+        }
+        // The phantom was dropped at channel delivery (FIFO full): the
+        // data packet has no placeholder and is dropped (§3.4).
+        emit(TimelineEvent::Kind::kDropData, now, p, st, pkt.seq);
+        drop_packet(std::move(pkt), /*counted_as_data_drop=*/true);
+      } else {
+        const SeqNo seq = pkt.seq;
+        if (!fifos_[p][st].insert_data(std::move(pkt))) {
+          throw Error("Mp5Simulator: insert failed with phantom present");
+        }
+        emit(TimelineEvent::Kind::kInsert, now, p, st, seq);
+      }
+    } else {
+      if (passthrough.has_value()) {
+        throw Error("Mp5Simulator: two pass-through packets in one cell");
+      }
+      passthrough = std::move(pkt);
+    }
+  }
+
+  if (passthrough.has_value()) {
+    // §3.4 starvation guard: when a queued stateful packet has waited past
+    // the threshold, drop the arriving stateless packet instead of serving
+    // it with priority (it is dropped, never queued — Invariant 2 holds).
+    bool starved = false;
+    if (opts_.starvation_threshold != 0) {
+      const auto oldest = fifos_[p][st].oldest_head_enqueue();
+      starved = oldest.has_value() &&
+                now - *oldest > opts_.starvation_threshold;
+    }
+    if (starved) {
+      ++result_.dropped_starved;
+      emit(TimelineEvent::Kind::kDropStarved, now, p, st, passthrough->seq);
+      drop_packet(std::move(*passthrough), /*counted_as_data_drop=*/false);
+    } else {
+      // Invariant 2: stateless packets are processed with priority and
+      // never queued.
+      emit(TimelineEvent::Kind::kPassThrough, now, p, st, passthrough->seq);
+      process_packet(std::move(*passthrough), p, st, /*from_fifo=*/false,
+                     now);
+      return;
+    }
+  }
+
+  auto popped = fifos_[p][st].pop();
+  switch (popped.kind) {
+    case StageFifo::PopResult::Kind::kIdle:
+      return;
+    case StageFifo::PopResult::Kind::kBlocked:
+      ++result_.blocked_cycles;
+      emit(TimelineEvent::Kind::kBlocked, now, p, st, kInvalidSeqNo);
+      return;
+    case StageFifo::PopResult::Kind::kWasted:
+      ++result_.wasted_cycles;
+      emit(TimelineEvent::Kind::kPopWasted, now, p, st, kInvalidSeqNo);
+      return;
+    case StageFifo::PopResult::Kind::kData:
+      emit(TimelineEvent::Kind::kPopData, now, p, st, popped.packet.seq);
+      process_packet(std::move(popped.packet), p, st, /*from_fifo=*/true, now);
+      return;
+  }
+}
+
+void Mp5Simulator::exec_stage_atoms(Packet& pkt, PipelineId p, StageId st,
+                                    bool from_fifo) {
+  if (st == 0) return; // AR stage has no program atoms
+  const ir::Stage& stage = prog_->pvsm.stages[st - 1];
+
+  C1Observer obs;
+  obs.checker = &c1_;
+  obs.seq = pkt.seq;
+
+  for (const auto& atom : stage.atoms) {
+    bool allow_state = false;
+    if (atom.stateful() && from_fifo) {
+      for (const auto& e : pkt.plan) {
+        if (e.stage == st && e.reg == atom.reg && !e.cancelled &&
+            e.pipeline == p) {
+          allow_state = true;
+          break;
+        }
+      }
+    }
+    if (atom.stateful() && !allow_state) {
+      // Pass-through (or foreign-pipeline) execution: run the atom's pure
+      // body but suppress state accesses. Their guards are false for this
+      // packet by construction, so this matches reference semantics while
+      // also protecting inactive register replicas.
+      for (const auto& instr : atom.body) {
+        if (instr.op == ir::TacOp::kRegRead ||
+            instr.op == ir::TacOp::kRegWrite) {
+          continue;
+        }
+        ir::exec_instr(instr, pkt.headers, *state_, prog_->pvsm.registers);
+      }
+    } else {
+      ir::exec_atom(atom, pkt.headers, *state_, prog_->pvsm.registers,
+                    opts_.check_c1 ? &obs : nullptr);
+    }
+  }
+}
+
+void Mp5Simulator::process_packet(Packet pkt, PipelineId p, StageId st,
+                                  bool from_fifo, Cycle now) {
+  exec_stage_atoms(pkt, p, st, from_fifo);
+
+  if (from_fifo) {
+    for (auto& e : pkt.plan) {
+      if (e.stage == st && e.pipeline == p && entry_live(e)) {
+        e.done = true;
+        state_->note_completed(e.reg, e.index);
+      }
+    }
+  }
+
+  resolve_conservative_guards(pkt, st);
+  route_onwards(std::move(pkt), p, st, now);
+}
+
+void Mp5Simulator::resolve_conservative_guards(Packet& pkt,
+                                               StageId done_stage) {
+  for (std::size_t i = 0; i < pkt.plan.size(); ++i) {
+    auto& e = pkt.plan[i];
+    if (e.guard != GuardStatus::kConservative || !entry_live(e)) continue;
+    if (e.guard_known_after_stage > done_stage) continue;
+    const bool truthy =
+        pkt.headers[static_cast<std::size_t>(e.guard_slot)] != 0;
+    const bool taken = e.guard_negate ? !truthy : truthy;
+    if (taken) {
+      e.guard = GuardStatus::kTaken; // resolved: access will happen
+    } else {
+      cancel_entry(pkt, i);
+    }
+  }
+}
+
+void Mp5Simulator::cancel_entry(Packet& pkt, std::size_t entry_idx) {
+  auto& e = pkt.plan[entry_idx];
+  e.cancelled = true;
+  state_->note_completed(e.reg, e.index);
+  if (!opts_.phantoms) return;
+
+  // Zombie the phantom once every plan entry sharing it is cancelled.
+  const std::size_t owner = e.phantom_owner;
+  for (const auto& other : pkt.plan) {
+    if (other.phantom_owner == owner && !other.cancelled) return;
+  }
+  const auto& owner_acc = pkt.plan[owner];
+  if (owner_acc.phantom_dropped) return;
+  if (opts_.realistic_phantom_channel && !owner_acc.phantom_delivered) {
+    // Still on the phantom channel: mark it; it arrives as a zombie.
+    auto it = channel_index_.find(
+        channel_key(pkt.seq, owner_acc.pipeline, owner_acc.stage));
+    if (it != channel_index_.end()) {
+      it->second->second.cancelled = true;
+      return;
+    }
+    // Already delivered (the packet's flag is stale): fall through.
+  }
+  emit(TimelineEvent::Kind::kCancel, 0, owner_acc.pipeline, owner_acc.stage,
+       pkt.seq);
+  fifos_[owner_acc.pipeline][owner_acc.stage].cancel(pkt.seq);
+}
+
+void Mp5Simulator::drop_packet(Packet&& pkt, bool counted_as_data_drop) {
+  if (counted_as_data_drop) ++result_.dropped_data;
+  for (std::size_t i = 0; i < pkt.plan.size(); ++i) {
+    auto& e = pkt.plan[i];
+    if (!entry_live(e)) continue;
+    // Cancel downstream phantoms so they do not block their FIFOs forever.
+    cancel_entry(pkt, i);
+  }
+  --live_packets_;
+}
+
+void Mp5Simulator::route_onwards(Packet&& pkt, PipelineId p, StageId st,
+                                 Cycle now) {
+  if (st == num_stages_ - 1) {
+    egress_packet(std::move(pkt), now);
+    return;
+  }
+  PipelineId dest = p;
+  PlannedAccess* acc = pkt.pending_access();
+  if (acc != nullptr && acc->stage == st + 1) {
+    dest = acc->pipeline;
+    if (dest != p) {
+      ++result_.steers;
+      emit(TimelineEvent::Kind::kSteer, now, dest, st + 1, pkt.seq);
+    }
+  }
+  arrivals_[dest][st + 1].push_back(Arrived{std::move(pkt), p});
+}
+
+void Mp5Simulator::egress_packet(Packet&& pkt, Cycle now) {
+  emit(TimelineEvent::Kind::kEgress, now, 0, num_stages_ - 1, pkt.seq);
+  ++result_.egressed;
+  --live_packets_;
+  result_.last_egress = now;
+  if (pkt.ecn_marked) ++result_.ecn_marked;
+  if (opts_.track_flow_reordering) {
+    auto [it, inserted] = flow_last_egress_.try_emplace(pkt.flow, pkt.seq);
+    if (!inserted) {
+      if (pkt.seq < it->second) {
+        ++result_.reordered_flow_packets;
+      } else {
+        it->second = pkt.seq;
+      }
+    }
+  }
+  if (opts_.record_egress) {
+    EgressRecord rec;
+    rec.seq = pkt.seq;
+    rec.egress_cycle = now;
+    rec.flow = pkt.flow;
+    rec.headers = std::move(pkt.headers);
+    result_.egress.push_back(std::move(rec));
+  }
+}
+
+} // namespace mp5

@@ -1,0 +1,131 @@
+// Cycle-accurate simulator of the MP5 switch architecture (§3.2, Figure 4).
+//
+// Model, per clock cycle:
+//   1. Arrivals: packets whose arrival time falls in this cycle are
+//      admitted in (time, port) order. Each is assigned a global sequence
+//      number, run through the compiled address-resolution logic (the
+//      hoisted stateless slices), given its access plan
+//      <reg, index, pipeline, stage> via the index-to-pipeline map, and
+//      sprayed round-robin across pipeline ingress queues. Phantom packets
+//      are generated immediately (§3.3 "phantom packets are generated on
+//      packet arrival") and delivered over the phantom channel to their
+//      destination stage FIFOs — the channel does no processing en route
+//      (Invariant 1), modeled as same-cycle delivery in arrival order.
+//   2. Each pipeline admits one packet per cycle from its ingress queue
+//      into the address-resolution stage (transformed stage 0).
+//   3. Every (pipeline, stage) cell processes at most one packet:
+//      a packet arriving for stateful processing here replaces its phantom
+//      in the logical FIFO (`insert`, not a processing slot); an arriving
+//      stateless pass-through packet is processed with priority
+//      (Invariant 2); otherwise the cell pops the FIFO — a phantom head
+//      blocks, a cancelled phantom costs the wasted cycle of §3.3, a data
+//      head executes the stage's atoms. Processed packets advance one
+//      stage, steering through the crossbar when their next access lives
+//      in another pipeline (D3).
+//   4. Every remap period, the dynamic sharding heuristic (Figure 6) moves
+//      register indexes between pipelines (in-flight guarded) and resets
+//      the access counters.
+//
+// The same class implements the ablations (no-D4, static sharding, naive
+// single-pipeline, ideal) via SimOptions; the recirculation baseline has
+// its own simulator in src/baseline.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "banzai/ir.hpp"
+#include "metrics/c1_checker.hpp"
+#include "metrics/sim_result.hpp"
+#include "mp5/options.hpp"
+#include "mp5/shard_map.hpp"
+#include "mp5/stage_fifo.hpp"
+#include "mp5/transform.hpp"
+#include "trace/trace.hpp"
+
+namespace mp5 {
+
+class Mp5Simulator {
+public:
+  Mp5Simulator(const Mp5Program& program, const SimOptions& options);
+
+  /// Run a whole trace to completion (all packets egressed or dropped).
+  SimResult run(const Trace& trace);
+
+  /// Observable state, for tests.
+  const ShardedState& state() const { return *state_; }
+
+private:
+  struct Arrived {
+    Packet packet;
+    PipelineId from_lane = 0;
+  };
+
+  void admit(const TraceItem& item, Cycle now);
+  void deliver_due_phantoms(Cycle now);
+  void step_cell(PipelineId p, StageId st, Cycle now);
+  void process_packet(Packet pkt, PipelineId p, StageId st, bool from_fifo,
+                      Cycle now);
+  void exec_stage_atoms(Packet& pkt, PipelineId p, StageId st, bool from_fifo);
+  void resolve_conservative_guards(Packet& pkt, StageId done_stage);
+  void cancel_entry(Packet& pkt, std::size_t entry_idx);
+  void drop_packet(Packet&& pkt, bool counted_as_data_drop);
+  void route_onwards(Packet&& pkt, PipelineId p, StageId st, Cycle now);
+  void egress_packet(Packet&& pkt, Cycle now);
+  bool work_remaining() const;
+  void emit(TimelineEvent::Kind kind, Cycle now, PipelineId p, StageId st,
+            SeqNo seq) const {
+    if (!opts_.timeline) return;
+    TimelineEvent event;
+    event.kind = kind;
+    event.cycle = now;
+    event.pipeline = p;
+    event.stage = st;
+    event.seq = seq;
+    opts_.timeline(event);
+  }
+
+  const Mp5Program* prog_;
+  SimOptions opts_;
+  StageId num_stages_;
+  std::uint32_t k_;
+
+  std::unique_ptr<ShardedState> state_;
+  std::vector<std::vector<StageFifo>> fifos_;    // [pipeline][stage]
+  std::vector<std::vector<std::vector<Arrived>>> arrivals_; // [pipeline][stage]
+  std::vector<std::deque<Packet>> ingress_;
+
+  /// Realistic phantom channel: phantoms in flight, keyed by delivery
+  /// cycle; each carries its destination FIFO coordinates.
+  struct PendingPhantom {
+    SeqNo seq = kInvalidSeqNo;
+    RegId reg = 0;
+    RegIndex index = kUnresolvedIndex;
+    PipelineId pipeline = 0;
+    StageId stage = 0;
+    PipelineId lane = 0;
+    bool cancelled = false;
+  };
+  std::multimap<Cycle, PendingPhantom> channel_;
+  std::unordered_map<std::uint64_t,
+                     std::multimap<Cycle, PendingPhantom>::iterator>
+      channel_index_; // (seq, pipeline, stage) -> in-flight record
+
+  static std::uint64_t channel_key(SeqNo seq, PipelineId p, StageId st) {
+    return (seq << 16) ^ (static_cast<std::uint64_t>(p) << 8) ^ st;
+  }
+
+  const Trace* trace_ = nullptr;
+  std::size_t cursor_ = 0;
+  SeqNo next_seq_ = 0;
+  std::uint64_t live_packets_ = 0;
+
+  SimResult result_;
+  C1Checker c1_;
+  std::unordered_map<std::uint64_t, SeqNo> flow_last_egress_;
+};
+
+} // namespace mp5

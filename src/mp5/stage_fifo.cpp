@@ -1,0 +1,203 @@
+#include "mp5/stage_fifo.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mp5 {
+namespace {
+
+/// Locate an entry by seq in a seq-sorted deque.
+FifoEntry* find_by_seq(std::deque<FifoEntry>& queue, SeqNo seq) {
+  auto it = std::lower_bound(
+      queue.begin(), queue.end(), seq,
+      [](const FifoEntry& e, SeqNo s) { return e.seq < s; });
+  if (it == queue.end() || it->seq != seq) return nullptr;
+  return &*it;
+}
+
+} // namespace
+
+StageFifo::StageFifo(std::uint32_t lanes, std::size_t capacity, bool ideal)
+    : ideal_(ideal) {
+  if (lanes == 0) throw ConfigError("StageFifo: lanes must be > 0");
+  if (!ideal_) {
+    lanes_.reserve(lanes);
+    for (std::uint32_t i = 0; i < lanes; ++i) lanes_.emplace_back(capacity);
+  }
+}
+
+bool StageFifo::push_phantom(SeqNo seq, RegId reg, RegIndex index,
+                             PipelineId lane, Cycle now) {
+  FifoEntry entry;
+  entry.kind = FifoEntry::Kind::kPhantom;
+  entry.seq = seq;
+  entry.enqueued = now;
+  entry.reg = reg;
+  entry.index = index;
+  if (ideal_) {
+    const IndexKey key = make_key(reg, index);
+    queues_[key].push_back(std::move(entry));
+    seq_key_[seq] = key;
+    directory_[seq] = Address{lane, 0};
+  } else {
+    auto vidx = lanes_[lane].push(std::move(entry));
+    if (!vidx) return false; // dropped: lane full
+    directory_[seq] = Address{lane, *vidx};
+  }
+  ++live_entries_;
+  high_water_ = std::max(high_water_, live_entries_);
+  return true;
+}
+
+bool StageFifo::insert_data(Packet pkt) {
+  auto it = directory_.find(pkt.seq);
+  if (it == directory_.end()) return false;
+  const SeqNo seq = pkt.seq;
+  if (ideal_) {
+    const IndexKey key = seq_key_.at(seq);
+    auto& queue = queues_.at(key);
+    FifoEntry* entry = find_by_seq(queue, seq);
+    if (entry == nullptr || entry->kind != FifoEntry::Kind::kPhantom) {
+      throw Error("StageFifo::insert_data: entry is not a phantom");
+    }
+    entry->kind = FifoEntry::Kind::kData;
+    entry->packet = std::move(pkt);
+    if (&queue.front() == entry) eligible_[seq] = key;
+  } else {
+    auto& entry = lanes_[it->second.lane].at(it->second.vidx);
+    if (entry.kind != FifoEntry::Kind::kPhantom) {
+      throw Error("StageFifo::insert_data: entry is not a phantom");
+    }
+    entry.kind = FifoEntry::Kind::kData;
+    entry.packet = std::move(pkt);
+  }
+  directory_.erase(it);
+  return true;
+}
+
+void StageFifo::cancel(SeqNo seq) {
+  auto it = directory_.find(seq);
+  if (it == directory_.end()) return; // phantom was dropped
+  if (ideal_) {
+    const IndexKey key = seq_key_.at(seq);
+    auto& queue = queues_.at(key);
+    FifoEntry* entry = find_by_seq(queue, seq);
+    if (entry == nullptr || entry->kind != FifoEntry::Kind::kPhantom) {
+      throw Error("StageFifo::cancel: entry is not a phantom");
+    }
+    entry->kind = FifoEntry::Kind::kCancelled;
+    directory_.erase(it);
+    ideal_settle_front(key); // free reclamation in the ideal design
+  } else {
+    auto& entry = lanes_[it->second.lane].at(it->second.vidx);
+    if (entry.kind != FifoEntry::Kind::kPhantom) {
+      throw Error("StageFifo::cancel: entry is not a phantom");
+    }
+    entry.kind = FifoEntry::Kind::kCancelled;
+    directory_.erase(it);
+  }
+}
+
+void StageFifo::ideal_settle_front(IndexKey key) {
+  auto qit = queues_.find(key);
+  if (qit == queues_.end()) return;
+  auto& queue = qit->second;
+  while (!queue.empty() &&
+         queue.front().kind == FifoEntry::Kind::kCancelled) {
+    seq_key_.erase(queue.front().seq);
+    queue.pop_front();
+    --live_entries_;
+  }
+  if (queue.empty()) {
+    queues_.erase(qit);
+    return;
+  }
+  if (queue.front().kind == FifoEntry::Kind::kData) {
+    eligible_[queue.front().seq] = key;
+  }
+}
+
+std::optional<Cycle> StageFifo::oldest_head_enqueue() const {
+  std::optional<Cycle> oldest;
+  if (ideal_) {
+    for (const auto& [key, queue] : queues_) {
+      if (queue.empty()) continue;
+      if (!oldest || queue.front().enqueued < *oldest) {
+        oldest = queue.front().enqueued;
+      }
+    }
+    return oldest;
+  }
+  for (const auto& lane : lanes_) {
+    if (lane.empty()) continue;
+    if (!oldest || lane.front().enqueued < *oldest) {
+      oldest = lane.front().enqueued;
+    }
+  }
+  return oldest;
+}
+
+StageFifo::PopResult StageFifo::pop() {
+  return ideal_ ? pop_ideal() : pop_lanes();
+}
+
+StageFifo::PopResult StageFifo::pop_lanes() {
+  PopResult result;
+  RingFifo<FifoEntry>* best = nullptr;
+  SeqNo best_seq = kInvalidSeqNo;
+  for (auto& lane : lanes_) {
+    if (lane.empty()) continue;
+    const SeqNo seq = lane.front().seq;
+    if (best == nullptr || seq < best_seq) {
+      best = &lane;
+      best_seq = seq;
+    }
+  }
+  if (best == nullptr) return result; // kIdle
+  FifoEntry& head = best->front();
+  switch (head.kind) {
+    case FifoEntry::Kind::kPhantom:
+      result.kind = PopResult::Kind::kBlocked;
+      return result;
+    case FifoEntry::Kind::kCancelled:
+      best->pop_front();
+      --live_entries_;
+      result.kind = PopResult::Kind::kWasted;
+      return result;
+    case FifoEntry::Kind::kData:
+      result.kind = PopResult::Kind::kData;
+      result.packet = std::move(head.packet);
+      best->pop_front();
+      --live_entries_;
+      return result;
+    case FifoEntry::Kind::kEmpty:
+      break;
+  }
+  throw Error("StageFifo::pop: empty entry at head");
+}
+
+StageFifo::PopResult StageFifo::pop_ideal() {
+  PopResult result;
+  if (eligible_.empty()) {
+    result.kind = live_entries_ == 0 ? PopResult::Kind::kIdle
+                                     : PopResult::Kind::kBlocked;
+    return result;
+  }
+  const auto [seq, key] = *eligible_.begin();
+  eligible_.erase(eligible_.begin());
+  auto& queue = queues_.at(key);
+  if (queue.front().seq != seq ||
+      queue.front().kind != FifoEntry::Kind::kData) {
+    throw Error("StageFifo::pop_ideal: eligible set out of sync");
+  }
+  result.kind = PopResult::Kind::kData;
+  result.packet = std::move(queue.front().packet);
+  seq_key_.erase(seq);
+  queue.pop_front();
+  --live_entries_;
+  ideal_settle_front(key);
+  return result;
+}
+
+} // namespace mp5

@@ -1,0 +1,110 @@
+// The logical FIFO at the input of one (pipeline, stage) cell (§3.2).
+//
+// Physically k independent ring buffers (one per source pipeline, to
+// absorb up to k same-cycle crossbar arrivals); logically a single FIFO
+// with three operations:
+//   push(pkt, fifo_id)         — phantom (or baseline data) tail append;
+//                                 dropped when the bounded FIFO is full.
+//   insert(pkt, addr, fifo_id) — replace a queued phantom in place with
+//                                 its data packet (addr from a directory
+//                                 keyed by the packet id).
+//   pop()                      — among the k lane heads, take the entry
+//                                 with the smallest timestamp; a phantom
+//                                 head blocks (that is how D4 enforces
+//                                 arrival-order state access), a cancelled
+//                                 phantom head costs one wasted cycle.
+//
+// Timestamps are the packets' global arrival sequence numbers. Within one
+// lane, phantoms are pushed in arrival order, so every lane is seq-sorted
+// and the smallest-head rule yields global arrival order.
+//
+// The `ideal` mode implements the no-head-of-line-blocking upper bound of
+// §3.5.2/§4.3.3: ordering is enforced per register index rather than per
+// stage (as if there were one FIFO per index), and cancelled phantoms are
+// reclaimed for free.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/types.hpp"
+#include "packet/packet.hpp"
+
+namespace mp5 {
+
+class StageFifo {
+public:
+  /// capacity: per-lane entry budget; 0 = unbounded (the simulator's
+  /// adaptive no-loss configuration, §4.3.1).
+  StageFifo(std::uint32_t lanes, std::size_t capacity, bool ideal);
+
+  /// Returns false when the phantom was dropped (lane full).
+  bool push_phantom(SeqNo seq, RegId reg, RegIndex index, PipelineId lane,
+                    Cycle now = 0);
+
+  /// Enqueue cycle of the oldest lane-head entry, if any — the age input
+  /// to the §3.4 starvation guard.
+  std::optional<Cycle> oldest_head_enqueue() const;
+
+  bool has_phantom(SeqNo seq) const { return directory_.count(seq) != 0; }
+
+  /// Replace the packet's phantom with the packet itself. Returns false if
+  /// the phantom is absent (it was dropped at push time) — the caller must
+  /// drop the data packet (§3.4 "handling packet drops").
+  bool insert_data(Packet pkt);
+
+  /// Cancel the phantom of a conservative access whose guard evaluated
+  /// false (§3.3). No-op if the phantom was dropped.
+  void cancel(SeqNo seq);
+
+  struct PopResult {
+    enum class Kind : std::uint8_t {
+      kIdle,    // FIFO empty: nothing to do
+      kBlocked, // head is a phantom: wait for its data packet
+      kWasted,  // head was a cancelled phantom: slot consumed reclaiming it
+      kData,    // a data packet was dequeued into `packet`
+    };
+    Kind kind = Kind::kIdle;
+    Packet packet;
+  };
+
+  PopResult pop();
+
+  std::size_t size() const { return live_entries_; }
+  std::size_t high_water() const { return high_water_; }
+
+private:
+  using IndexKey = std::uint64_t; // (reg << 32) | index
+
+  static IndexKey make_key(RegId reg, RegIndex index) {
+    return (static_cast<std::uint64_t>(reg) << 32) | index;
+  }
+
+  PopResult pop_lanes();
+  PopResult pop_ideal();
+  /// Drop cancelled entries from the front of an ideal per-index queue
+  /// (free in the ideal design) and register a data head as eligible.
+  void ideal_settle_front(IndexKey key);
+
+  bool ideal_;
+  std::vector<RingFifo<FifoEntry>> lanes_;
+  /// Ideal mode: one FIFO per register index (each seq-ordered), plus the
+  /// set of index heads that are data packets, ordered by seq.
+  std::map<IndexKey, std::deque<FifoEntry>> queues_;
+  std::map<SeqNo, IndexKey> eligible_;
+  std::unordered_map<SeqNo, IndexKey> seq_key_;
+  struct Address {
+    PipelineId lane;
+    std::uint64_t vidx;
+  };
+  std::unordered_map<SeqNo, Address> directory_;
+  std::size_t live_entries_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+} // namespace mp5

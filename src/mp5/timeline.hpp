@@ -1,0 +1,38 @@
+// Timeline instrumentation: a per-event stream from the MP5 simulator,
+// used by cycle-exact tests (e.g. the Figure 3 Table III scenario), the
+// §3.4 invariant checks, and mp5sim's --timeline mode.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace mp5 {
+
+struct TimelineEvent {
+  enum class Kind : std::uint8_t {
+    kAdmit,        // packet assigned seq and sprayed to a pipeline ingress
+    kPhantomPush,  // phantom delivered to (pipeline, stage) FIFO
+    kPassThrough,  // stateless processing at (pipeline, stage)
+    kInsert,       // data packet replaced its phantom at (pipeline, stage)
+    kPopData,      // stateful processing at (pipeline, stage)
+    kPopWasted,    // cancelled phantom reclaimed (one wasted cycle)
+    kBlocked,      // FIFO head is a phantom: stage idles this cycle
+    kSteer,        // crossbar move between pipelines at a stage boundary
+    kCancel,       // conservative phantom cancelled in flight
+    kEgress,
+    kDropData,
+    kDropStarved,
+  };
+  Kind kind = Kind::kAdmit;
+  Cycle cycle = 0;
+  PipelineId pipeline = 0;
+  StageId stage = 0;
+  SeqNo seq = kInvalidSeqNo; // kInvalidSeqNo for packet-less events
+};
+
+using TimelineHook = std::function<void(const TimelineEvent&)>;
+
+const char* to_string(TimelineEvent::Kind kind);
+
+} // namespace mp5

@@ -1,0 +1,3 @@
+// Currently header-only; this translation unit anchors the library target
+// and will host out-of-line helpers as the packet model grows.
+#include "packet/packet.hpp"

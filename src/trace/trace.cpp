@@ -1,0 +1,31 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace mp5 {
+
+void sort_by_arrival(Trace& trace) {
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const TraceItem& a, const TraceItem& b) {
+                     if (a.arrival_time != b.arrival_time) {
+                       return a.arrival_time < b.arrival_time;
+                     }
+                     return a.port < b.port;
+                   });
+}
+
+std::vector<std::vector<Value>> to_header_batch(const Trace& trace,
+                                                std::size_t num_slots) {
+  std::vector<std::vector<Value>> out;
+  out.reserve(trace.size());
+  for (const auto& item : trace) {
+    std::vector<Value> headers(num_slots, 0);
+    for (std::size_t i = 0; i < item.fields.size() && i < num_slots; ++i) {
+      headers[i] = item.fields[i];
+    }
+    out.push_back(std::move(headers));
+  }
+  return out;
+}
+
+} // namespace mp5

@@ -1,0 +1,56 @@
+// Input packet streams (§2.2.1): I = { I_i(p_i, t_i) } — each packet has
+// an arrival time and an arrival port. Packets enter the pipeline in
+// arrival order; ties are broken by smaller port id (the paper's rule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mp5 {
+
+struct TraceItem {
+  /// Arrival time in pipeline clock cycles (fractional: at line rate with
+  /// minimum-size packets, k packets arrive per cycle on a k-pipeline
+  /// switch).
+  double arrival_time = 0.0;
+  std::uint32_t port = 0;
+  std::uint32_t size_bytes = 64;
+  std::uint64_t flow = 0;
+  /// Values of the program's declared packet fields, in declaration order.
+  std::vector<Value> fields;
+};
+
+using Trace = std::vector<TraceItem>;
+
+/// Sort by (arrival_time, port): the switch admission order.
+void sort_by_arrival(Trace& trace);
+
+/// Flatten to per-packet header vectors for the single-pipeline reference
+/// switch: declared fields first (their slots are 0..F-1 by construction),
+/// zero-padded to `num_slots`.
+std::vector<std::vector<Value>> to_header_batch(const Trace& trace,
+                                                std::size_t num_slots);
+
+/// Line-rate arrival clock: a k-pipeline switch's aggregate capacity is k
+/// minimum-size (64 B) packets per cycle, so a packet of S bytes advances
+/// time by S / (64 * k * load) cycles. load > 1 oversubscribes.
+class LineRateClock {
+public:
+  LineRateClock(std::uint32_t pipelines, double load)
+      : per_byte_(1.0 / (64.0 * pipelines * load)) {}
+
+  /// Returns the arrival time for a packet of `size_bytes`, then advances.
+  double next(std::uint32_t size_bytes) {
+    const double t = now_;
+    now_ += size_bytes * per_byte_;
+    return t;
+  }
+
+private:
+  double per_byte_;
+  double now_ = 0.0;
+};
+
+} // namespace mp5

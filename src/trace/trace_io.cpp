@@ -1,0 +1,66 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mp5 {
+
+void save_trace_csv(const Trace& trace, std::ostream& os) {
+  os << "# arrival_time,port,size_bytes,flow,fields...\n";
+  for (const auto& item : trace) {
+    os << item.arrival_time << ',' << item.port << ',' << item.size_bytes
+       << ',' << item.flow;
+    for (const Value v : item.fields) os << ',' << v;
+    os << '\n';
+  }
+}
+
+Trace load_trace_csv(std::istream& is) {
+  Trace trace;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(ss, cell, ',')) cells.push_back(cell);
+    if (cells.size() < 4) {
+      throw Error("trace csv line " + std::to_string(lineno) +
+                  ": expected at least 4 columns");
+    }
+    try {
+      TraceItem item;
+      item.arrival_time = std::stod(cells[0]);
+      item.port = static_cast<std::uint32_t>(std::stoul(cells[1]));
+      item.size_bytes = static_cast<std::uint32_t>(std::stoul(cells[2]));
+      item.flow = std::stoull(cells[3]);
+      for (std::size_t i = 4; i < cells.size(); ++i) {
+        item.fields.push_back(static_cast<Value>(std::stoll(cells[i])));
+      }
+      trace.push_back(std::move(item));
+    } catch (const std::exception&) {
+      throw Error("trace csv line " + std::to_string(lineno) +
+                  ": malformed number");
+    }
+  }
+  sort_by_arrival(trace);
+  return trace;
+}
+
+void save_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw Error("cannot write trace file '" + path + "'");
+  save_trace_csv(trace, os);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot read trace file '" + path + "'");
+  return load_trace_csv(is);
+}
+
+} // namespace mp5

@@ -1,0 +1,24 @@
+// CSV (de)serialization of packet traces, so experiments can be replayed
+// across runs and tools (the paper's artifact ships trace generators; we
+// additionally make every trace storable).
+//
+// Format: one packet per line,
+//   arrival_time,port,size_bytes,flow,field0,field1,...
+// Lines starting with '#' are comments. Field counts may vary per line
+// (missing declared fields default to 0 at admission).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace mp5 {
+
+void save_trace_csv(const Trace& trace, std::ostream& os);
+Trace load_trace_csv(std::istream& is);
+
+void save_trace_file(const Trace& trace, const std::string& path);
+Trace load_trace_file(const std::string& path);
+
+} // namespace mp5

@@ -1,0 +1,174 @@
+#include "trace/workloads.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace mp5 {
+
+Trace make_synthetic_trace(const SyntheticConfig& config) {
+  if (config.stateful_stages == 0 && config.packets == 0) return {};
+  Rng rng(config.seed);
+  Rng perm_rng = rng.fork();
+
+  // One sampler per stateful stage so per-stage access patterns are
+  // independent (each stage has its own register array, §4.3.1).
+  std::vector<TwoClassSkewSampler> skew;
+  std::vector<ZipfSampler> zipf;
+  for (std::uint32_t s = 0; s < config.stateful_stages; ++s) {
+    if (config.pattern == AccessPattern::kSkewed) {
+      skew.emplace_back(config.reg_size, perm_rng);
+    } else if (config.pattern == AccessPattern::kZipf) {
+      zipf.emplace_back(config.reg_size, config.zipf_exponent);
+    }
+  }
+
+  auto sample_index = [&](std::uint32_t stage) -> std::uint64_t {
+    switch (config.pattern) {
+      case AccessPattern::kUniform:
+        return rng.next_below(config.reg_size);
+      case AccessPattern::kSkewed:
+        return skew[stage].sample(rng);
+      case AccessPattern::kZipf:
+        return zipf[stage].sample(rng);
+    }
+    return 0;
+  };
+
+  // Optional flow churn (see header comment).
+  struct BurstFlow {
+    std::uint64_t id;
+    std::vector<Value> indexes;
+    std::uint64_t remaining;
+  };
+  std::vector<BurstFlow> flows;
+  std::uint64_t next_flow_id = 1;
+  auto spawn_flow = [&] {
+    BurstFlow flow;
+    flow.id = next_flow_id++;
+    flow.indexes.reserve(config.stateful_stages);
+    for (std::uint32_t s = 0; s < config.stateful_stages; ++s) {
+      flow.indexes.push_back(static_cast<Value>(sample_index(s)));
+    }
+    flow.remaining = 1 + static_cast<std::uint64_t>(
+                             rng.next_exponential(config.mean_flow_packets));
+    return flow;
+  };
+  for (std::uint32_t f = 0; f < config.active_flows; ++f) {
+    flows.push_back(spawn_flow());
+  }
+
+  Trace trace;
+  trace.reserve(config.packets);
+  LineRateClock clock(config.pipelines, config.load);
+  for (std::uint64_t n = 0; n < config.packets; ++n) {
+    TraceItem item;
+    item.arrival_time = clock.next(config.packet_bytes);
+    item.port = static_cast<std::uint32_t>(n % config.ports);
+    item.size_bytes = config.packet_bytes;
+    item.fields.reserve(config.stateful_stages + 1);
+    if (config.active_flows > 0) {
+      auto& flow = flows[rng.next_below(flows.size())];
+      item.fields = flow.indexes;
+      item.flow = flow.id;
+      if (--flow.remaining == 0) flow = spawn_flow();
+    } else {
+      for (std::uint32_t s = 0; s < config.stateful_stages; ++s) {
+        item.fields.push_back(static_cast<Value>(sample_index(s)));
+      }
+      item.flow = n;
+    }
+    item.fields.push_back(static_cast<Value>(rng.next_below(1 << 16))); // v
+    trace.push_back(std::move(item));
+  }
+  return trace;
+}
+
+std::uint64_t web_search_flow_bytes(Rng& rng) {
+  // Piecewise-linear CDF in log-size space, shaped after the DCTCP web
+  // search workload: ~50% of flows under ~100 KB, a heavy tail to ~30 MB.
+  struct Point {
+    double cdf;
+    double kb;
+  };
+  static constexpr Point kCdf[] = {
+      {0.00, 1.0},   {0.15, 6.0},    {0.20, 13.0},   {0.30, 19.0},
+      {0.40, 33.0},  {0.53, 53.0},   {0.60, 133.0},  {0.70, 667.0},
+      {0.80, 1333.0},{0.90, 6667.0}, {0.95, 20000.0},{1.00, 30000.0},
+  };
+  const double u = rng.next_double();
+  for (std::size_t i = 1; i < std::size(kCdf); ++i) {
+    if (u <= kCdf[i].cdf) {
+      const double span = kCdf[i].cdf - kCdf[i - 1].cdf;
+      const double frac = span <= 0 ? 0.0 : (u - kCdf[i - 1].cdf) / span;
+      const double kb =
+          kCdf[i - 1].kb + frac * (kCdf[i].kb - kCdf[i - 1].kb);
+      return static_cast<std::uint64_t>(kb * 1024.0);
+    }
+  }
+  return static_cast<std::uint64_t>(kCdf[std::size(kCdf) - 1].kb * 1024.0);
+}
+
+Trace make_flow_trace(const FlowWorkloadConfig& config,
+                      const FieldFiller& filler) {
+  if (!filler) throw ConfigError("make_flow_trace: filler is required");
+  Rng rng(config.seed);
+
+  struct ActiveFlow {
+    std::uint64_t id;
+    std::uint64_t remaining_bytes;
+    std::uint64_t packets_sent = 0;
+  };
+  std::deque<ActiveFlow> active;
+  std::uint64_t next_flow_id = 1;
+  auto spawn = [&] {
+    active.push_back(ActiveFlow{next_flow_id++, web_search_flow_bytes(rng)});
+  };
+  for (std::uint32_t i = 0; i < std::max(1u, config.active_flows); ++i) {
+    spawn();
+  }
+
+  Trace trace;
+  trace.reserve(config.packets);
+  LineRateClock clock(config.pipelines, config.load);
+  while (trace.size() < config.packets) {
+    // Round-robin service over the active flow set models fair sharing of
+    // the ingress links; long flows stay active for many rounds, which is
+    // what produces the heavy-tailed per-state access skew.
+    ActiveFlow flow = active.front();
+    active.pop_front();
+
+    const bool small = rng.chance(config.small_fraction);
+    std::uint32_t size = small ? config.small_bytes : config.large_bytes;
+    if (flow.remaining_bytes < size) {
+      size = static_cast<std::uint32_t>(
+          std::max<std::uint64_t>(flow.remaining_bytes, 64));
+    }
+
+    FlowPacketInfo info;
+    info.flow = flow.id;
+    info.packet_in_flow = flow.packets_sent;
+    info.size_bytes = size;
+    info.arrival_time = clock.next(size);
+
+    TraceItem item;
+    item.arrival_time = info.arrival_time;
+    item.port = static_cast<std::uint32_t>(flow.id % config.ports);
+    item.size_bytes = size;
+    item.flow = flow.id;
+    item.fields = filler(info);
+    trace.push_back(std::move(item));
+
+    flow.packets_sent++;
+    flow.remaining_bytes -= std::min<std::uint64_t>(flow.remaining_bytes, size);
+    if (flow.remaining_bytes == 0) {
+      spawn();
+    } else {
+      active.push_back(flow);
+    }
+  }
+  return trace;
+}
+
+} // namespace mp5

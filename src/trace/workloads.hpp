@@ -1,0 +1,83 @@
+// Workload generators for the paper's experiments.
+//
+// §4.3.1 sensitivity workload: 64-port switch, line-rate 64 B packets,
+// one register array per stateful stage, and per-packet state indexes
+// drawn from either a uniform pattern or the skewed pattern (95% of
+// packets access 30% of states).
+//
+// §4.4 real-application workload: bimodal packet sizes clustered at 200 B
+// and 1400 B, flow sizes from a heavy-tailed web-search-like distribution,
+// and per-flow state access (the flow id drives the header fields).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "trace/trace.hpp"
+
+namespace mp5 {
+
+enum class AccessPattern { kUniform, kSkewed, kZipf };
+
+struct SyntheticConfig {
+  std::uint32_t stateful_stages = 4;
+  std::size_t reg_size = 512;
+  AccessPattern pattern = AccessPattern::kUniform;
+  double zipf_exponent = 1.0; // kZipf only
+  std::uint32_t pipelines = 4;
+  std::uint32_t ports = 64;
+  std::uint32_t packet_bytes = 64;
+  double load = 1.0; // 1.0 = line rate
+  std::uint64_t packets = 20000;
+  std::uint64_t seed = 1;
+  /// When > 0, packets are emitted by a churning set of `active_flows`
+  /// concurrent flows; each flow samples its per-stage indexes once at
+  /// birth (from `pattern`) and keeps them for a geometric lifetime of
+  /// mean `mean_flow_packets`. This produces the short-time-scale access
+  /// skew of real traffic that dynamic state sharding reacts to (§4.3.2):
+  /// even a long-run-uniform pattern is locally concentrated. 0 = i.i.d.
+  /// per-packet sampling.
+  std::uint32_t active_flows = 0;
+  double mean_flow_packets = 64.0;
+};
+
+/// Trace for the synthetic sensitivity program produced by
+/// apps::make_synthetic_source(stages, reg_size): declared fields are
+/// [h0..h{stages-1}, v], where h_i is the stage-i register index.
+Trace make_synthetic_trace(const SyntheticConfig& config);
+
+struct FlowPacketInfo {
+  std::uint64_t flow = 0;
+  std::uint64_t packet_in_flow = 0;
+  double arrival_time = 0.0;
+  std::uint32_t size_bytes = 0;
+};
+
+/// Maps a flow packet to the program's declared field values.
+using FieldFiller = std::function<std::vector<Value>(const FlowPacketInfo&)>;
+
+struct FlowWorkloadConfig {
+  std::uint32_t active_flows = 64; // concurrently active flows
+  std::uint32_t pipelines = 4;
+  std::uint32_t ports = 64;
+  double load = 1.0;
+  std::uint64_t packets = 20000;
+  std::uint32_t small_bytes = 200;  // bimodal packet sizes (§4.4)
+  std::uint32_t large_bytes = 1400;
+  double small_fraction = 0.45;
+  std::uint64_t seed = 1;
+};
+
+/// Heavy-tailed flow-size sample in bytes, following the published web
+/// search workload's CDF shape (DCTCP): mostly-small flows with a tail of
+/// multi-megabyte flows that carry most of the bytes.
+std::uint64_t web_search_flow_bytes(Rng& rng);
+
+/// Packet trace with `active_flows` concurrent flows round-robining on the
+/// wire; finished flows are replaced by fresh ones with new flow ids. The
+/// FieldFiller turns each packet into program header fields.
+Trace make_flow_trace(const FlowWorkloadConfig& config,
+                      const FieldFiller& filler);
+
+} // namespace mp5

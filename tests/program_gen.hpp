@@ -1,0 +1,111 @@
+// Seeded random Domino-program generator for differential/property tests.
+//
+// Generated programs use each register with one fixed index expression (a
+// Banzai requirement); cyclic state dependencies can still arise and are
+// rejected by the compiler — callers skip those seeds.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace mp5::test {
+
+class ProgramGen {
+public:
+  explicit ProgramGen(std::uint64_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    num_fields_ = static_cast<int>(rng_.next_in(2, 4));
+    num_regs_ = static_cast<int>(rng_.next_in(1, 3));
+    std::ostringstream os;
+    os << "struct Packet {";
+    for (int f = 0; f < num_fields_; ++f) os << " int f" << f << ";";
+    os << " };\n";
+    for (int r = 0; r < num_regs_; ++r) {
+      reg_size_[r] = static_cast<int>(rng_.next_in(1, 8));
+      if (reg_size_[r] == 1) {
+        os << "int r" << r << " = " << rng_.next_in(0, 9) << ";\n";
+      } else {
+        os << "int r" << r << "[" << reg_size_[r] << "] = {"
+           << rng_.next_in(0, 9) << "};\n";
+      }
+    }
+    os << "void prog(struct Packet p) {\n";
+    const int stmts = static_cast<int>(rng_.next_in(3, 8));
+    for (int i = 0; i < stmts; ++i) os << stmt(1);
+    os << "}\n";
+    return os.str();
+  }
+
+private:
+  std::string reg_ref(int r) {
+    if (reg_size_[r] == 1) return "r" + std::to_string(r);
+    // Fixed per-register index expression (single memory port per atom).
+    return "r" + std::to_string(r) + "[p.f" + std::to_string(r % num_fields_) +
+           " % " + std::to_string(reg_size_[r]) + "]";
+  }
+
+  std::string expr(int depth) {
+    const auto pick = rng_.next_below(depth >= 3 ? 3 : 7);
+    switch (pick) {
+      case 0:
+        return std::to_string(rng_.next_in(0, 15));
+      case 1:
+        return "p.f" + std::to_string(rng_.next_below(num_fields_));
+      case 2:
+        return reg_ref(static_cast<int>(rng_.next_below(num_regs_)));
+      case 3: {
+        static const char* ops[] = {"+", "-",  "*", "&", "|",
+                                    "^", "<",  "==", ">>"};
+        const auto op = ops[rng_.next_below(std::size(ops))];
+        return "(" + expr(depth + 1) + " " + op + " " + expr(depth + 1) + ")";
+      }
+      case 4:
+        return "(" + expr(depth + 1) + " ? " + expr(depth + 1) + " : " +
+               expr(depth + 1) + ")";
+      case 5:
+        return "hash2(" + expr(depth + 1) + ", " + expr(depth + 1) + ")";
+      default:
+        return "(" + expr(depth + 1) + " % " +
+               std::to_string(rng_.next_in(1, 16)) + ")";
+    }
+  }
+
+  std::string stmt(int depth) {
+    const bool allow_if = depth < 3;
+    const auto pick = rng_.next_below(allow_if ? 4 : 3);
+    std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    switch (pick) {
+      case 0:
+        return pad + "p.f" + std::to_string(rng_.next_below(num_fields_)) +
+               " = " + expr(1) + ";\n";
+      case 1:
+      case 2:
+        return pad + reg_ref(static_cast<int>(rng_.next_below(num_regs_))) +
+               " = " + expr(1) + ";\n";
+      default: {
+        std::string out = pad + "if (" + expr(1) + ") {\n";
+        const int n = static_cast<int>(rng_.next_in(1, 2));
+        for (int i = 0; i < n; ++i) out += stmt(depth + 1);
+        out += pad + "}";
+        if (rng_.chance(0.5)) {
+          out += " else {\n";
+          const int m = static_cast<int>(rng_.next_in(1, 2));
+          for (int i = 0; i < m; ++i) out += stmt(depth + 1);
+          out += pad + "}";
+        }
+        out += "\n";
+        return out;
+      }
+    }
+  }
+
+  Rng rng_;
+  int num_fields_ = 0;
+  int num_regs_ = 0;
+  int reg_size_[8] = {};
+};
+
+} // namespace mp5::test

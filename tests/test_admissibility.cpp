@@ -1,0 +1,101 @@
+// §3.5.2 fundamental-limit analysis: the admissibility bound must (a)
+// match hand-computed limits on canonical programs and (b) genuinely
+// upper-bound measured MP5 throughput.
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "baseline/presets.hpp"
+#include "hw/area_model.hpp"
+#include "mp5/admissibility.hpp"
+#include "test_util.hpp"
+
+namespace mp5::test {
+namespace {
+
+TEST(Admissibility, GlobalCounterIsOneOverK) {
+  const auto prog = compile_mp5(apps::packet_counter_source());
+  Rng rng(3);
+  const auto trace = trace_from_fields(random_fields(1000, 1, 4, rng), 4);
+  const auto report = analyze_admissibility(prog, trace, 4);
+  EXPECT_DOUBLE_EQ(report.hottest_state_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.bound, 0.25);
+}
+
+TEST(Admissibility, StatelessProgramIsUnbounded) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(0, 1));
+  Rng rng(5);
+  const auto trace = trace_from_fields(random_fields(500, 1, 4, rng), 4);
+  const auto report = analyze_admissibility(prog, trace, 4);
+  EXPECT_DOUBLE_EQ(report.bound, 1.0);
+  EXPECT_DOUBLE_EQ(report.hottest_state_fraction, 0.0);
+}
+
+TEST(Admissibility, ResolvableGuardExcludesUntakenAccesses) {
+  // Only WRITE packets touch the sequencer counter; with 50% writes the
+  // serial bound doubles.
+  const auto prog = compile_mp5(apps::sequencer_app().source);
+  std::vector<std::vector<Value>> fields;
+  for (int i = 0; i < 1000; ++i) {
+    fields.push_back({0, i % 2 == 0 ? 1 : 0, 0}); // group, op, seq_no
+  }
+  const auto trace = trace_from_fields(fields, 4);
+  const auto report = analyze_admissibility(prog, trace, 4);
+  EXPECT_NEAR(report.hottest_state_fraction, 0.5, 0.01);
+  EXPECT_NEAR(report.bound, 0.5, 0.01);
+}
+
+TEST(Admissibility, PinnedArrayPoolsIntoOneSerialState) {
+  const auto prog = compile_mp5(apps::stateful_index_source());
+  Rng rng(7);
+  const auto trace = trace_from_fields(random_fields(1000, 4, 64, rng), 4);
+  const auto report = analyze_admissibility(prog, trace, 4);
+  // Every packet hits the pinned `table` pool (and the ptr array spreads
+  // over 16 indexes): the pinned pool dominates.
+  EXPECT_DOUBLE_EQ(report.hottest_state_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(report.bound, 0.25);
+}
+
+TEST(Admissibility, BoundsDominateMeasuredThroughput) {
+  struct Case {
+    std::string source;
+    std::uint32_t fields;
+  };
+  const Case cases[] = {
+      {apps::packet_counter_source(), 1},
+      {apps::make_synthetic_source(4, 64), 5},
+      {apps::make_synthetic_source(2, 8), 3},
+      {apps::stateful_predicate_source(), 3},
+  };
+  Rng rng(11);
+  for (const auto& c : cases) {
+    const auto prog = compile_mp5(c.source);
+    const auto trace =
+        trace_from_fields(random_fields(4000, c.fields, 64, rng), 4);
+    const auto report = analyze_admissibility(prog, trace, 4);
+    Mp5Simulator sim(prog, mp5_options(4, 11));
+    const double measured = sim.run(trace).normalized_throughput();
+    EXPECT_LE(measured, report.bound + 0.02) << c.source;
+  }
+}
+
+TEST(Chiplets, DisaggregationShrinksCrossbarArea) {
+  hw::ChipletConfig config;
+  config.base.pipelines = 8;
+  config.base.stages = 16;
+  config.chiplets = 2;
+  const auto two = hw::chiplet_cost(config);
+  config.chiplets = 4;
+  const auto four = hw::chiplet_cost(config);
+  const double monolithic = hw::chip_area(config.base).total_mm2;
+  // Quadratic crossbars: splitting saves interconnect area overall...
+  EXPECT_LT(two.total_mm2, monolithic);
+  EXPECT_LT(four.local_crossbar_mm2, two.local_crossbar_mm2);
+  // ...at the price of D2D interfaces and a slower cross-chiplet path.
+  EXPECT_GT(four.d2d_interface_mm2, two.d2d_interface_mm2);
+  EXPECT_LT(two.cross_chiplet_ghz, hw::clock_ghz(config.base));
+  EXPECT_NEAR(two.cross_traffic_fraction, 0.5, 1e-9);
+  EXPECT_NEAR(four.cross_traffic_fraction, 0.75, 1e-9);
+}
+
+} // namespace
+} // namespace mp5::test

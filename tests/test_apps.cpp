@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "domino/ast_interp.hpp"
+#include "domino/parser.hpp"
+#include "test_util.hpp"
+
+namespace mp5::test {
+namespace {
+
+TEST(Apps, AllRealAppsCompileForMp5) {
+  for (const auto& app : apps::real_apps()) {
+    const auto prog = compile_mp5(app.source);
+    EXPECT_GE(prog.accesses.size(), 1u) << app.name;
+    EXPECT_GE(prog.num_stages, 2u) << app.name;
+    EXPECT_FALSE(app.flow_fields.empty()) << app.name;
+  }
+}
+
+TEST(Apps, FlowletKeepsHopWithinBurst) {
+  const auto ast = domino::parse(apps::flowlet_app().source);
+  domino::AstInterp interp(ast);
+  // Two packets of the same flow within the IPG keep the same next hop.
+  auto out1 = interp.process(
+      {{"sport", 10}, {"dport", 20}, {"arrival", 100}});
+  auto out2 = interp.process(
+      {{"sport", 10}, {"dport", 20}, {"arrival", 110}});
+  EXPECT_EQ(out1.at("next_hop"), out2.at("next_hop"));
+  // After a long gap, the flowlet may switch to the new hop; it must
+  // equal that packet's fresh hash choice.
+  auto out3 = interp.process(
+      {{"sport", 10}, {"dport", 20}, {"arrival", 10000}});
+  EXPECT_EQ(out3.at("next_hop"), out3.at("new_hop"));
+}
+
+TEST(Apps, CongaTracksMinimumUtil) {
+  const auto ast = domino::parse(apps::conga_app().source);
+  domino::AstInterp interp(ast);
+  (void)interp.process({{"dst", 5}, {"util", 70}, {"path_id", 2}});
+  auto out = interp.process({{"dst", 5}, {"util", 40}, {"path_id", 3}});
+  EXPECT_EQ(out.at("best"), 3);
+  out = interp.process({{"dst", 5}, {"util", 90}, {"path_id", 4}});
+  EXPECT_EQ(out.at("best"), 3); // higher util does not displace the best
+}
+
+TEST(Apps, WfqComputesStartTimes) {
+  const auto ast = domino::parse(apps::wfq_app().source);
+  domino::AstInterp interp(ast);
+  auto out1 = interp.process({{"sport", 1},
+                              {"dport", 2},
+                              {"size", 100},
+                              {"virtual_time", 0}});
+  EXPECT_EQ(out1.at("start"), 0);
+  auto out2 = interp.process({{"sport", 1},
+                              {"dport", 2},
+                              {"size", 100},
+                              {"virtual_time", 0}});
+  EXPECT_EQ(out2.at("start"), 100); // behind the first packet's finish
+  auto out3 = interp.process({{"sport", 1},
+                              {"dport", 2},
+                              {"size", 100},
+                              {"virtual_time", 500}});
+  EXPECT_EQ(out3.at("start"), 500); // virtual time has moved past finish
+}
+
+TEST(Apps, SequencerStampsOnlyWrites) {
+  const auto ast = domino::parse(apps::sequencer_app().source);
+  domino::AstInterp interp(ast);
+  auto w1 = interp.process({{"group", 0}, {"op", 1}});
+  auto r1 = interp.process({{"group", 0}, {"op", 0}});
+  auto w2 = interp.process({{"group", 0}, {"op", 1}});
+  EXPECT_EQ(w1.at("seq_no"), 1);
+  EXPECT_EQ(r1.at("seq_no"), 0); // reads are not stamped
+  EXPECT_EQ(w2.at("seq_no"), 2);
+}
+
+TEST(Apps, SyntheticSourceScalesStages) {
+  for (const std::uint32_t n : {0u, 1u, 4u, 10u}) {
+    const auto prog = compile_mp5(apps::make_synthetic_source(n, 16));
+    std::size_t stateful = 0;
+    for (const auto& stage : prog.pvsm.stages) {
+      stateful += stage.stateful_regs().size();
+    }
+    EXPECT_EQ(stateful, n);
+    EXPECT_EQ(prog.accesses.size(), n);
+  }
+}
+
+TEST(Apps, AppFillersProduceDeclaredFieldCounts) {
+  for (const auto& app : apps::real_apps()) {
+    const auto ast = domino::parse(app.source);
+    FlowPacketInfo info;
+    info.flow = 7;
+    info.packet_in_flow = 3;
+    info.arrival_time = 123.0;
+    info.size_bytes = 200;
+    const auto fields = app.filler(info);
+    EXPECT_EQ(fields.size(), ast.fields.size()) << app.name;
+  }
+}
+
+TEST(Apps, PaperClaimsAboutCompilerPaths) {
+  // The transformer reports the compiler fallback paths exercised by the
+  // dedicated sources.
+  EXPECT_GT(compile_mp5(apps::stateful_predicate_source())
+                .conservative_accesses(),
+            0u);
+  EXPECT_GT(compile_mp5(apps::stateful_index_source()).pinned_registers(),
+            0u);
+  // And the real apps resolve all addresses preemptively.
+  for (const auto& app : apps::real_apps()) {
+    EXPECT_EQ(compile_mp5(app.source).pinned_registers(), 0u) << app.name;
+  }
+}
+
+
+TEST(ExtendedApps, AllCompileForMp5) {
+  for (const auto& app : apps::extended_apps()) {
+    const auto prog = compile_mp5(app.source);
+    EXPECT_GE(prog.accesses.size(), 1u) << app.name;
+    FlowPacketInfo info;
+    info.flow = 42;
+    info.size_bytes = 200;
+    const auto ast = domino::parse(app.source);
+    EXPECT_EQ(app.filler(info).size(), ast.fields.size()) << app.name;
+  }
+}
+
+TEST(ExtendedApps, EquivalentToSinglePipeline) {
+  for (const auto& app : apps::extended_apps()) {
+    const auto prog = compile_mp5(app.source);
+    FlowWorkloadConfig config;
+    config.pipelines = 4;
+    config.packets = 1200;
+    config.seed = 5;
+    const auto trace = make_flow_trace(config, app.filler);
+    SimOptions opts;
+    opts.pipelines = 4;
+    opts.seed = 5;
+    const auto report = run_and_check(prog, trace, opts);
+    EXPECT_TRUE(report.equivalent()) << app.name << ": "
+                                     << report.first_difference;
+  }
+}
+
+TEST(ExtendedApps, NetflowHasStatefulSamplingPredicate) {
+  // The sampled-NetFlow program gates its per-flow update on a register
+  // value: MP5 must fall back to conservative phantoms for it.
+  for (const auto& app : apps::extended_apps()) {
+    const auto prog = compile_mp5(app.source);
+    if (app.name == "netflow") {
+      EXPECT_GT(prog.conservative_accesses(), 0u);
+    }
+  }
+}
+
+TEST(ExtendedApps, CountMinEstimateUpperBoundsTrueCount) {
+  const auto app_list = apps::extended_apps();
+  const auto& cms = app_list[0];
+  ASSERT_EQ(cms.name, "count_min");
+  const auto ast = domino::parse(cms.source);
+  domino::AstInterp interp(ast);
+  std::unordered_map<Value, Value> truth;
+  Rng rng(9);
+  Value last_est = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Value key = rng.next_in(0, 200);
+    ++truth[key];
+    const auto out = interp.process({{"key", key}});
+    last_est = out.at("est");
+    EXPECT_GE(last_est, truth[key]); // sketch never under-counts
+  }
+}
+
+TEST(ExtendedApps, BloomFirewallAllowsReturnTraffic) {
+  const auto app_list = apps::extended_apps();
+  const auto& fw = app_list[5];
+  ASSERT_EQ(fw.name, "bloom_firewall");
+  const auto ast = domino::parse(fw.source);
+  domino::AstInterp interp(ast);
+  // Unknown inbound tuple: denied.
+  auto out = interp.process({{"tuple", 777}, {"outbound", 0}});
+  EXPECT_EQ(out.at("allowed"), 0);
+  // Outbound inserts...
+  out = interp.process({{"tuple", 777}, {"outbound", 1}});
+  EXPECT_EQ(out.at("allowed"), 1);
+  // ...and the return traffic is now admitted.
+  out = interp.process({{"tuple", 777}, {"outbound", 0}});
+  EXPECT_EQ(out.at("allowed"), 1);
+}
+
+TEST(ExtendedApps, RcpTracksAverageRtt) {
+  const auto app_list = apps::extended_apps();
+  const auto& rcp = app_list[3];
+  ASSERT_EQ(rcp.name, "rcp");
+  const auto ast = domino::parse(rcp.source);
+  domino::AstInterp interp(ast);
+  (void)interp.process({{"rtt", 100}});
+  (void)interp.process({{"rtt", 200}});
+  const auto out = interp.process({{"rtt", 300}});
+  EXPECT_EQ(out.at("avg_rtt"), 200);
+}
+
+
+TEST(Tables, FirstMatchingEntryWins) {
+  const auto ast = domino::parse(R"(
+    struct Packet { int x; int out; };
+    table t (p.x) {
+      5 : { p.out = 1; }
+      5 : { p.out = 2; }
+      default : { p.out = 9; }
+    }
+    void f(struct Packet p) { apply t; }
+  )");
+  domino::AstInterp interp(ast);
+  EXPECT_EQ(interp.process({{"x", 5}}).at("out"), 1); // entry order = priority
+  EXPECT_EQ(interp.process({{"x", 6}}).at("out"), 9);
+}
+
+TEST(Tables, ContextualKeywordDoesNotShadowIdentifiers) {
+  // `table` remains usable as a register name (stateful_index_source does).
+  EXPECT_NO_THROW(compile_mp5(apps::stateful_index_source()));
+}
+
+TEST(Tables, RoutingProgramSemantics) {
+  const auto ast = domino::parse(apps::table_routing_source());
+  domino::AstInterp interp(ast);
+  auto out = interp.process({{"dst", 1}});
+  EXPECT_EQ(out.at("out_port"), 2);
+  EXPECT_EQ(out.at("allow"), 1);
+  out = interp.process({{"dst", 7}}); // default: no route
+  EXPECT_EQ(out.at("out_port"), 0);
+  EXPECT_EQ(out.at("allow"), 0);
+  // Connection accounting only counts routed packets.
+  out = interp.process({{"dst", 1}});
+  EXPECT_EQ(interp.registers()[0][1], 2); // conn_count[1]
+}
+
+} // namespace
+} // namespace mp5::test

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "banzai/atom_templates.hpp"
+#include "banzai/machine.hpp"
+#include "common/error.hpp"
+#include "domino/compiler.hpp"
+
+namespace mp5::banzai {
+namespace {
+
+/// Classify the (single) stateful atom of a one-register program.
+AtomTemplate classify_src(const std::string& src,
+                          const std::string& reg_name) {
+  const auto pvsm = domino::compile(src).pvsm;
+  for (const auto& stage : pvsm.stages) {
+    for (const auto& atom : stage.atoms) {
+      if (atom.stateful() && pvsm.registers[atom.reg].name == reg_name) {
+        return classify_atom(atom);
+      }
+    }
+  }
+  throw Error("no stateful atom for " + reg_name);
+}
+
+TEST(AtomTemplates, ReadOnly) {
+  EXPECT_EQ(classify_src(R"(
+    struct Packet { int x; };
+    int r[4] = {0};
+    void f(struct Packet p) { p.x = r[p.x % 4]; }
+  )",
+                         "r"),
+            AtomTemplate::kRead);
+}
+
+TEST(AtomTemplates, WriteOnly) {
+  EXPECT_EQ(classify_src(R"(
+    struct Packet { int x; };
+    int r[4] = {0};
+    void f(struct Packet p) { r[p.x % 4] = p.x + 1; }
+  )",
+                         "r"),
+            AtomTemplate::kWrite);
+}
+
+TEST(AtomTemplates, ReadThenOverwrite) {
+  // Flowlet's last_time shape: read the old value, overwrite with a
+  // packet field.
+  EXPECT_EQ(classify_src(R"(
+    struct Packet { int x; int y; };
+    int r[4] = {0};
+    void f(struct Packet p) {
+      p.y = r[p.x % 4];
+      r[p.x % 4] = p.x;
+    }
+  )",
+                         "r"),
+            AtomTemplate::kReadWrite);
+}
+
+TEST(AtomTemplates, PlainCounterIsRaw) {
+  EXPECT_EQ(classify_src(apps::packet_counter_source(), "count"),
+            AtomTemplate::kRaw);
+}
+
+TEST(AtomTemplates, GuardedCounterIsPraw) {
+  EXPECT_EQ(classify_src(apps::sequencer_app().source, "counter"),
+            AtomTemplate::kPraw);
+}
+
+TEST(AtomTemplates, SubtractiveUpdate) {
+  EXPECT_EQ(classify_src(R"(
+    struct Packet { int x; };
+    int r[4] = {0};
+    void f(struct Packet p) { r[p.x % 4] = r[p.x % 4] - p.x; }
+  )",
+                         "r"),
+            AtomTemplate::kSub);
+}
+
+TEST(AtomTemplates, TernaryUpdateIsIfElseRaw) {
+  EXPECT_EQ(classify_src(R"(
+    struct Packet { int x; int c; };
+    int r[4] = {0};
+    void f(struct Packet p) {
+      r[p.x % 4] = (p.c == 1) ? r[p.x % 4] + 1 : r[p.x % 4] + p.x;
+    }
+  )",
+                         "r"),
+            AtomTemplate::kIfElseRaw);
+}
+
+TEST(AtomTemplates, MultiplicativeUpdateIsNested) {
+  // Figure 3's reg3: multiply-or-add selected by mux.
+  EXPECT_EQ(classify_src(apps::figure3_source(), "reg3"),
+            AtomTemplate::kNested);
+}
+
+TEST(AtomTemplates, MultipleUpdatesArePairs) {
+  // Two read-modify-write rounds on the same state in one packet.
+  EXPECT_EQ(classify_src(R"(
+    struct Packet { int x; };
+    int r = 0;
+    void f(struct Packet p) {
+      r = r + 1;
+      p.x = r;
+      r = r + 2;
+    }
+  )",
+                         "r"),
+            AtomTemplate::kPairs);
+}
+
+TEST(AtomTemplates, RanksAreMonotone) {
+  EXPECT_LT(template_rank(AtomTemplate::kRead),
+            template_rank(AtomTemplate::kRaw));
+  EXPECT_LT(template_rank(AtomTemplate::kRaw),
+            template_rank(AtomTemplate::kPraw));
+  EXPECT_LT(template_rank(AtomTemplate::kPraw),
+            template_rank(AtomTemplate::kSub));
+  EXPECT_LT(template_rank(AtomTemplate::kIfElseRaw),
+            template_rank(AtomTemplate::kNested));
+  EXPECT_LT(template_rank(AtomTemplate::kNested),
+            template_rank(AtomTemplate::kPairs));
+}
+
+TEST(AtomTemplates, MachineCapRejectsRichAtoms) {
+  banzai::MachineSpec weak;
+  weak.max_atom_template = AtomTemplate::kRaw;
+  // A plain counter fits...
+  EXPECT_NO_THROW(domino::compile(apps::packet_counter_source(), weak));
+  // ...but Figure 3's multiplicative update does not.
+  EXPECT_THROW(domino::compile(apps::figure3_source(), weak), ResourceError);
+}
+
+TEST(AtomTemplates, AllBundledAppsFitTofinoClassTemplates) {
+  banzai::MachineSpec tofino_like; // kPairs default
+  for (const auto& app : apps::real_apps()) {
+    EXPECT_NO_THROW(domino::compile(app.source, tofino_like, 1)) << app.name;
+  }
+  for (const auto& app : apps::extended_apps()) {
+    EXPECT_NO_THROW(domino::compile(app.source, tofino_like, 1)) << app.name;
+  }
+}
+
+TEST(AtomTemplates, MaxTemplateOverProgram) {
+  const auto pvsm = domino::compile(apps::figure3_source()).pvsm;
+  EXPECT_EQ(max_template(pvsm), AtomTemplate::kNested);
+}
+
+} // namespace
+} // namespace mp5::banzai

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "hw/area_model.hpp"
+
+namespace mp5::hw {
+namespace {
+
+HwConfig cfg(std::uint32_t k, std::uint32_t s) {
+  HwConfig c;
+  c.pipelines = k;
+  c.stages = s;
+  return c;
+}
+
+TEST(AreaModel, MatchesTable1WithinTolerance) {
+  // Table 1 grid: within 10% of every published point (k=2,4 are exact by
+  // calibration; k=8 reflects ~5% synthesis nonlinearity).
+  for (const std::uint32_t k : {2u, 4u, 8u}) {
+    for (const std::uint32_t s : {4u, 8u, 12u, 16u}) {
+      const double paper = paper_table1_mm2(k, s);
+      ASSERT_GT(paper, 0.0);
+      const double model = chip_area(cfg(k, s)).total_mm2;
+      EXPECT_NEAR(model, paper, paper * 0.10)
+          << "k=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(AreaModel, ReferencePointIsExact) {
+  EXPECT_NEAR(chip_area(cfg(4, 4)).total_mm2, 0.84, 1e-9);
+  EXPECT_NEAR(chip_area(cfg(4, 16)).total_mm2, 3.36, 1e-9);
+}
+
+TEST(AreaModel, QuadraticInPipelinesLinearInStages) {
+  const double a44 = chip_area(cfg(4, 4)).total_mm2;
+  EXPECT_NEAR(chip_area(cfg(4, 8)).total_mm2, 2 * a44, 1e-9);
+  EXPECT_NEAR(chip_area(cfg(8, 4)).total_mm2, 4 * a44, 1e-9);
+}
+
+TEST(AreaModel, CrossbarsDominate) {
+  const auto area = chip_area(cfg(4, 16));
+  EXPECT_GT(area.data_crossbar_mm2 + area.phantom_crossbar_mm2,
+            0.7 * area.total_mm2);
+  EXPECT_GT(area.data_crossbar_mm2, area.phantom_crossbar_mm2);
+  EXPECT_NEAR(area.total_mm2,
+              area.data_crossbar_mm2 + area.phantom_crossbar_mm2 +
+                  area.fifo_mm2 + area.steering_logic_mm2,
+              1e-9);
+}
+
+TEST(AreaModel, SmallOverheadVersusCommercialAsics) {
+  // §4.2: 4 pipelines x 16 stages = 3.36 mm^2 is 0.5-1% of a 300-700 mm^2
+  // commercial switch ASIC.
+  const double total = chip_area(cfg(4, 16)).total_mm2;
+  EXPECT_LT(total / 300.0, 0.012);
+  EXPECT_GT(total / 700.0, 0.004);
+}
+
+TEST(ClockModel, AllTable1ConfigurationsMeet1GHz) {
+  for (const std::uint32_t k : {2u, 4u, 8u}) {
+    for (const std::uint32_t s : {4u, 8u, 12u, 16u}) {
+      EXPECT_TRUE(meets_1ghz(cfg(k, s))) << "k=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(ClockModel, DegradesWithPipelineCount) {
+  EXPECT_GT(clock_ghz(cfg(2, 16)), clock_ghz(cfg(16, 16)));
+}
+
+TEST(SramModel, ThirtyBitsPerIndex) {
+  EXPECT_EQ(SramOverhead::kBitsPerIndex, 30u);
+  // §4.2 example: 10 stateful stages x 1000 entries -> ~37.5 KB ("about
+  // 35 KB") per pipeline.
+  const double bytes = sram_overhead_bytes_per_pipeline(10, 1000);
+  EXPECT_NEAR(bytes / 1024.0, 36.6, 1.0);
+  // Nominal against 50-100 MB of switch SRAM.
+  EXPECT_LT(bytes / (50.0 * 1024 * 1024), 0.001);
+}
+
+TEST(Table1Lookup, UnknownPointsReturnNegative) {
+  EXPECT_LT(paper_table1_mm2(3, 4), 0.0);
+  EXPECT_LT(paper_table1_mm2(2, 5), 0.0);
+}
+
+} // namespace
+} // namespace mp5::hw

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "domino/lexer.hpp"
+#include "domino/parser.hpp"
+
+namespace mp5::domino {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  const auto toks = lex("a += 0x1f << 2; // comment\n b != ~c");
+  std::vector<Tok> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<Tok>{
+                       Tok::kIdent, Tok::kPlusAssign, Tok::kIntLit, Tok::kShl,
+                       Tok::kIntLit, Tok::kSemi, Tok::kIdent, Tok::kNe,
+                       Tok::kTilde, Tok::kIdent, Tok::kEnd}));
+  EXPECT_EQ(toks[2].int_value, 0x1f);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(Lexer, SkipsBlockCommentsAndPreprocessor) {
+  const auto toks = lex("#define X 4\n/* multi\nline */ y");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "y");
+}
+
+TEST(Lexer, RejectsBadCharacters) {
+  EXPECT_THROW(lex("a @ b"), ParseError);
+  EXPECT_THROW(lex("/* unterminated"), ParseError);
+}
+
+TEST(Parser, ParsesFullProgram) {
+  const auto ast = parse(R"(
+    struct Packet { int x; int y; };
+    const int K = 3;
+    int counter = 0;
+    int table[8] = {1, 2};
+    void run(struct Packet p) {
+      p.x = p.y * K;
+      if (p.x > 2) { counter = counter + 1; } else { p.y = 0; }
+    }
+  )");
+  EXPECT_EQ(ast.func_name, "run");
+  EXPECT_EQ(ast.packet_param, "p");
+  EXPECT_EQ(ast.fields, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(ast.registers.size(), 2u);
+  EXPECT_EQ(ast.registers[0].name, "counter");
+  EXPECT_EQ(ast.registers[0].size, 1u);
+  EXPECT_EQ(ast.registers[1].size, 8u);
+  EXPECT_EQ(ast.registers[1].init, (std::vector<Value>{1, 2}));
+  ASSERT_EQ(ast.body.size(), 2u);
+  EXPECT_EQ(ast.body[1]->kind, Stmt::Kind::kIf);
+}
+
+TEST(Parser, DesugarsCompoundAssignAndIncrement) {
+  const auto ast = parse(R"(
+    struct Packet { int x; };
+    int c = 0;
+    void f(struct Packet p) {
+      p.x += 2;
+      c++;
+      p.x *= p.x;
+    }
+  )");
+  ASSERT_EQ(ast.body.size(), 3u);
+  for (const auto& stmt : ast.body) {
+    EXPECT_EQ(stmt->kind, Stmt::Kind::kAssign);
+    EXPECT_EQ(stmt->rhs->kind, Expr::Kind::kBinary);
+  }
+  EXPECT_EQ(ast.body[1]->rhs->bin, ir::BinOp::kAdd);
+}
+
+TEST(Parser, RespectsPrecedenceAndTernary) {
+  const auto ast = parse(R"(
+    struct Packet { int x; };
+    void f(struct Packet p) {
+      p.x = 1 + 2 * 3 == 7 ? p.x & 3 : p.x | 4;
+    }
+  )");
+  const auto& rhs = *ast.body[0]->rhs;
+  ASSERT_EQ(rhs.kind, Expr::Kind::kTernary);
+  EXPECT_EQ(rhs.a->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(rhs.a->bin, ir::BinOp::kEq);
+}
+
+TEST(Parser, ElseIfChains) {
+  const auto ast = parse(R"(
+    struct Packet { int x; };
+    void f(struct Packet p) {
+      if (p.x == 1) { p.x = 2; }
+      else if (p.x == 2) { p.x = 3; }
+      else { p.x = 4; }
+    }
+  )");
+  const auto& outer = *ast.body[0];
+  ASSERT_EQ(outer.else_body.size(), 1u);
+  EXPECT_EQ(outer.else_body[0]->kind, Stmt::Kind::kIf);
+  EXPECT_EQ(outer.else_body[0]->else_body.size(), 1u);
+}
+
+TEST(Parser, ConstantFoldingInDeclarations) {
+  const auto ast = parse(R"(
+    struct Packet { int x; };
+    const int N = 4 * 8;
+    int table[N] = {N - 1};
+    void f(struct Packet p) { p.x = 1; }
+  )");
+  EXPECT_EQ(ast.registers[0].size, 32u);
+  EXPECT_EQ(ast.registers[0].init[0], 31);
+}
+
+TEST(Parser, ErrorsAreDiagnosed) {
+  EXPECT_THROW(parse("struct Packet { int x; int x; }; void f(struct Packet p){}"),
+               SemanticError);
+  EXPECT_THROW(parse("struct Packet { int x; };"), SemanticError); // no func
+  EXPECT_THROW(parse("void f(struct Packet p) {}"), SemanticError); // no struct
+  EXPECT_THROW(parse("struct Packet { int x; }; int r[0]; void f(struct Packet p){}"),
+               SemanticError); // zero-size register
+  EXPECT_THROW(parse("struct Packet { int x; }; int r[2] = {1,2,3}; void f(struct Packet p){}"),
+               SemanticError); // oversize init
+  EXPECT_THROW(parse("struct Packet { int x; }; void f(struct Packet p) { p.x = ; }"),
+               ParseError);
+  EXPECT_THROW(parse("struct Packet { int x; }; int r[p.x]; void f(struct Packet p){}"),
+               SemanticError); // non-constant size
+  EXPECT_THROW(parse("struct Packet { int x; }; int c = 0; int c = 1; void f(struct Packet p){}"),
+               SemanticError); // duplicate decl
+}
+
+TEST(Parser, RejectsBadAssignmentTargets) {
+  EXPECT_THROW(parse(R"(
+    struct Packet { int x; };
+    void f(struct Packet p) { 3 = p.x; }
+  )"),
+               ParseError);
+}
+
+
+TEST(Parser, MatchTableDesugarsToExclusiveChain) {
+  const auto ast = parse(R"(
+    struct Packet { int dst; int port; };
+    table route (p.dst % 256) {
+      10 : { p.port = 1; }
+      20 : { p.port = 2; }
+      default : { p.port = 0; }
+    }
+    void f(struct Packet p) {
+      apply route;
+    }
+  )");
+  ASSERT_EQ(ast.body.size(), 1u);
+  const auto& outer = *ast.body[0];
+  EXPECT_EQ(outer.kind, Stmt::Kind::kIf);
+  EXPECT_EQ(outer.cond->bin, ir::BinOp::kEq);
+  ASSERT_EQ(outer.else_body.size(), 1u);
+  EXPECT_EQ(outer.else_body[0]->kind, Stmt::Kind::kIf); // else-if chain
+  EXPECT_EQ(outer.else_body[0]->else_body.size(), 1u);  // default
+}
+
+TEST(Parser, MatchTableErrors) {
+  EXPECT_THROW(parse(R"(
+    struct Packet { int x; };
+    table t (p.x) { }
+    void f(struct Packet p) { apply t; }
+  )"),
+               SemanticError); // no entries
+  EXPECT_THROW(parse(R"(
+    struct Packet { int x; };
+    void f(struct Packet p) { apply ghost; }
+  )"),
+               SemanticError); // unknown table
+  EXPECT_THROW(parse(R"(
+    struct Packet { int x; };
+    table t (p.x) { 1 : { p.x = 1; } default : { } default : { } }
+    void f(struct Packet p) { apply t; }
+  )"),
+               ParseError); // duplicate default
+}
+
+TEST(Parser, DefaultOnlyTableAppliesUnconditionally) {
+  const auto ast = parse(R"(
+    struct Packet { int x; };
+    table t (p.x) { default : { p.x = 7; } }
+    void f(struct Packet p) { apply t; }
+  )");
+  ASSERT_EQ(ast.body.size(), 1u);
+  EXPECT_EQ(ast.body[0]->kind, Stmt::Kind::kIf);
+  EXPECT_EQ(ast.body[0]->cond->kind, Expr::Kind::kIntLit);
+}
+
+TEST(Parser, ApplyTwiceReplaysTheTable) {
+  // Each apply clones the entries (no shared AST nodes).
+  const auto ast = parse(R"(
+    struct Packet { int x; int n; };
+    table bump (p.x) { 1 : { p.n = p.n + 1; } }
+    void f(struct Packet p) {
+      apply bump;
+      apply bump;
+    }
+  )");
+  EXPECT_EQ(ast.body.size(), 2u);
+  EXPECT_NE(ast.body[0].get(), ast.body[1].get());
+}
+
+} // namespace
+} // namespace mp5::domino

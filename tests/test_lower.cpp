@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "domino/lower.hpp"
+#include "domino/parser.hpp"
+
+namespace mp5::domino {
+namespace {
+
+LoweredProgram lower_src(const std::string& src) { return lower(parse(src)); }
+
+std::size_t count_op(const LoweredProgram& p, ir::TacOp op) {
+  return static_cast<std::size_t>(
+      std::count_if(p.instrs.begin(), p.instrs.end(),
+                    [&](const ir::TacInstr& i) { return i.op == op; }));
+}
+
+TEST(Lower, DeclaredFieldsGetLeadingSlots) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; int b; };
+    void f(struct Packet p) { p.a = p.b + 1; }
+  )");
+  EXPECT_EQ(p.declared_slot.at("a"), 0);
+  EXPECT_EQ(p.declared_slot.at("b"), 1);
+  EXPECT_TRUE(p.fields[0].declared);
+  EXPECT_FALSE(p.fields.back().declared);
+}
+
+TEST(Lower, SsaVersionsAndEgressCopies) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; };
+    void f(struct Packet p) { p.a = p.a + 1; p.a = p.a * 2; }
+  )");
+  // Final version copied back to the canonical slot exactly once.
+  ASSERT_EQ(p.egress_copies.size(), 1u);
+  const auto& copy = p.instrs[p.egress_copies[0]];
+  EXPECT_EQ(copy.op, ir::TacOp::kCopy);
+  EXPECT_EQ(copy.dst, p.declared_slot.at("a"));
+}
+
+TEST(Lower, NoEgressCopyForUntouchedField) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; int b; };
+    void f(struct Packet p) { p.a = 1; }
+  )");
+  EXPECT_EQ(p.egress_copies.size(), 1u); // only a, not b
+}
+
+TEST(Lower, IfConversionGuardsRegisterOps) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; };
+    int r = 0;
+    void f(struct Packet p) {
+      if (p.a > 3) { r = r + 1; }
+    }
+  )");
+  bool found_guarded_write = false;
+  for (const auto& i : p.instrs) {
+    if (i.op == ir::TacOp::kRegWrite) {
+      EXPECT_NE(i.guard, ir::kNoSlot);
+      EXPECT_FALSE(i.guard_negate);
+      found_guarded_write = true;
+    }
+  }
+  EXPECT_TRUE(found_guarded_write);
+}
+
+TEST(Lower, ElseBranchGetsNegatedGuard) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; };
+    int r = 0;
+    int s = 0;
+    void f(struct Packet p) {
+      if (p.a > 3) { r = 1; } else { s = 1; }
+    }
+  )");
+  std::vector<bool> negates;
+  ir::Slot guard = ir::kNoSlot;
+  for (const auto& i : p.instrs) {
+    if (i.op == ir::TacOp::kRegWrite) {
+      negates.push_back(i.guard_negate);
+      if (guard == ir::kNoSlot) guard = i.guard;
+      EXPECT_EQ(i.guard, guard); // same guard slot, different polarity
+    }
+  }
+  EXPECT_EQ(negates, (std::vector<bool>{false, true}));
+}
+
+TEST(Lower, FieldAssignUnderGuardBecomesSelect) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; };
+    void f(struct Packet p) {
+      if (p.a == 1) { p.a = 5; }
+    }
+  )");
+  EXPECT_GE(count_op(p, ir::TacOp::kSelect), 1u);
+}
+
+TEST(Lower, NestedGuardsAreConjoined) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; int b; };
+    int r = 0;
+    void f(struct Packet p) {
+      if (p.a) { if (p.b) { r = 1; } }
+    }
+  )");
+  // The write's guard must be a computed LAnd temp, not p.a or p.b
+  // directly.
+  for (const auto& i : p.instrs) {
+    if (i.op == ir::TacOp::kRegWrite) {
+      EXPECT_NE(i.guard, p.declared_slot.at("a"));
+      EXPECT_NE(i.guard, p.declared_slot.at("b"));
+    }
+  }
+  bool has_land = false;
+  for (const auto& i : p.instrs) {
+    if (i.op == ir::TacOp::kBin && i.bin == ir::BinOp::kLAnd) has_land = true;
+  }
+  EXPECT_TRUE(has_land);
+}
+
+TEST(Lower, CseUnifiesIndexExpressions) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; };
+    int r[8] = {0};
+    void f(struct Packet p) {
+      r[p.a % 8] = r[p.a % 8] + 1;
+    }
+  )");
+  // Read and write must use the same index operand (one `%` computation).
+  ir::Operand read_idx, write_idx;
+  for (const auto& i : p.instrs) {
+    if (i.op == ir::TacOp::kRegRead) read_idx = i.index;
+    if (i.op == ir::TacOp::kRegWrite) write_idx = i.index;
+  }
+  EXPECT_FALSE(read_idx.is_const);
+  EXPECT_EQ(read_idx.slot, write_idx.slot);
+  std::size_t mods = 0;
+  for (const auto& i : p.instrs) {
+    if (i.op == ir::TacOp::kBin && i.bin == ir::BinOp::kMod) ++mods;
+  }
+  EXPECT_EQ(mods, 1u);
+}
+
+TEST(Lower, RegisterReadsAreNeverCse) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; int b; };
+    int r = 0;
+    void f(struct Packet p) {
+      p.a = r;
+      p.b = r;
+    }
+  )");
+  EXPECT_EQ(count_op(p, ir::TacOp::kRegRead), 2u);
+}
+
+TEST(Lower, ScalarRegisterUsesIndexZero) {
+  const auto p = lower_src(R"(
+    struct Packet { int a; };
+    int c = 7;
+    void f(struct Packet p) { c = c + p.a; }
+  )");
+  for (const auto& i : p.instrs) {
+    if (i.op == ir::TacOp::kRegRead || i.op == ir::TacOp::kRegWrite) {
+      EXPECT_TRUE(i.index.is_const);
+      EXPECT_EQ(i.index.constant, 0);
+    }
+  }
+}
+
+TEST(Lower, BuiltinArityChecked) {
+  EXPECT_THROW(lower_src(R"(
+    struct Packet { int a; };
+    void f(struct Packet p) { p.a = hash2(1); }
+  )"),
+               SemanticError);
+  EXPECT_THROW(lower_src(R"(
+    struct Packet { int a; };
+    void f(struct Packet p) { p.a = max(1, 2, 3); }
+  )"),
+               SemanticError);
+  EXPECT_THROW(lower_src(R"(
+    struct Packet { int a; };
+    void f(struct Packet p) { p.a = nosuch(1); }
+  )"),
+               SemanticError);
+}
+
+TEST(Lower, UndeclaredIdentifiersRejected) {
+  EXPECT_THROW(lower_src(R"(
+    struct Packet { int a; };
+    void f(struct Packet p) { p.zzz = 1; }
+  )"),
+               SemanticError);
+  EXPECT_THROW(lower_src(R"(
+    struct Packet { int a; };
+    void f(struct Packet p) { p.a = ghost; }
+  )"),
+               SemanticError);
+  EXPECT_THROW(lower_src(R"(
+    struct Packet { int a; };
+    void f(struct Packet p) { q.a = 1; }
+  )"),
+               SemanticError);
+  EXPECT_THROW(lower_src(R"(
+    struct Packet { int a; };
+    const int K = 2;
+    void f(struct Packet p) { K = 3; }
+  )"),
+               SemanticError);
+}
+
+} // namespace
+} // namespace mp5::domino

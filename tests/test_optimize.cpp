@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "domino/ast_interp.hpp"
+#include "domino/optimize.hpp"
+#include "domino/parser.hpp"
+#include "domino/pipeline.hpp"
+#include "banzai/single_pipeline.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "program_gen.hpp"
+
+namespace mp5::domino {
+namespace {
+
+LoweredProgram lower_src(const std::string& src) { return lower(parse(src)); }
+
+std::size_t count_op(const LoweredProgram& p, ir::TacOp op) {
+  std::size_t n = 0;
+  for (const auto& i : p.instrs) {
+    if (i.op == op) ++n;
+  }
+  return n;
+}
+
+TEST(Optimize, FoldsConstantExpressions) {
+  auto p = lower_src(R"(
+    struct Packet { int x; };
+    void f(struct Packet p) { p.x = (2 + 3) * 4 - 1; }
+  )");
+  const auto stats = optimize(p);
+  EXPECT_GT(stats.folded, 0u);
+  // Everything reduces to a single egress copy of the constant 19.
+  ASSERT_EQ(p.instrs.size(), 1u);
+  EXPECT_EQ(p.instrs[0].op, ir::TacOp::kCopy);
+  ASSERT_TRUE(p.instrs[0].a.is_const);
+  EXPECT_EQ(p.instrs[0].a.constant, 19);
+}
+
+TEST(Optimize, PropagatesCopiesAndSelectsOnConstCondition) {
+  auto p = lower_src(R"(
+    struct Packet { int x; int y; };
+    void f(struct Packet p) {
+      p.y = p.x;
+      if (1) { p.y = p.y + 1; }
+    }
+  )");
+  optimize(p);
+  EXPECT_EQ(count_op(p, ir::TacOp::kSelect), 0u); // if(1) select folded
+}
+
+TEST(Optimize, StaticallyFalseGuardDeletesAccess) {
+  auto p = lower_src(R"(
+    struct Packet { int x; };
+    int r = 0;
+    void f(struct Packet p) {
+      if (0) { r = r + 1; }
+      p.x = 2;
+    }
+  )");
+  const auto stats = optimize(p);
+  EXPECT_GT(stats.guards_simplified, 0u);
+  EXPECT_EQ(count_op(p, ir::TacOp::kRegRead), 0u);
+  EXPECT_EQ(count_op(p, ir::TacOp::kRegWrite), 0u);
+}
+
+TEST(Optimize, StaticallyTrueGuardBecomesUnconditional) {
+  auto p = lower_src(R"(
+    struct Packet { int x; };
+    int r = 0;
+    void f(struct Packet p) {
+      if (3 > 1) { r = r + 1; }
+    }
+  )");
+  optimize(p);
+  ASSERT_EQ(count_op(p, ir::TacOp::kRegWrite), 1u);
+  for (const auto& i : p.instrs) {
+    if (i.op == ir::TacOp::kRegWrite) {
+      EXPECT_EQ(i.guard, ir::kNoSlot);
+    }
+  }
+}
+
+TEST(Optimize, RemovesDeadComputation) {
+  auto p = lower_src(R"(
+    struct Packet { int x; int y; };
+    void f(struct Packet p) {
+      p.y = hash2(p.x, 7);  // overwritten below, never observable
+      p.y = p.x + 1;
+    }
+  )");
+  const std::size_t before = p.instrs.size();
+  const auto stats = optimize(p);
+  EXPECT_GT(stats.dead_removed + stats.copies_propagated, 0u);
+  EXPECT_LT(p.instrs.size(), before);
+  EXPECT_EQ(count_op(p, ir::TacOp::kHash), 0u);
+}
+
+TEST(Optimize, KeepsRegisterSideEffectsAlive) {
+  auto p = lower_src(R"(
+    struct Packet { int x; };
+    int r = 0;
+    void f(struct Packet p) {
+      r = r + p.x;   // result never read into the packet: still a side effect
+    }
+  )");
+  optimize(p);
+  EXPECT_EQ(count_op(p, ir::TacOp::kRegWrite), 1u);
+}
+
+TEST(Optimize, ReducesStageCount) {
+  // A deep constant expression tree would otherwise occupy several stages.
+  auto unopt = lower_src(R"(
+    struct Packet { int x; };
+    void f(struct Packet p) { p.x = ((1 + 2) * (3 + 4)) + ((5 - 6) * 7); }
+  )");
+  const auto stages_before = pipeline(unopt).stages.size();
+  optimize(unopt);
+  const auto stages_after = pipeline(unopt).stages.size();
+  EXPECT_LT(stages_after, stages_before);
+}
+
+TEST(Optimize, DifferentialOnRandomPrograms) {
+  // Optimized-and-compiled behaviour must match the AST interpreter.
+  int tested = 0;
+  for (std::uint64_t seed = 2000; tested < 40 && seed < 2400; ++seed) {
+    test::ProgramGen gen(seed);
+    const std::string src = gen.generate();
+    Ast ast;
+    LoweredProgram lowered;
+    ir::Pvsm pvsm;
+    try {
+      ast = parse(src);
+      lowered = lower(ast);
+      optimize(lowered);
+      pvsm = pipeline(lowered);
+    } catch (const SemanticError&) {
+      continue;
+    }
+    ++tested;
+    AstInterp interp(ast);
+    banzai::ReferenceSwitch reference(pvsm);
+    Rng rng(seed * 13 + 5);
+    for (int pkt = 0; pkt < 25; ++pkt) {
+      std::unordered_map<std::string, Value> fields;
+      std::vector<Value> headers(pvsm.num_slots(), 0);
+      for (const auto& name : ast.fields) {
+        const Value v = rng.next_in(-8, 31);
+        fields[name] = v;
+        headers[static_cast<std::size_t>(pvsm.slot_of(name))] = v;
+      }
+      const auto expect = interp.process(fields);
+      const auto got = reference.process(std::move(headers));
+      for (const auto& name : ast.fields) {
+        ASSERT_EQ(got[static_cast<std::size_t>(pvsm.slot_of(name))],
+                  expect.at(name))
+            << "seed " << seed << "\n" << src;
+      }
+    }
+  }
+  EXPECT_GE(tested, 40);
+}
+
+} // namespace
+} // namespace mp5::domino

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "mp5/stage_fifo.hpp"
+
+namespace mp5 {
+namespace {
+
+Packet make_packet(SeqNo seq) {
+  Packet p;
+  p.seq = seq;
+  return p;
+}
+
+using Kind = StageFifo::PopResult::Kind;
+
+TEST(StageFifo, PhantomBlocksUntilDataInserted) {
+  StageFifo fifo(2, 0, false);
+  ASSERT_TRUE(fifo.push_phantom(0, 0, 5, 0));
+  EXPECT_EQ(fifo.pop().kind, Kind::kBlocked);
+  ASSERT_TRUE(fifo.insert_data(make_packet(0)));
+  const auto r = fifo.pop();
+  ASSERT_EQ(r.kind, Kind::kData);
+  EXPECT_EQ(r.packet.seq, 0u);
+  EXPECT_EQ(fifo.pop().kind, Kind::kIdle);
+}
+
+TEST(StageFifo, PopPicksSmallestTimestampAcrossLanes) {
+  StageFifo fifo(2, 0, false);
+  ASSERT_TRUE(fifo.push_phantom(3, 0, 0, 1));
+  ASSERT_TRUE(fifo.push_phantom(5, 0, 1, 0));
+  ASSERT_TRUE(fifo.insert_data(make_packet(5)));
+  // Lane 0's head (seq 5, data) must wait for lane 1's head (seq 3).
+  EXPECT_EQ(fifo.pop().kind, Kind::kBlocked);
+  ASSERT_TRUE(fifo.insert_data(make_packet(3)));
+  EXPECT_EQ(fifo.pop().packet.seq, 3u);
+  EXPECT_EQ(fifo.pop().packet.seq, 5u);
+}
+
+TEST(StageFifo, LaterDataBlockedBehindEarlierPhantom) {
+  // The Figure 3 Table III scenario: E's data is present but D's phantom
+  // precedes it in the same lane.
+  StageFifo fifo(1, 0, false);
+  ASSERT_TRUE(fifo.push_phantom(3, 0, 2, 0)); // D
+  ASSERT_TRUE(fifo.push_phantom(4, 0, 2, 0)); // E
+  ASSERT_TRUE(fifo.insert_data(make_packet(4)));
+  EXPECT_EQ(fifo.pop().kind, Kind::kBlocked);
+  ASSERT_TRUE(fifo.insert_data(make_packet(3)));
+  EXPECT_EQ(fifo.pop().packet.seq, 3u);
+  EXPECT_EQ(fifo.pop().packet.seq, 4u);
+}
+
+TEST(StageFifo, BoundedLaneDropsPhantom) {
+  StageFifo fifo(1, 2, false);
+  EXPECT_TRUE(fifo.push_phantom(0, 0, 0, 0));
+  EXPECT_TRUE(fifo.push_phantom(1, 0, 0, 0));
+  EXPECT_FALSE(fifo.push_phantom(2, 0, 0, 0)); // lane full
+  EXPECT_FALSE(fifo.has_phantom(2));
+  // The data packet for the dropped phantom cannot be inserted.
+  EXPECT_FALSE(fifo.insert_data(make_packet(2)));
+}
+
+TEST(StageFifo, CancelledPhantomCostsOneWastedPop) {
+  StageFifo fifo(1, 0, false);
+  ASSERT_TRUE(fifo.push_phantom(0, 0, 0, 0));
+  ASSERT_TRUE(fifo.push_phantom(1, 0, 0, 0));
+  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
+  fifo.cancel(0);
+  EXPECT_EQ(fifo.pop().kind, Kind::kWasted); // reclaiming costs a cycle
+  EXPECT_EQ(fifo.pop().packet.seq, 1u);
+}
+
+TEST(StageFifo, CancelAfterDropIsNoOp) {
+  StageFifo fifo(1, 1, false);
+  ASSERT_TRUE(fifo.push_phantom(0, 0, 0, 0));
+  ASSERT_FALSE(fifo.push_phantom(1, 0, 0, 0));
+  fifo.cancel(1); // dropped phantom: nothing to cancel
+  EXPECT_EQ(fifo.size(), 1u);
+}
+
+TEST(StageFifo, HighWaterTracksPeakOccupancy) {
+  StageFifo fifo(2, 0, false);
+  for (SeqNo s = 0; s < 6; ++s) {
+    ASSERT_TRUE(fifo.push_phantom(s, 0, 0, s % 2));
+  }
+  for (SeqNo s = 0; s < 6; ++s) ASSERT_TRUE(fifo.insert_data(make_packet(s)));
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(fifo.pop().kind, Kind::kData);
+  EXPECT_EQ(fifo.high_water(), 6u);
+  EXPECT_EQ(fifo.size(), 0u);
+}
+
+TEST(StageFifoIdeal, PerIndexOrderingAvoidsHolBlocking) {
+  StageFifo fifo(2, 0, true);
+  // Index 7 is blocked by a phantom (seq 0); index 9's data (seq 1) is
+  // independently serviceable in the ideal design.
+  ASSERT_TRUE(fifo.push_phantom(0, 0, 7, 0));
+  ASSERT_TRUE(fifo.push_phantom(1, 0, 9, 1));
+  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
+  const auto r = fifo.pop();
+  ASSERT_EQ(r.kind, Kind::kData);
+  EXPECT_EQ(r.packet.seq, 1u);
+  EXPECT_EQ(fifo.pop().kind, Kind::kBlocked);
+}
+
+TEST(StageFifoIdeal, StillOrdersWithinAnIndex) {
+  StageFifo fifo(1, 0, true);
+  ASSERT_TRUE(fifo.push_phantom(0, 0, 7, 0));
+  ASSERT_TRUE(fifo.push_phantom(1, 0, 7, 0));
+  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
+  EXPECT_EQ(fifo.pop().kind, Kind::kBlocked); // seq 1 behind seq 0's phantom
+  ASSERT_TRUE(fifo.insert_data(make_packet(0)));
+  EXPECT_EQ(fifo.pop().packet.seq, 0u);
+  EXPECT_EQ(fifo.pop().packet.seq, 1u);
+}
+
+TEST(StageFifoIdeal, CancelledEntriesReclaimedForFree) {
+  StageFifo fifo(1, 0, true);
+  ASSERT_TRUE(fifo.push_phantom(0, 0, 7, 0));
+  ASSERT_TRUE(fifo.push_phantom(1, 0, 7, 0));
+  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
+  fifo.cancel(0);
+  const auto r = fifo.pop(); // no kWasted in the ideal design
+  ASSERT_EQ(r.kind, Kind::kData);
+  EXPECT_EQ(r.packet.seq, 1u);
+}
+
+} // namespace
+} // namespace mp5

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workloads.hpp"
+
+namespace mp5 {
+namespace {
+
+TEST(TraceIo, RoundTripsAllFields) {
+  SyntheticConfig config;
+  config.stateful_stages = 3;
+  config.packets = 500;
+  config.pattern = AccessPattern::kSkewed;
+  const Trace original = make_synthetic_trace(config);
+
+  std::stringstream ss;
+  save_trace_csv(original, ss);
+  const Trace loaded = load_trace_csv(ss);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].arrival_time, original[i].arrival_time);
+    EXPECT_EQ(loaded[i].port, original[i].port);
+    EXPECT_EQ(loaded[i].size_bytes, original[i].size_bytes);
+    EXPECT_EQ(loaded[i].flow, original[i].flow);
+    EXPECT_EQ(loaded[i].fields, original[i].fields);
+  }
+}
+
+TEST(TraceIo, SkipsCommentsAndSortsOnLoad) {
+  std::stringstream ss;
+  ss << "# a comment\n"
+     << "2.5,3,64,7,10,20\n"
+     << "\n"
+     << "1.0,9,128,8\n"   // no fields: allowed
+     << "1.0,2,64,9,5\n"; // same time, smaller port: sorts first
+  const Trace trace = load_trace_csv(ss);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].port, 2u);
+  EXPECT_EQ(trace[1].port, 9u);
+  EXPECT_EQ(trace[2].port, 3u);
+  EXPECT_EQ(trace[2].fields, (std::vector<Value>{10, 20}));
+  EXPECT_TRUE(trace[1].fields.empty());
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  {
+    std::stringstream ss("1.0,2\n");
+    EXPECT_THROW(load_trace_csv(ss), Error);
+  }
+  {
+    std::stringstream ss("1.0,abc,64,0\n");
+    EXPECT_THROW(load_trace_csv(ss), Error);
+  }
+}
+
+TEST(TraceIo, FileHelpersReportMissingPaths) {
+  EXPECT_THROW(load_trace_file("/nonexistent/trace.csv"), Error);
+}
+
+} // namespace
+} // namespace mp5

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "common/error.hpp"
+#include "domino/compiler.hpp"
+#include "mp5/transform.hpp"
+
+namespace mp5 {
+namespace {
+
+Mp5Program transform_src(const std::string& src,
+                         const TransformOptions& topts = {}) {
+  return transform(domino::compile(src, banzai::MachineSpec{}, 1).pvsm, topts);
+}
+
+TEST(Transform, ResolvableIndexAndGuard) {
+  const auto prog = transform_src(R"(
+    struct Packet { int key; int on; };
+    int r[16] = {0};
+    void f(struct Packet p) {
+      if (p.on == 1) { r[p.key % 16] = r[p.key % 16] + 1; }
+    }
+  )");
+  ASSERT_EQ(prog.accesses.size(), 1u);
+  const auto& acc = prog.accesses[0];
+  EXPECT_TRUE(acc.index_resolvable);
+  EXPECT_NE(acc.guard, ir::kNoSlot);
+  EXPECT_TRUE(acc.guard_resolvable);
+  EXPECT_TRUE(prog.shardable[acc.reg]);
+  EXPECT_EQ(prog.conservative_accesses(), 0u);
+  // The resolver must compute both the index (% computation) and guard.
+  EXPECT_GE(prog.resolver.size(), 2u);
+}
+
+TEST(Transform, StatefulGuardBecomesConservative) {
+  const auto prog = transform_src(apps::stateful_predicate_source());
+  EXPECT_EQ(prog.conservative_accesses(), 1u);
+  bool found = false;
+  for (const auto& acc : prog.accesses) {
+    if (acc.guard != ir::kNoSlot && !acc.guard_resolvable) {
+      found = true;
+      EXPECT_TRUE(acc.index_resolvable);
+      EXPECT_GT(acc.guard_known_after_stage, 0u);
+      EXPECT_LT(acc.guard_known_after_stage, acc.stage);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Transform, StatefulIndexPinsArray) {
+  const auto prog = transform_src(apps::stateful_index_source());
+  EXPECT_EQ(prog.pinned_registers(), 1u);
+  bool found = false;
+  for (const auto& acc : prog.accesses) {
+    if (!acc.index_resolvable) {
+      found = true;
+      EXPECT_FALSE(prog.shardable[acc.reg]);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Transform, AccessesSortedByStageWithArShift) {
+  const auto prog = transform_src(apps::make_synthetic_source(4, 8));
+  ASSERT_EQ(prog.accesses.size(), 4u);
+  for (std::size_t i = 0; i < prog.accesses.size(); ++i) {
+    EXPECT_GE(prog.accesses[i].stage, 1u); // stage 0 is the AR stage
+    if (i > 0) {
+      EXPECT_GT(prog.accesses[i].stage, prog.accesses[i - 1].stage);
+    }
+  }
+  EXPECT_EQ(prog.num_stages, prog.pvsm.stages.size() + 1);
+}
+
+TEST(Transform, ResolverIsPure) {
+  const auto prog = transform_src(apps::wfq_app().source);
+  for (const auto& instr : prog.resolver) {
+    EXPECT_NE(instr.op, ir::TacOp::kRegRead);
+    EXPECT_NE(instr.op, ir::TacOp::kRegWrite);
+  }
+}
+
+TEST(Transform, UnserializedCoStagedArraysArePinned) {
+  banzai::MachineSpec machine;
+  machine.max_stages = 3; // forces the unserialized schedule (AR reserved)
+  const auto compiled = domino::compile(R"(
+    struct Packet { int a; int b; };
+    int x[8] = {0};
+    int y[8] = {0};
+    void f(struct Packet p) {
+      x[p.a % 8] = x[p.a % 8] + 1;
+      y[p.b % 8] = y[p.b % 8] + 1;
+      p.a = p.a + 1;
+    }
+  )",
+                                        machine, /*reserve_stages=*/1);
+  ASSERT_FALSE(compiled.serialized);
+  const auto prog = transform(compiled.pvsm);
+  EXPECT_EQ(prog.pinned_registers(), 2u);
+}
+
+TEST(Transform, ExclusivePairStaysShardable) {
+  const auto prog = transform_src(R"(
+    struct Packet { int a; int v; };
+    int x[8] = {0};
+    int y[8] = {0};
+    void f(struct Packet p) {
+      if (p.a == 1) { p.v = x[p.a % 8]; } else { p.v = y[p.v % 8]; }
+    }
+  )");
+  EXPECT_EQ(prog.pinned_registers(), 0u);
+  // Both accesses resolvable-guarded: exactly one planned at runtime.
+  ASSERT_EQ(prog.accesses.size(), 2u);
+  EXPECT_EQ(prog.accesses[0].stage, prog.accesses[1].stage);
+}
+
+TEST(Transform, FlowOrderStageAppended) {
+  TransformOptions topts;
+  topts.add_flow_order_stage = true;
+  topts.flow_fields = {"sport", "dport"};
+  topts.flow_order_reg_size = 256;
+  const auto prog = transform_src(apps::wfq_app().source, topts);
+  ASSERT_TRUE(prog.has_flow_order);
+  EXPECT_EQ(prog.pvsm.registers.back().name, "$flow_order");
+  EXPECT_EQ(prog.pvsm.registers.back().size, 256u);
+  const auto& last = prog.accesses.back();
+  EXPECT_EQ(last.reg, prog.flow_order_reg);
+  EXPECT_EQ(last.stage, prog.num_stages - 1);
+  EXPECT_TRUE(last.index_resolvable);
+}
+
+TEST(Transform, FlowOrderWithoutFieldsRejected) {
+  TransformOptions topts;
+  topts.add_flow_order_stage = true;
+  EXPECT_THROW(transform_src(apps::wfq_app().source, topts), ConfigError);
+}
+
+} // namespace
+} // namespace mp5

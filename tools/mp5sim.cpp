@@ -1,0 +1,272 @@
+// mp5sim — run an MP5 (or baseline) simulation from the command line.
+//
+// Usage:
+//   mp5sim --builtin flowlet --pipelines 4
+//   mp5sim program.dom --trace trace.csv --design no-d4
+//   mp5sim --builtin counter --packets 5000 --check-equivalence
+//
+// Program source:
+//   <file.dom> | --builtin <name>      (see mp5c --list)
+// Traffic (choose one):
+//   --trace file.csv                   replay a stored trace
+//   --flow-workload                    §4.4 web-search flows (uses the
+//                                      builtin's field filler; builtin only)
+//   --rand-fields B                    uniform random fields in [0, B)
+//                                      (default, B=1024)
+// Options:
+//   --design mp5|ideal|no-d2|no-d4|naive|recirc    (default mp5)
+//   --pipelines K  --packets N  --seed S  --load F
+//   --fifo-capacity N  --remap N  --flow-order f1,f2
+//   --check-equivalence     verify vs the single-pipeline reference
+//   --save-trace file.csv   store the generated trace
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "apps/programs.hpp"
+#include "banzai/single_pipeline.hpp"
+#include "baseline/presets.hpp"
+#include "baseline/recirc.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "domino/compiler.hpp"
+#include "domino/parser.hpp"
+#include "metrics/equivalence.hpp"
+#include "mp5/simulator.hpp"
+#include "mp5/transform.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+using namespace mp5;
+
+struct Args {
+  std::string source;
+  std::string builtin;
+  std::string design = "mp5";
+  std::string trace_file;
+  std::string save_trace;
+  bool flow_workload = false;
+  Value rand_bound = 1024;
+  std::uint32_t pipelines = 4;
+  std::uint64_t packets = 20000;
+  std::uint64_t seed = 1;
+  double load = 1.0;
+  std::size_t fifo_capacity = 0;
+  std::uint32_t remap = 100;
+  std::vector<std::string> flow_order_fields;
+  bool check_equivalence = false;
+  std::uint64_t timeline = 0; // print the first N simulator events
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError(arg + " needs an argument");
+      return argv[++i];
+    };
+    if (arg == "--builtin") args.builtin = next();
+    else if (arg == "--design") args.design = next();
+    else if (arg == "--trace") args.trace_file = next();
+    else if (arg == "--save-trace") args.save_trace = next();
+    else if (arg == "--flow-workload") args.flow_workload = true;
+    else if (arg == "--rand-fields") args.rand_bound = std::stoll(next());
+    else if (arg == "--pipelines") args.pipelines =
+        static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--packets") args.packets = std::stoull(next());
+    else if (arg == "--seed") args.seed = std::stoull(next());
+    else if (arg == "--load") args.load = std::stod(next());
+    else if (arg == "--fifo-capacity") args.fifo_capacity = std::stoull(next());
+    else if (arg == "--remap") args.remap =
+        static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--flow-order") args.flow_order_fields = split_csv(next());
+    else if (arg == "--check-equivalence") args.check_equivalence = true;
+    else if (arg == "--timeline") args.timeline = std::stoull(next());
+    else if (!arg.empty() && arg[0] == '-')
+      throw ConfigError("unknown option '" + arg + "'");
+    else {
+      std::ifstream in(arg);
+      if (!in) throw ConfigError("cannot open '" + arg + "'");
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      args.source = ss.str();
+    }
+  }
+  return args;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  // Resolve the program.
+  std::string source = args.source;
+  FieldFiller filler;
+  if (!args.builtin.empty()) {
+    auto builtins = apps::real_apps();
+    auto more = apps::extended_apps();
+    builtins.insert(builtins.end(), more.begin(), more.end());
+    for (const auto& app : builtins) {
+      if (app.name == args.builtin) {
+        source = app.source;
+        filler = app.filler;
+      }
+    }
+    if (source.empty() && args.builtin == "counter") {
+      source = apps::packet_counter_source();
+    }
+    if (source.empty() && args.builtin == "figure3") {
+      source = apps::figure3_source();
+    }
+    if (source.empty()) {
+      throw ConfigError("unknown builtin '" + args.builtin + "'");
+    }
+  }
+  if (source.empty()) {
+    std::cerr << "usage: mp5sim <file.dom> | --builtin <name> [options]\n";
+    return 2;
+  }
+
+  TransformOptions topts;
+  if (!args.flow_order_fields.empty()) {
+    topts.add_flow_order_stage = true;
+    topts.flow_fields = args.flow_order_fields;
+  }
+  const auto ast = domino::parse(source);
+  const auto compiled =
+      domino::compile(ast, banzai::MachineSpec{}, /*reserve_stages=*/1);
+  const Mp5Program program = transform(compiled.pvsm, topts);
+
+  // Resolve the traffic.
+  Trace trace;
+  if (!args.trace_file.empty()) {
+    trace = load_trace_file(args.trace_file);
+  } else if (args.flow_workload) {
+    if (!filler) {
+      throw ConfigError("--flow-workload needs a --builtin app (its filler "
+                        "maps flows to header fields)");
+    }
+    FlowWorkloadConfig config;
+    config.pipelines = args.pipelines;
+    config.packets = args.packets;
+    config.seed = args.seed;
+    config.load = args.load;
+    trace = make_flow_trace(config, filler);
+  } else {
+    Rng rng(args.seed);
+    LineRateClock clock(args.pipelines, args.load);
+    for (std::uint64_t n = 0; n < args.packets; ++n) {
+      TraceItem item;
+      item.arrival_time = clock.next(64);
+      item.port = static_cast<std::uint32_t>(n % 64);
+      item.flow = n % 128;
+      for (std::size_t f = 0; f < ast.fields.size(); ++f) {
+        item.fields.push_back(rng.next_in(0, args.rand_bound - 1));
+      }
+      trace.push_back(std::move(item));
+    }
+  }
+  if (!args.save_trace.empty()) save_trace_file(trace, args.save_trace);
+
+  // Resolve the design and run.
+  SimResult result;
+  if (args.design == "recirc") {
+    RecircOptions ropts;
+    ropts.pipelines = args.pipelines;
+    ropts.seed = args.seed;
+    ropts.record_egress = args.check_equivalence;
+    RecircSimulator sim(program, ropts);
+    result = sim.run(trace);
+  } else {
+    SimOptions opts;
+    if (args.design == "mp5") opts = mp5_options(args.pipelines, args.seed);
+    else if (args.design == "ideal") opts = ideal_options(args.pipelines, args.seed);
+    else if (args.design == "no-d2") opts = no_d2_options(args.pipelines, args.seed);
+    else if (args.design == "no-d4") opts = no_d4_options(args.pipelines, args.seed);
+    else if (args.design == "naive") opts = naive_options(args.pipelines, args.seed);
+    else throw ConfigError("unknown design '" + args.design + "'");
+    opts.fifo_capacity = args.fifo_capacity;
+    opts.remap_period = args.remap;
+    opts.record_egress = args.check_equivalence;
+    std::uint64_t printed = 0;
+    if (args.timeline > 0) {
+      opts.timeline = [&printed, &args](const TimelineEvent& event) {
+        if (printed++ >= args.timeline) return;
+        std::cout << "cycle " << event.cycle << "  pipe " << event.pipeline
+                  << "  stage " << event.stage << "  " << to_string(event.kind);
+        if (event.seq != kInvalidSeqNo) std::cout << "  pkt " << event.seq;
+        std::cout << "\n";
+      };
+    }
+    Mp5Simulator sim(program, opts);
+    result = sim.run(trace);
+  }
+
+  TextTable table({"metric", "value"});
+  table.add_row({"design", args.design});
+  table.add_row({"pipelines", TextTable::integer(args.pipelines)});
+  table.add_row({"offered", TextTable::integer(
+                                static_cast<long long>(result.offered))});
+  table.add_row({"egressed", TextTable::integer(
+                                 static_cast<long long>(result.egressed))});
+  table.add_row({"throughput", TextTable::num(result.normalized_throughput(), 4)});
+  table.add_row({"drops (phantom/data/starved)",
+                 std::to_string(result.dropped_phantom) + "/" +
+                     std::to_string(result.dropped_data) + "/" +
+                     std::to_string(result.dropped_starved)});
+  table.add_row({"C1 violating packets",
+                 TextTable::integer(
+                     static_cast<long long>(result.c1_violating_packets))});
+  table.add_row({"max stage queue", TextTable::integer(static_cast<long long>(
+                                        result.max_queue_depth))});
+  table.add_row({"steers", TextTable::integer(
+                               static_cast<long long>(result.steers))});
+  table.add_row({"wasted pops", TextTable::integer(static_cast<long long>(
+                                    result.wasted_cycles))});
+  table.add_row({"remap moves", TextTable::integer(static_cast<long long>(
+                                    result.remap_moves))});
+  table.add_row({"recirculations",
+                 TextTable::integer(
+                     static_cast<long long>(result.recirculations))});
+  table.add_row({"cycles", TextTable::integer(
+                               static_cast<long long>(result.cycles_run))});
+  table.print(std::cout);
+
+  if (args.check_equivalence) {
+    banzai::ReferenceSwitch reference(program.pvsm);
+    const auto ref =
+        reference.run(to_header_batch(trace, program.pvsm.num_slots()));
+    const auto report = check_equivalence(program.pvsm, ref, result);
+    std::cout << "functional equivalence: "
+              << (report.equivalent() ? "OK" : "VIOLATED") << "\n";
+    if (!report.equivalent()) {
+      std::cout << "  " << report.first_difference << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mp5::Error& e) {
+    std::cerr << "mp5sim: " << e.what() << "\n";
+    return 1;
+  }
+}
