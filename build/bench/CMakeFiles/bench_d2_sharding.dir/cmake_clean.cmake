@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_d2_sharding.dir/bench_d2_sharding.cpp.o"
+  "CMakeFiles/bench_d2_sharding.dir/bench_d2_sharding.cpp.o.d"
+  "bench_d2_sharding"
+  "bench_d2_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_d2_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

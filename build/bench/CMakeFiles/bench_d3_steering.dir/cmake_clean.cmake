@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_d3_steering.dir/bench_d3_steering.cpp.o"
+  "CMakeFiles/bench_d3_steering.dir/bench_d3_steering.cpp.o.d"
+  "bench_d3_steering"
+  "bench_d3_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_d3_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

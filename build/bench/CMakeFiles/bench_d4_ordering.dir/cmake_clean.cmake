@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_d4_ordering.dir/bench_d4_ordering.cpp.o"
+  "CMakeFiles/bench_d4_ordering.dir/bench_d4_ordering.cpp.o.d"
+  "bench_d4_ordering"
+  "bench_d4_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_d4_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_realapps.dir/bench_fig8_realapps.cpp.o"
+  "CMakeFiles/bench_fig8_realapps.dir/bench_fig8_realapps.cpp.o.d"
+  "bench_fig8_realapps"
+  "bench_fig8_realapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_realapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flowlet_lb.dir/flowlet_lb.cpp.o"
+  "CMakeFiles/flowlet_lb.dir/flowlet_lb.cpp.o.d"
+  "flowlet_lb"
+  "flowlet_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flowlet_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_hitter.dir/heavy_hitter.cpp.o"
+  "CMakeFiles/heavy_hitter.dir/heavy_hitter.cpp.o.d"
+  "heavy_hitter"
+  "heavy_hitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_hitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

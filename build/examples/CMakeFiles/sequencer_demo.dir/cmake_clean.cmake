@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequencer_demo.dir/sequencer_demo.cpp.o"
+  "CMakeFiles/sequencer_demo.dir/sequencer_demo.cpp.o.d"
+  "sequencer_demo"
+  "sequencer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequencer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/programs.cpp" "src/apps/CMakeFiles/mp5_apps.dir/programs.cpp.o" "gcc" "src/apps/CMakeFiles/mp5_apps.dir/programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mp5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mp5_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/domino/CMakeFiles/mp5_domino.dir/DependInfo.cmake"
+  "/root/repo/build/src/banzai/CMakeFiles/mp5_banzai.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/mp5_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_apps.dir/programs.cpp.o"
+  "CMakeFiles/mp5_apps.dir/programs.cpp.o.d"
+  "libmp5_apps.a"
+  "libmp5_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/banzai/atom_templates.cpp" "src/banzai/CMakeFiles/mp5_banzai.dir/atom_templates.cpp.o" "gcc" "src/banzai/CMakeFiles/mp5_banzai.dir/atom_templates.cpp.o.d"
+  "/root/repo/src/banzai/ir.cpp" "src/banzai/CMakeFiles/mp5_banzai.dir/ir.cpp.o" "gcc" "src/banzai/CMakeFiles/mp5_banzai.dir/ir.cpp.o.d"
+  "/root/repo/src/banzai/machine.cpp" "src/banzai/CMakeFiles/mp5_banzai.dir/machine.cpp.o" "gcc" "src/banzai/CMakeFiles/mp5_banzai.dir/machine.cpp.o.d"
+  "/root/repo/src/banzai/single_pipeline.cpp" "src/banzai/CMakeFiles/mp5_banzai.dir/single_pipeline.cpp.o" "gcc" "src/banzai/CMakeFiles/mp5_banzai.dir/single_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mp5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/mp5_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

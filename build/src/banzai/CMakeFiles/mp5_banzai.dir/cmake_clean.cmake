@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_banzai.dir/atom_templates.cpp.o"
+  "CMakeFiles/mp5_banzai.dir/atom_templates.cpp.o.d"
+  "CMakeFiles/mp5_banzai.dir/ir.cpp.o"
+  "CMakeFiles/mp5_banzai.dir/ir.cpp.o.d"
+  "CMakeFiles/mp5_banzai.dir/machine.cpp.o"
+  "CMakeFiles/mp5_banzai.dir/machine.cpp.o.d"
+  "CMakeFiles/mp5_banzai.dir/single_pipeline.cpp.o"
+  "CMakeFiles/mp5_banzai.dir/single_pipeline.cpp.o.d"
+  "libmp5_banzai.a"
+  "libmp5_banzai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_banzai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

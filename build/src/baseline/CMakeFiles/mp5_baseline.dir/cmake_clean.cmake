@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_baseline.dir/presets.cpp.o"
+  "CMakeFiles/mp5_baseline.dir/presets.cpp.o.d"
+  "CMakeFiles/mp5_baseline.dir/recirc.cpp.o"
+  "CMakeFiles/mp5_baseline.dir/recirc.cpp.o.d"
+  "libmp5_baseline.a"
+  "libmp5_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_common.dir/hashing.cpp.o"
+  "CMakeFiles/mp5_common.dir/hashing.cpp.o.d"
+  "CMakeFiles/mp5_common.dir/rng.cpp.o"
+  "CMakeFiles/mp5_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mp5_common.dir/stats.cpp.o"
+  "CMakeFiles/mp5_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mp5_common.dir/table.cpp.o"
+  "CMakeFiles/mp5_common.dir/table.cpp.o.d"
+  "CMakeFiles/mp5_common.dir/zipf.cpp.o"
+  "CMakeFiles/mp5_common.dir/zipf.cpp.o.d"
+  "libmp5_common.a"
+  "libmp5_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domino/ast_interp.cpp" "src/domino/CMakeFiles/mp5_domino.dir/ast_interp.cpp.o" "gcc" "src/domino/CMakeFiles/mp5_domino.dir/ast_interp.cpp.o.d"
+  "/root/repo/src/domino/compiler.cpp" "src/domino/CMakeFiles/mp5_domino.dir/compiler.cpp.o" "gcc" "src/domino/CMakeFiles/mp5_domino.dir/compiler.cpp.o.d"
+  "/root/repo/src/domino/lexer.cpp" "src/domino/CMakeFiles/mp5_domino.dir/lexer.cpp.o" "gcc" "src/domino/CMakeFiles/mp5_domino.dir/lexer.cpp.o.d"
+  "/root/repo/src/domino/lower.cpp" "src/domino/CMakeFiles/mp5_domino.dir/lower.cpp.o" "gcc" "src/domino/CMakeFiles/mp5_domino.dir/lower.cpp.o.d"
+  "/root/repo/src/domino/optimize.cpp" "src/domino/CMakeFiles/mp5_domino.dir/optimize.cpp.o" "gcc" "src/domino/CMakeFiles/mp5_domino.dir/optimize.cpp.o.d"
+  "/root/repo/src/domino/parser.cpp" "src/domino/CMakeFiles/mp5_domino.dir/parser.cpp.o" "gcc" "src/domino/CMakeFiles/mp5_domino.dir/parser.cpp.o.d"
+  "/root/repo/src/domino/pipeline.cpp" "src/domino/CMakeFiles/mp5_domino.dir/pipeline.cpp.o" "gcc" "src/domino/CMakeFiles/mp5_domino.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mp5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/banzai/CMakeFiles/mp5_banzai.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/mp5_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_domino.dir/ast_interp.cpp.o"
+  "CMakeFiles/mp5_domino.dir/ast_interp.cpp.o.d"
+  "CMakeFiles/mp5_domino.dir/compiler.cpp.o"
+  "CMakeFiles/mp5_domino.dir/compiler.cpp.o.d"
+  "CMakeFiles/mp5_domino.dir/lexer.cpp.o"
+  "CMakeFiles/mp5_domino.dir/lexer.cpp.o.d"
+  "CMakeFiles/mp5_domino.dir/lower.cpp.o"
+  "CMakeFiles/mp5_domino.dir/lower.cpp.o.d"
+  "CMakeFiles/mp5_domino.dir/optimize.cpp.o"
+  "CMakeFiles/mp5_domino.dir/optimize.cpp.o.d"
+  "CMakeFiles/mp5_domino.dir/parser.cpp.o"
+  "CMakeFiles/mp5_domino.dir/parser.cpp.o.d"
+  "CMakeFiles/mp5_domino.dir/pipeline.cpp.o"
+  "CMakeFiles/mp5_domino.dir/pipeline.cpp.o.d"
+  "libmp5_domino.a"
+  "libmp5_domino.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_domino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_hw.dir/area_model.cpp.o"
+  "CMakeFiles/mp5_hw.dir/area_model.cpp.o.d"
+  "libmp5_hw.a"
+  "libmp5_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

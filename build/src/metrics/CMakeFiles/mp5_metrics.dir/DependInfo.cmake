@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/c1_checker.cpp" "src/metrics/CMakeFiles/mp5_metrics.dir/c1_checker.cpp.o" "gcc" "src/metrics/CMakeFiles/mp5_metrics.dir/c1_checker.cpp.o.d"
+  "/root/repo/src/metrics/equivalence.cpp" "src/metrics/CMakeFiles/mp5_metrics.dir/equivalence.cpp.o" "gcc" "src/metrics/CMakeFiles/mp5_metrics.dir/equivalence.cpp.o.d"
+  "/root/repo/src/metrics/reordering.cpp" "src/metrics/CMakeFiles/mp5_metrics.dir/reordering.cpp.o" "gcc" "src/metrics/CMakeFiles/mp5_metrics.dir/reordering.cpp.o.d"
+  "/root/repo/src/metrics/sim_result.cpp" "src/metrics/CMakeFiles/mp5_metrics.dir/sim_result.cpp.o" "gcc" "src/metrics/CMakeFiles/mp5_metrics.dir/sim_result.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mp5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/mp5_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/banzai/CMakeFiles/mp5_banzai.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_metrics.dir/c1_checker.cpp.o"
+  "CMakeFiles/mp5_metrics.dir/c1_checker.cpp.o.d"
+  "CMakeFiles/mp5_metrics.dir/equivalence.cpp.o"
+  "CMakeFiles/mp5_metrics.dir/equivalence.cpp.o.d"
+  "CMakeFiles/mp5_metrics.dir/reordering.cpp.o"
+  "CMakeFiles/mp5_metrics.dir/reordering.cpp.o.d"
+  "CMakeFiles/mp5_metrics.dir/sim_result.cpp.o"
+  "CMakeFiles/mp5_metrics.dir/sim_result.cpp.o.d"
+  "libmp5_metrics.a"
+  "libmp5_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp5/admissibility.cpp" "src/mp5/CMakeFiles/mp5_core.dir/admissibility.cpp.o" "gcc" "src/mp5/CMakeFiles/mp5_core.dir/admissibility.cpp.o.d"
+  "/root/repo/src/mp5/partition.cpp" "src/mp5/CMakeFiles/mp5_core.dir/partition.cpp.o" "gcc" "src/mp5/CMakeFiles/mp5_core.dir/partition.cpp.o.d"
+  "/root/repo/src/mp5/shard_map.cpp" "src/mp5/CMakeFiles/mp5_core.dir/shard_map.cpp.o" "gcc" "src/mp5/CMakeFiles/mp5_core.dir/shard_map.cpp.o.d"
+  "/root/repo/src/mp5/simulator.cpp" "src/mp5/CMakeFiles/mp5_core.dir/simulator.cpp.o" "gcc" "src/mp5/CMakeFiles/mp5_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/mp5/stage_fifo.cpp" "src/mp5/CMakeFiles/mp5_core.dir/stage_fifo.cpp.o" "gcc" "src/mp5/CMakeFiles/mp5_core.dir/stage_fifo.cpp.o.d"
+  "/root/repo/src/mp5/transform.cpp" "src/mp5/CMakeFiles/mp5_core.dir/transform.cpp.o" "gcc" "src/mp5/CMakeFiles/mp5_core.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mp5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/packet/CMakeFiles/mp5_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/banzai/CMakeFiles/mp5_banzai.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mp5_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mp5_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

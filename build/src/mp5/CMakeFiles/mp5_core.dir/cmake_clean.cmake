@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_core.dir/admissibility.cpp.o"
+  "CMakeFiles/mp5_core.dir/admissibility.cpp.o.d"
+  "CMakeFiles/mp5_core.dir/partition.cpp.o"
+  "CMakeFiles/mp5_core.dir/partition.cpp.o.d"
+  "CMakeFiles/mp5_core.dir/shard_map.cpp.o"
+  "CMakeFiles/mp5_core.dir/shard_map.cpp.o.d"
+  "CMakeFiles/mp5_core.dir/simulator.cpp.o"
+  "CMakeFiles/mp5_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/mp5_core.dir/stage_fifo.cpp.o"
+  "CMakeFiles/mp5_core.dir/stage_fifo.cpp.o.d"
+  "CMakeFiles/mp5_core.dir/transform.cpp.o"
+  "CMakeFiles/mp5_core.dir/transform.cpp.o.d"
+  "libmp5_core.a"
+  "libmp5_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

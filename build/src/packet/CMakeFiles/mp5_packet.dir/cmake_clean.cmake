@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_packet.dir/packet.cpp.o"
+  "CMakeFiles/mp5_packet.dir/packet.cpp.o.d"
+  "libmp5_packet.a"
+  "libmp5_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5_trace.dir/trace.cpp.o"
+  "CMakeFiles/mp5_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/mp5_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/mp5_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/mp5_trace.dir/workloads.cpp.o"
+  "CMakeFiles/mp5_trace.dir/workloads.cpp.o.d"
+  "libmp5_trace.a"
+  "libmp5_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

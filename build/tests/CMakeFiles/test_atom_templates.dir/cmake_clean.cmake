@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atom_templates.dir/test_atom_templates.cpp.o"
+  "CMakeFiles/test_atom_templates.dir/test_atom_templates.cpp.o.d"
+  "test_atom_templates"
+  "test_atom_templates.pdb"
+  "test_atom_templates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atom_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recirc.dir/test_recirc.cpp.o"
+  "CMakeFiles/test_recirc.dir/test_recirc.cpp.o.d"
+  "test_recirc"
+  "test_recirc.pdb"
+  "test_recirc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shard_map.dir/test_shard_map.cpp.o"
+  "CMakeFiles/test_shard_map.dir/test_shard_map.cpp.o.d"
+  "test_shard_map"
+  "test_shard_map.pdb"
+  "test_shard_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shard_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stage_fifo.dir/test_stage_fifo.cpp.o"
+  "CMakeFiles/test_stage_fifo.dir/test_stage_fifo.cpp.o.d"
+  "test_stage_fifo"
+  "test_stage_fifo.pdb"
+  "test_stage_fifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stage_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_lexer_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_lower[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler_diff[1]_include.cmake")
+include("/root/repo/build/tests/test_reference[1]_include.cmake")
+include("/root/repo/build/tests/test_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_stage_fifo[1]_include.cmake")
+include("/root/repo/build/tests/test_shard_map[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_behavior[1]_include.cmake")
+include("/root/repo/build/tests/test_recirc[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_atom_templates[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_optimize[1]_include.cmake")
+include("/root/repo/build/tests/test_timeline[1]_include.cmake")
+include("/root/repo/build/tests/test_reordering[1]_include.cmake")
+include("/root/repo/build/tests/test_misc_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_admissibility[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5c.dir/mp5c.cpp.o"
+  "CMakeFiles/mp5c.dir/mp5c.cpp.o.d"
+  "mp5c"
+  "mp5c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

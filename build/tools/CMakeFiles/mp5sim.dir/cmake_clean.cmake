@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp5sim.dir/mp5sim.cpp.o"
+  "CMakeFiles/mp5sim.dir/mp5sim.cpp.o.d"
+  "mp5sim"
+  "mp5sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp5sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

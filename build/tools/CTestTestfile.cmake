@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_mp5c_flowlet "/root/repo/build/tools/mp5c" "--builtin" "flowlet")
+set_tests_properties(tool_mp5c_flowlet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_mp5c_list "/root/repo/build/tools/mp5c" "--list")
+set_tests_properties(tool_mp5c_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_mp5sim_counter "/root/repo/build/tools/mp5sim" "--builtin" "counter" "--packets" "2000" "--check-equivalence")
+set_tests_properties(tool_mp5sim_counter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_mp5sim_recirc "/root/repo/build/tools/mp5sim" "--builtin" "wfq" "--design" "recirc" "--packets" "2000")
+set_tests_properties(tool_mp5sim_recirc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
