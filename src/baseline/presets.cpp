@@ -24,6 +24,9 @@ SimOptions no_d4_options(std::uint32_t pipelines, std::uint64_t seed) {
 SimOptions naive_options(std::uint32_t pipelines, std::uint64_t seed) {
   SimOptions opts = mp5_options(pipelines, seed);
   opts.naive_single_pipeline = true;
+  // The simulator rejects naive mode with any other sharding policy
+  // (construction-time validation), so set the matching one explicitly.
+  opts.sharding = ShardingPolicy::kSinglePipeline;
   return opts;
 }
 

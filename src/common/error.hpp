@@ -5,6 +5,7 @@
 // can report them differently; both derive from Error.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -51,6 +52,27 @@ class ConfigError : public Error {
 public:
   explicit ConfigError(const std::string& msg)
       : Error("config error: " + msg) {}
+};
+
+/// A runtime invariant of the simulator was violated (detected by the
+/// opt-in SimOptions::paranoid_checks watchdog). Unlike ConfigError this
+/// never indicates user error: it means simulator state was about to be
+/// silently corrupted, and carries the invariant name and the cycle the
+/// violation was detected in.
+class InvariantError : public Error {
+public:
+  InvariantError(const std::string& invariant, std::uint64_t cycle,
+                 const std::string& detail)
+      : Error("invariant violation [" + invariant + "] at cycle " +
+              std::to_string(cycle) + ": " + detail),
+        invariant_(invariant), cycle_(cycle) {}
+
+  const std::string& invariant() const noexcept { return invariant_; }
+  std::uint64_t cycle() const noexcept { return cycle_; }
+
+private:
+  std::string invariant_;
+  std::uint64_t cycle_;
 };
 
 } // namespace mp5

@@ -16,6 +16,7 @@ struct SimResult {
   std::uint64_t dropped_phantom = 0; // phantoms dropped at bounded FIFOs
   std::uint64_t dropped_data = 0;    // data packets dropped (missing phantom)
   std::uint64_t dropped_starved = 0; // stateless drops by the §3.4 guard
+  std::uint64_t dropped_fault = 0;   // packets lost to injected faults
   std::uint64_t ecn_marked = 0;      // §3.4 backpressure marks
 
   // --- timing ---
@@ -31,6 +32,28 @@ struct SimResult {
   std::uint64_t remap_moves = 0;
   std::uint64_t recirculations = 0; // recirculation baseline only
   std::size_t max_queue_depth = 0;  // entries at any (pipeline, stage) FIFO
+
+  // --- fault injection & recovery ---
+  std::uint64_t pipeline_failures = 0;
+  std::uint64_t pipeline_recoveries = 0;
+  /// Shard indices atomically re-homed from a dead lane to survivors.
+  std::uint64_t fault_remapped_indices = 0;
+  std::uint64_t phantom_lost = 0;    // phantoms lost on the channel
+  std::uint64_t phantom_delayed = 0; // phantoms given extra channel delay
+  std::uint64_t stalled_cycles = 0;  // cell-cycles lost to injected stalls
+  /// Cycles from the most recent pipeline failure to the next successful
+  /// egress — how long the switch took to resume delivering packets.
+  Cycle time_to_recover = 0;
+
+  /// One record per fault-dropped packet (populated when record_egress is
+  /// set): `state_touched` says whether the packet had already performed
+  /// at least one state access, i.e. whether its partial effects remain in
+  /// register state. The declared drop set for equivalence-modulo-drops.
+  struct FaultDrop {
+    SeqNo seq = kInvalidSeqNo;
+    bool state_touched = false;
+  };
+  std::vector<FaultDrop> fault_drops;
 
   // --- correctness ---
   std::uint64_t c1_violating_packets = 0;

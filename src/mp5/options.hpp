@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "mp5/faults.hpp"
 #include "mp5/shard_map.hpp"
 #include "mp5/timeline.hpp"
 
@@ -76,6 +77,21 @@ struct SimOptions {
   bool track_flow_reordering = false;
 
   std::uint64_t seed = 1;
+
+  /// Scheduled fault injection (see faults.hpp). An empty plan is a
+  /// fault-free run. Validated at simulator construction; phantom-channel
+  /// faults additionally require `realistic_phantom_channel`, and
+  /// pipeline failures require a sharding policy that can re-home state
+  /// (not kSinglePipeline).
+  FaultPlan faults;
+
+  /// Per-cycle runtime invariant watchdog: validates Invariant 1 (per-lane
+  /// FIFO ordering), Invariant 2 (queued entries are stateful), FIFO
+  /// occupancy and live-packet accounting, and phantom-directory/channel
+  /// consistency, throwing InvariantError instead of silently corrupting
+  /// results. Costs O(queued entries) per cycle — opt-in for tests and
+  /// debugging.
+  bool paranoid_checks = false;
 
   /// Optional per-event instrumentation hook (tests, mp5sim --timeline).
   TimelineHook timeline;

@@ -12,7 +12,8 @@ ShardedState::ShardedState(const std::vector<ir::RegisterSpec>& specs,
                            const std::vector<bool>& shardable,
                            std::uint32_t pipelines, ShardingPolicy policy,
                            Rng rng)
-    : k_(pipelines), policy_(policy), shardable_(shardable) {
+    : k_(pipelines), policy_(policy), alive_(pipelines, true),
+      shardable_(shardable) {
   if (pipelines == 0) throw ConfigError("ShardedState: pipelines must be > 0");
   if (shardable_.size() != specs.size()) {
     throw ConfigError("ShardedState: shardable mask size mismatch");
@@ -74,6 +75,89 @@ void ShardedState::note_completed(RegId reg, RegIndex index) {
   --per.in_flight[index];
 }
 
+std::uint32_t ShardedState::alive_count() const {
+  return static_cast<std::uint32_t>(
+      std::count(alive_.begin(), alive_.end(), true));
+}
+
+std::size_t ShardedState::fail_pipeline(PipelineId pipeline) {
+  if (pipeline >= k_) {
+    throw ConfigError("ShardedState::fail_pipeline: pipeline out of range");
+  }
+  if (!alive_[pipeline]) {
+    throw Error("ShardedState::fail_pipeline: pipeline already dead");
+  }
+  alive_[pipeline] = false;
+  if (alive_count() == 0) {
+    throw Error("ShardedState::fail_pipeline: no surviving pipeline");
+  }
+  if (pin_ == pipeline) {
+    for (PipelineId p = 0; p < k_; ++p) {
+      if (alive_[p]) {
+        pin_ = p;
+        break;
+      }
+    }
+  }
+  std::size_t moved = 0;
+  for (RegId r = 0; r < regs_.size(); ++r) {
+    // Pinned arrays and the single-pipeline policy route through pin_,
+    // which moved above; only mapped indices need re-homing.
+    if (!shardable_[r] || policy_ == ShardingPolicy::kSinglePipeline) {
+      continue;
+    }
+    auto& per = regs_[r];
+    std::vector<std::uint64_t> load(k_, 0);
+    std::vector<std::uint64_t> count(k_, 0);
+    for (std::size_t i = 0; i < per.map.size(); ++i) {
+      if (alive_[per.map[i]]) {
+        load[per.map[i]] += per.access[i];
+        ++count[per.map[i]];
+      }
+    }
+    for (std::size_t i = 0; i < per.map.size(); ++i) {
+      if (per.map[i] != pipeline) continue;
+      if (per.in_flight[i] != 0) {
+        throw Error("ShardedState::fail_pipeline: index has packets in "
+                    "flight (drain the lane before remapping)");
+      }
+      // Least-loaded survivor by windowed access count, ties broken by
+      // mapped-index count: the access counters are often all zero here
+      // (they reset every remap period), and without the tie-break every
+      // re-homed index would land on the first alive lane, turning one
+      // survivor into a hotspot.
+      PipelineId target = pin_;
+      std::uint64_t best_load = ~std::uint64_t{0};
+      std::uint64_t best_count = ~std::uint64_t{0};
+      for (PipelineId p = 0; p < k_; ++p) {
+        if (!alive_[p]) continue;
+        if (load[p] < best_load ||
+            (load[p] == best_load && count[p] < best_count)) {
+          target = p;
+          best_load = load[p];
+          best_count = count[p];
+        }
+      }
+      load[target] += per.access[i];
+      ++count[target];
+      per.map[i] = target;
+      ++moved;
+    }
+  }
+  total_moves_ += moved;
+  return moved;
+}
+
+void ShardedState::recover_pipeline(PipelineId pipeline) {
+  if (pipeline >= k_) {
+    throw ConfigError("ShardedState::recover_pipeline: pipeline out of range");
+  }
+  if (alive_[pipeline]) {
+    throw Error("ShardedState::recover_pipeline: pipeline is not dead");
+  }
+  alive_[pipeline] = true;
+}
+
 std::vector<std::uint64_t> ShardedState::pipeline_load(RegId reg) const {
   std::vector<std::uint64_t> load(k_, 0);
   const auto& per = regs_[reg];
@@ -111,11 +195,15 @@ std::size_t ShardedState::rebalance_one(RegId reg) {
   // provided its in-flight counter is zero.
   auto& per = regs_[reg];
   const auto load = pipeline_load(reg);
-  const auto hi =
-      std::max_element(load.begin(), load.end()) - load.begin();
-  const auto lo =
-      std::min_element(load.begin(), load.end()) - load.begin();
-  if (hi == lo || load[hi] == load[lo]) return 0;
+  // Consider only surviving lanes: a dead lane holds no active indices
+  // and must never become a move target.
+  std::int64_t hi = -1, lo = -1;
+  for (PipelineId p = 0; p < k_; ++p) {
+    if (!alive_[p]) continue;
+    if (hi < 0 || load[p] > load[hi]) hi = p;
+    if (lo < 0 || load[p] < load[lo]) lo = p;
+  }
+  if (hi < 0 || hi == lo || load[hi] == load[lo]) return 0;
   const std::uint64_t threshold = (load[hi] - load[lo]) / 2;
 
   // Candidates in decreasing counter order (skipping in-flight indexes,
@@ -160,8 +248,14 @@ std::size_t ShardedState::rebalance_lpt(RegId reg) {
   });
   std::size_t moves = 0;
   for (const std::size_t i : movable) {
-    const auto target = static_cast<PipelineId>(
-        std::min_element(load.begin(), load.end()) - load.begin());
+    PipelineId target = pin_;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (PipelineId p = 0; p < k_; ++p) {
+      if (alive_[p] && load[p] < best) {
+        target = p;
+        best = load[p];
+      }
+    }
     load[target] += per.access[i];
     if (per.map[i] != target) {
       per.map[i] = target;

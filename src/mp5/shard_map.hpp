@@ -51,7 +51,26 @@ public:
   PipelineId pipeline_of(RegId reg, RegIndex index) const;
 
   bool shardable(RegId reg) const { return shardable_[reg]; }
-  PipelineId pin_pipeline() const { return 0; }
+  PipelineId pin_pipeline() const { return pin_; }
+
+  // -- lane liveness (fault injection / graceful degradation) --
+
+  /// Quarantine a failed lane: every index active there is atomically
+  /// re-homed to the least-loaded surviving lane, and the pin pipeline
+  /// moves if it was the casualty. The caller must have drained the
+  /// lane's in-flight packets first — the §3.4 in-flight guard still
+  /// applies, and an index with packets in flight throws Error (moving it
+  /// would strand live steering tags). Returns the number of indices
+  /// re-homed. Dead lanes are skipped by every subsequent placement
+  /// decision (pipeline_of results, rebalancing targets).
+  std::size_t fail_pipeline(PipelineId pipeline);
+
+  /// Bring a recovered lane back into the placement pool. It rejoins
+  /// empty; periodic rebalancing migrates state back onto it.
+  void recover_pipeline(PipelineId pipeline);
+
+  bool alive(PipelineId pipeline) const { return alive_[pipeline]; }
+  std::uint32_t alive_count() const;
 
   /// Address-resolution bookkeeping (§3.4).
   void note_resolved(RegId reg, RegIndex index); // access ctr +1, in-flight +1
@@ -80,6 +99,8 @@ private:
 
   std::uint32_t k_;
   ShardingPolicy policy_;
+  PipelineId pin_ = 0;
+  std::vector<bool> alive_;
   std::vector<bool> shardable_;
   std::vector<std::vector<Value>> values_;
   std::vector<PerReg> regs_;

@@ -43,23 +43,69 @@ const char* to_string(TimelineEvent::Kind kind) {
     case TimelineEvent::Kind::kEgress: return "egress";
     case TimelineEvent::Kind::kDropData: return "drop";
     case TimelineEvent::Kind::kDropStarved: return "drop_starved";
+    case TimelineEvent::Kind::kDropFault: return "drop_fault";
+    case TimelineEvent::Kind::kLaneFail: return "lane_fail";
+    case TimelineEvent::Kind::kLaneRecover: return "lane_recover";
   }
   return "?";
 }
 
 Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
     : prog_(&program), opts_(options) {
-  if (opts_.pipelines == 0) throw ConfigError("pipelines must be > 0");
-  if (opts_.naive_single_pipeline) {
-    opts_.sharding = ShardingPolicy::kSinglePipeline;
+  // Option validation: every inconsistent combination is rejected here, at
+  // construction, instead of being silently patched or misbehaving at run
+  // time.
+  if (opts_.pipelines == 0) {
+    throw ConfigError("SimOptions: pipelines must be > 0");
   }
+  if (opts_.naive_single_pipeline &&
+      opts_.sharding != ShardingPolicy::kSinglePipeline) {
+    throw ConfigError(
+        "SimOptions: naive_single_pipeline requires "
+        "ShardingPolicy::kSinglePipeline (use baseline::naive_options)");
+  }
+  if (opts_.ideal_queues && opts_.sharding != ShardingPolicy::kIdealLpt) {
+    throw ConfigError(
+        "SimOptions: ideal_queues models the §4.3.3 upper bound and "
+        "requires ShardingPolicy::kIdealLpt");
+  }
+  if (opts_.fifo_capacity != 0 && !opts_.ideal_queues &&
+      opts_.ecn_threshold >
+          opts_.fifo_capacity * static_cast<std::size_t>(opts_.pipelines)) {
+    // A stage FIFO holds k lanes of fifo_capacity entries each, so its
+    // occupancy can never exceed k*capacity: a larger ECN threshold can
+    // never fire. (starvation_threshold is measured in cycles waited, not
+    // entries, so it has no comparable capacity bound.)
+    throw ConfigError(
+        "SimOptions: ecn_threshold exceeds the maximum stage-FIFO "
+        "occupancy (pipelines * fifo_capacity); it could never trigger");
+  }
+  opts_.faults.validate(opts_.pipelines);
+  if (opts_.faults.has_phantom_faults() && !opts_.realistic_phantom_channel) {
+    throw ConfigError(
+        "SimOptions: phantom loss/delay faults need "
+        "realistic_phantom_channel (instant delivery has no channel to "
+        "fail)");
+  }
+  if (!opts_.faults.pipeline_faults.empty() &&
+      opts_.sharding == ShardingPolicy::kSinglePipeline) {
+    throw ConfigError(
+        "SimOptions: pipeline failures need a sharding policy that can "
+        "re-home state to survivors (not kSinglePipeline)");
+  }
+
   k_ = opts_.pipelines;
   num_stages_ = prog_->num_stages;
 
   Rng rng(opts_.seed);
+  // state_ forks first so fault-free runs see the same random stream as
+  // before fault support existed.
   state_ = std::make_unique<ShardedState>(prog_->pvsm.registers,
                                           prog_->shardable, k_, opts_.sharding,
                                           rng.fork());
+  fault_rng_ = rng.fork();
+  fault_sched_ = FaultSchedule(opts_.faults, k_);
+  lane_alive_.assign(k_, true);
   fifos_.resize(k_);
   arrivals_.resize(k_);
   for (PipelineId p = 0; p < k_; ++p) {
@@ -84,6 +130,20 @@ SimResult Mp5Simulator::run(const Trace& trace) {
     if (now >= opts_.max_cycles) {
       throw Error("Mp5Simulator: max_cycles exceeded (deadlock or overload?)");
     }
+    // 0. Scheduled faults fire at the cycle boundary, before arrivals, so
+    //    packets admitted this cycle already see the new lane set.
+    if (fault_sched_.any()) {
+      apply_fault_events(now);
+      if (fault_sched_.has_pressure()) {
+        const std::size_t cap = fault_sched_.pressure_capacity(now);
+        if (cap != current_pressure_) {
+          current_pressure_ = cap;
+          for (auto& per_pipe : fifos_) {
+            for (auto& fifo : per_pipe) fifo.set_pressure_capacity(cap);
+          }
+        }
+      }
+    }
     // 1. Arrivals for this cycle (trace is pre-sorted by (time, port)).
     while (cursor_ < trace_->size() &&
            (*trace_)[cursor_].arrival_time < static_cast<double>(now + 1)) {
@@ -97,23 +157,30 @@ SimResult Mp5Simulator::run(const Trace& trace) {
     }
     // 1b. Phantom channel: deliver phantoms whose hop count has elapsed.
     if (opts_.realistic_phantom_channel) deliver_due_phantoms(now);
-    // 2. Ingress: each pipeline admits one packet into the AR stage.
+    // 2. Ingress: each live pipeline admits one packet into the AR stage.
     for (PipelineId p = 0; p < k_; ++p) {
+      if (!lane_alive_[p]) continue;
       if (!ingress_[p].empty()) {
         arrivals_[p][0].push_back(Arrived{std::move(ingress_[p].front()), p});
         ingress_[p].pop_front();
       }
     }
     // 3. Stage processing, last stage first so packets move one stage per
-    //    cycle (outputs land in already-processed downstream cells).
+    //    cycle (outputs land in already-processed downstream cells). Dead
+    //    lanes are skipped (their queues were drained at failure time).
     for (StageId st = num_stages_; st-- > 0;) {
-      for (PipelineId p = 0; p < k_; ++p) step_cell(p, st, now);
+      for (PipelineId p = 0; p < k_; ++p) {
+        if (!lane_alive_[p]) continue;
+        step_cell(p, st, now);
+      }
     }
     // 4. Periodic dynamic state sharding (Figure 6).
     if (opts_.remap_period != 0 &&
         (now + 1) % opts_.remap_period == 0) {
       result_.remap_moves += state_->rebalance();
     }
+    // 5. Cycle-end watchdog.
+    if (opts_.paranoid_checks) check_invariants(now);
     ++now;
   }
   result_.cycles_run = now;
@@ -129,7 +196,199 @@ SimResult Mp5Simulator::run(const Trace& trace) {
             [](const EgressRecord& a, const EgressRecord& b) {
               return a.seq < b.seq;
             });
+  std::sort(result_.fault_drops.begin(), result_.fault_drops.end(),
+            [](const SimResult::FaultDrop& a, const SimResult::FaultDrop& b) {
+              return a.seq < b.seq;
+            });
   return std::move(result_);
+}
+
+void Mp5Simulator::apply_fault_events(Cycle now) {
+  const auto& events = fault_sched_.lane_events();
+  while (fault_cursor_ < events.size() &&
+         events[fault_cursor_].cycle <= now) {
+    const auto& event = events[fault_cursor_++];
+    if (event.fail) {
+      fail_lane(event.pipeline, now);
+    } else {
+      recover_lane(event.pipeline, now);
+    }
+  }
+}
+
+void Mp5Simulator::fail_lane(PipelineId p, Cycle now) {
+  emit(TimelineEvent::Kind::kLaneFail, now, p, 0, kInvalidSeqNo);
+  ++result_.pipeline_failures;
+  fail_marker_ = now;
+  awaiting_egress_after_failure_ = true;
+
+  // 1. Everything physically inside the lane dies with it.
+  std::vector<Packet> doomed;
+  for (auto& pkt : ingress_[p]) doomed.push_back(std::move(pkt));
+  ingress_[p].clear();
+  for (StageId st = 0; st < num_stages_; ++st) {
+    for (auto& arr : arrivals_[p][st]) doomed.push_back(std::move(arr.packet));
+    arrivals_[p][st].clear();
+    for (auto& pkt : fifos_[p][st].drain_all()) doomed.push_back(std::move(pkt));
+  }
+
+  // 2. Phantoms in flight toward the dead lane vanish with its channel
+  //    ports (their packets are swept below: the plan entry is live).
+  for (auto it = channel_.begin(); it != channel_.end();) {
+    if (it->second.pipeline == p) {
+      channel_index_.erase(
+          ChannelKey{it->second.seq, it->second.pipeline, it->second.stage});
+      it = channel_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = lost_phantoms_.begin(); it != lost_phantoms_.end();) {
+    it = it->pipeline == p ? lost_phantoms_.erase(it) : std::next(it);
+  }
+
+  // 3. Sweep the survivors for packets doomed to visit the dead lane: a
+  //    live plan entry targeting it can no longer be served. Dropping them
+  //    now (rather than at steer time) keeps the in-flight counters exact
+  //    for the remap below.
+  const auto doomed_pred = [p](const Packet& pkt) {
+    for (const auto& e : pkt.plan) {
+      if (entry_live(e) && e.pipeline == p) return true;
+    }
+    return false;
+  };
+  for (PipelineId q = 0; q < k_; ++q) {
+    if (q == p || !lane_alive_[q]) continue;
+    auto& ing = ingress_[q];
+    for (auto it = ing.begin(); it != ing.end();) {
+      if (doomed_pred(*it)) {
+        doomed.push_back(std::move(*it));
+        it = ing.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (StageId st = 0; st < num_stages_; ++st) {
+      auto& arr = arrivals_[q][st];
+      for (auto it = arr.begin(); it != arr.end();) {
+        if (doomed_pred(it->packet)) {
+          doomed.push_back(std::move(it->packet));
+          it = arr.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto& pkt : fifos_[q][st].extract_data_if(doomed_pred)) {
+        doomed.push_back(std::move(pkt));
+      }
+    }
+  }
+
+  // 4. Account the losses. Cancelling each packet's remaining phantoms
+  //    also releases its in-flight counters, clearing the §3.4 guard.
+  for (auto& pkt : doomed) {
+    emit(TimelineEvent::Kind::kDropFault, now, p, 0, pkt.seq);
+    drop_packet(std::move(pkt), DropCause::kFault);
+  }
+
+  // 5. Atomically re-home the dead lane's active indices to survivors.
+  lane_alive_[p] = false;
+  result_.fault_remapped_indices += state_->fail_pipeline(p);
+}
+
+void Mp5Simulator::recover_lane(PipelineId p, Cycle now) {
+  state_->recover_pipeline(p);
+  lane_alive_[p] = true;
+  ++result_.pipeline_recoveries;
+  emit(TimelineEvent::Kind::kLaneRecover, now, p, 0, kInvalidSeqNo);
+}
+
+PipelineId Mp5Simulator::spray_lane(SeqNo seq) const {
+  std::uint32_t alive = 0;
+  for (PipelineId p = 0; p < k_; ++p) {
+    if (lane_alive_[p]) ++alive;
+  }
+  std::uint32_t pick = static_cast<std::uint32_t>(seq % alive);
+  for (PipelineId p = 0; p < k_; ++p) {
+    if (!lane_alive_[p]) continue;
+    if (pick == 0) return p;
+    --pick;
+  }
+  throw Error("Mp5Simulator::spray_lane: no live pipeline");
+}
+
+void Mp5Simulator::check_invariants(Cycle now) const {
+  // Per-lane seq ordering (Invariant 1) is a property of the phantom
+  // mechanism: the no-D4 ablation queues data packets in stage-arrival
+  // order, and injected phantom delays legitimately reorder a lane. Every
+  // other structural property must still hold.
+  const bool check_order =
+      opts_.phantoms && opts_.faults.phantom_delay_rate == 0.0;
+  std::uint64_t in_containers = 0;
+  for (PipelineId p = 0; p < k_; ++p) {
+    if (!lane_alive_[p] && !ingress_[p].empty()) {
+      throw InvariantError("dead-lane", now,
+                           "dead lane " + std::to_string(p) +
+                               " has queued ingress packets");
+    }
+    in_containers += ingress_[p].size();
+    for (StageId st = 0; st < num_stages_; ++st) {
+      const auto& fifo = fifos_[p][st];
+      if (!lane_alive_[p] &&
+          (fifo.size() != 0 || !arrivals_[p][st].empty())) {
+        throw InvariantError("dead-lane", now,
+                             "dead lane " + std::to_string(p) +
+                                 " has queued entries at stage " +
+                                 std::to_string(st));
+      }
+      in_containers += arrivals_[p][st].size();
+      fifo.check_invariants(now, check_order);
+      fifo.for_each_entry([&](const FifoEntry& entry) {
+        if (entry.kind != FifoEntry::Kind::kData) return;
+        ++in_containers;
+        // Invariant 2: only packets awaiting stateful processing at this
+        // very cell may be queued here.
+        bool awaiting_here = false;
+        for (const auto& e : entry.packet.plan) {
+          if (!entry_live(e)) continue;
+          awaiting_here = e.stage == st && e.pipeline == p;
+          break;
+        }
+        if (!awaiting_here) {
+          throw InvariantError(
+              "invariant-2", now,
+              "queued packet seq " + std::to_string(entry.packet.seq) +
+                  " is not awaiting stateful processing at (" +
+                  std::to_string(p) + ", " + std::to_string(st) + ")");
+        }
+      });
+    }
+  }
+  if (in_containers != live_packets_) {
+    throw InvariantError("live-packets", now,
+                         std::to_string(live_packets_) +
+                             " packets live but " +
+                             std::to_string(in_containers) + " queued");
+  }
+  if (opts_.realistic_phantom_channel) {
+    if (channel_index_.size() != channel_.size()) {
+      throw InvariantError("phantom-channel", now,
+                           "channel index size " +
+                               std::to_string(channel_index_.size()) +
+                               " != channel size " +
+                               std::to_string(channel_.size()));
+    }
+    for (const auto& [key, it] : channel_index_) {
+      const PendingPhantom& rec = it->second;
+      if (rec.seq != key.seq || rec.pipeline != key.pipeline ||
+          rec.stage != key.stage) {
+        throw InvariantError("phantom-channel", now,
+                             "channel index entry for seq " +
+                                 std::to_string(key.seq) +
+                                 " addresses the wrong record");
+      }
+    }
+  }
 }
 
 void Mp5Simulator::deliver_due_phantoms(Cycle now) {
@@ -137,9 +396,9 @@ void Mp5Simulator::deliver_due_phantoms(Cycle now) {
   // every FIFO receives its phantoms in generation order (Invariant 1).
   std::vector<PendingPhantom> due;
   while (!channel_.empty() && channel_.begin()->first <= now) {
-    channel_index_.erase(channel_key(channel_.begin()->second.seq,
-                                     channel_.begin()->second.pipeline,
-                                     channel_.begin()->second.stage));
+    channel_index_.erase(ChannelKey{channel_.begin()->second.seq,
+                                    channel_.begin()->second.pipeline,
+                                    channel_.begin()->second.stage});
     due.push_back(channel_.begin()->second);
     channel_.erase(channel_.begin());
   }
@@ -189,9 +448,11 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
     ir::exec_instr(instr, pkt.headers, *state_, prog_->pvsm.registers);
   }
 
-  // Build the access plan.
+  // Build the access plan. The ingress spray covers live lanes only, so a
+  // failed pipeline degrades throughput to ~(k-1)/k instead of blackholing
+  // 1/k of the traffic.
   const PipelineId admit_lane =
-      opts_.naive_single_pipeline ? 0 : static_cast<PipelineId>(pkt.seq % k_);
+      opts_.naive_single_pipeline ? 0 : spray_lane(pkt.seq);
   for (const auto& desc : prog_->accesses) {
     if (desc.guard != ir::kNoSlot && desc.guard_resolvable) {
       const bool truthy =
@@ -239,15 +500,32 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
           // reaches stage s after s cycles, always ahead of the data
           // packet (which needs ingress + s processing cycles).
           acc.phantom_delivered = false;
-          PendingPhantom pending;
-          pending.seq = pkt.seq;
-          pending.reg = acc.reg;
-          pending.index = acc.index;
-          pending.pipeline = acc.pipeline;
-          pending.stage = acc.stage;
-          pending.lane = lane_pred;
-          auto it = channel_.emplace(now + acc.stage, pending);
-          channel_index_[channel_key(pkt.seq, acc.pipeline, acc.stage)] = it;
+          const ChannelKey key{pkt.seq, acc.pipeline, acc.stage};
+          if (opts_.faults.phantom_loss_rate > 0.0 &&
+              fault_rng_.chance(opts_.faults.phantom_loss_rate)) {
+            // Injected channel loss: the phantom never arrives. The data
+            // packet finds no placeholder at its stateful stage and is
+            // dropped there with fault accounting (instead of
+            // deadlocking behind a hole in the order).
+            lost_phantoms_.insert(key);
+            ++result_.phantom_lost;
+          } else {
+            Cycle deliver = now + acc.stage;
+            if (opts_.faults.phantom_delay_rate > 0.0 &&
+                fault_rng_.chance(opts_.faults.phantom_delay_rate)) {
+              deliver += opts_.faults.phantom_extra_delay;
+              ++result_.phantom_delayed;
+            }
+            PendingPhantom pending;
+            pending.seq = pkt.seq;
+            pending.reg = acc.reg;
+            pending.index = acc.index;
+            pending.pipeline = acc.pipeline;
+            pending.stage = acc.stage;
+            pending.lane = lane_pred;
+            auto it = channel_.emplace(deliver, pending);
+            channel_index_[key] = it;
+          }
         } else {
           const bool ok = fifos_[acc.pipeline][acc.stage].push_phantom(
               pkt.seq, acc.reg, acc.index, lane_pred, now);
@@ -274,6 +552,14 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
 }
 
 void Mp5Simulator::step_cell(PipelineId p, StageId st, Cycle now) {
+  // Injected transient stall: the cell has no processing slot this cycle.
+  // FIFO inserts still happen (they are memory operations, not processing)
+  // but nothing is served — a stateless arrival must be dropped, since
+  // Invariant 2 forbids queueing it.
+  const bool stalled =
+      fault_sched_.has_stalls() && fault_sched_.stalled(p, st, now);
+  if (stalled) ++result_.stalled_cycles;
+
   auto incoming = std::move(arrivals_[p][st]);
   arrivals_[p][st].clear();
 
@@ -300,23 +586,42 @@ void Mp5Simulator::step_cell(PipelineId p, StageId st, Cycle now) {
         entry.packet = std::move(pkt);
         if (!fifos_[p][st].push_phantom(seq, entry.reg, entry.index,
                                         arr.from_lane, now)) {
-          drop_packet(std::move(entry.packet), /*counted_as_data_drop=*/true);
+          drop_packet(std::move(entry.packet), DropCause::kData);
         } else {
           // Convert the just-pushed placeholder into the data packet.
           fifos_[p][st].insert_data(std::move(entry.packet));
         }
       } else if (acc->phantom_dropped) {
         emit(TimelineEvent::Kind::kDropData, now, p, st, pkt.seq);
-        drop_packet(std::move(pkt), /*counted_as_data_drop=*/true);
+        drop_packet(std::move(pkt), DropCause::kData);
       } else if (!fifos_[p][st].has_phantom(pkt.seq)) {
         if (!opts_.realistic_phantom_channel) {
           // Defensive: phantom vanished despite not being flagged dropped.
           throw Error("Mp5Simulator: phantom missing at insert");
         }
-        // The phantom was dropped at channel delivery (FIFO full): the
-        // data packet has no placeholder and is dropped (§3.4).
-        emit(TimelineEvent::Kind::kDropData, now, p, st, pkt.seq);
-        drop_packet(std::move(pkt), /*counted_as_data_drop=*/true);
+        // No placeholder for this data packet. Classify the orphan:
+        const ChannelKey key{pkt.seq, p, st};
+        if (lost_phantoms_.erase(key) != 0) {
+          // The phantom was lost on the channel (injected fault): drop the
+          // orphaned data packet with fault accounting instead of letting
+          // it deadlock the FIFO order.
+          emit(TimelineEvent::Kind::kDropFault, now, p, st, pkt.seq);
+          drop_packet(std::move(pkt), DropCause::kFault);
+        } else if (auto chan = channel_index_.find(key);
+                   chan != channel_index_.end()) {
+          // The phantom is still in flight (injected extra delay let the
+          // data packet overtake it — Invariant 1 broken for this packet).
+          // Drop the packet; the late phantom arrives pre-cancelled and
+          // costs one wasted pop.
+          chan->second->second.cancelled = true;
+          emit(TimelineEvent::Kind::kDropFault, now, p, st, pkt.seq);
+          drop_packet(std::move(pkt), DropCause::kFault);
+        } else {
+          // The phantom was dropped at channel delivery (FIFO full): the
+          // regular §3.4 drop path.
+          emit(TimelineEvent::Kind::kDropData, now, p, st, pkt.seq);
+          drop_packet(std::move(pkt), DropCause::kData);
+        }
       } else {
         const SeqNo seq = pkt.seq;
         if (!fifos_[p][st].insert_data(std::move(pkt))) {
@@ -333,28 +638,36 @@ void Mp5Simulator::step_cell(PipelineId p, StageId st, Cycle now) {
   }
 
   if (passthrough.has_value()) {
-    // §3.4 starvation guard: when a queued stateful packet has waited past
-    // the threshold, drop the arriving stateless packet instead of serving
-    // it with priority (it is dropped, never queued — Invariant 2 holds).
-    bool starved = false;
-    if (opts_.starvation_threshold != 0) {
-      const auto oldest = fifos_[p][st].oldest_head_enqueue();
-      starved = oldest.has_value() &&
-                now - *oldest > opts_.starvation_threshold;
-    }
-    if (starved) {
-      ++result_.dropped_starved;
-      emit(TimelineEvent::Kind::kDropStarved, now, p, st, passthrough->seq);
-      drop_packet(std::move(*passthrough), /*counted_as_data_drop=*/false);
+    if (stalled) {
+      // A stalled cell cannot serve the stateless packet, and Invariant 2
+      // forbids queueing it: it is lost to the fault.
+      emit(TimelineEvent::Kind::kDropFault, now, p, st, passthrough->seq);
+      drop_packet(std::move(*passthrough), DropCause::kFault);
     } else {
-      // Invariant 2: stateless packets are processed with priority and
-      // never queued.
-      emit(TimelineEvent::Kind::kPassThrough, now, p, st, passthrough->seq);
-      process_packet(std::move(*passthrough), p, st, /*from_fifo=*/false,
-                     now);
-      return;
+      // §3.4 starvation guard: when a queued stateful packet has waited
+      // past the threshold, drop the arriving stateless packet instead of
+      // serving it with priority (it is dropped, never queued —
+      // Invariant 2 holds).
+      bool starved = false;
+      if (opts_.starvation_threshold != 0) {
+        const auto oldest = fifos_[p][st].oldest_head_enqueue();
+        starved = oldest.has_value() &&
+                  now - *oldest > opts_.starvation_threshold;
+      }
+      if (starved) {
+        emit(TimelineEvent::Kind::kDropStarved, now, p, st, passthrough->seq);
+        drop_packet(std::move(*passthrough), DropCause::kStarved);
+      } else {
+        // Invariant 2: stateless packets are processed with priority and
+        // never queued.
+        emit(TimelineEvent::Kind::kPassThrough, now, p, st, passthrough->seq);
+        process_packet(std::move(*passthrough), p, st, /*from_fifo=*/false,
+                       now);
+        return;
+      }
     }
   }
+  if (stalled) return; // no processing slot: the FIFO is not served
 
   auto popped = fifos_[p][st].pop();
   switch (popped.kind) {
@@ -462,9 +775,12 @@ void Mp5Simulator::cancel_entry(Packet& pkt, std::size_t entry_idx) {
   const auto& owner_acc = pkt.plan[owner];
   if (owner_acc.phantom_dropped) return;
   if (opts_.realistic_phantom_channel && !owner_acc.phantom_delivered) {
+    const ChannelKey key{pkt.seq, owner_acc.pipeline, owner_acc.stage};
+    // Lost on the channel (injected fault): there is nothing to cancel,
+    // just forget the pending orphan detection.
+    if (lost_phantoms_.erase(key) != 0) return;
     // Still on the phantom channel: mark it; it arrives as a zombie.
-    auto it = channel_index_.find(
-        channel_key(pkt.seq, owner_acc.pipeline, owner_acc.stage));
+    auto it = channel_index_.find(key);
     if (it != channel_index_.end()) {
       it->second->second.cancelled = true;
       return;
@@ -476,8 +792,31 @@ void Mp5Simulator::cancel_entry(Packet& pkt, std::size_t entry_idx) {
   fifos_[owner_acc.pipeline][owner_acc.stage].cancel(pkt.seq);
 }
 
-void Mp5Simulator::drop_packet(Packet&& pkt, bool counted_as_data_drop) {
-  if (counted_as_data_drop) ++result_.dropped_data;
+void Mp5Simulator::drop_packet(Packet&& pkt, DropCause cause) {
+  switch (cause) {
+    case DropCause::kData:
+      ++result_.dropped_data;
+      break;
+    case DropCause::kStarved:
+      ++result_.dropped_starved;
+      break;
+    case DropCause::kFault: {
+      ++result_.dropped_fault;
+      if (opts_.record_egress) {
+        // Declared drop set for equivalence-modulo-drops: remember whether
+        // the packet's partial state effects remain in the registers.
+        bool touched = false;
+        for (const auto& e : pkt.plan) {
+          if (e.done) {
+            touched = true;
+            break;
+          }
+        }
+        result_.fault_drops.push_back(SimResult::FaultDrop{pkt.seq, touched});
+      }
+      break;
+    }
+  }
   for (std::size_t i = 0; i < pkt.plan.size(); ++i) {
     auto& e = pkt.plan[i];
     if (!entry_live(e)) continue;
@@ -502,6 +841,15 @@ void Mp5Simulator::route_onwards(Packet&& pkt, PipelineId p, StageId st,
       emit(TimelineEvent::Kind::kSteer, now, dest, st + 1, pkt.seq);
     }
   }
+  if (!lane_alive_[dest]) {
+    // Defensive: the failure sweep drops every packet with a live plan
+    // entry targeting a dead lane, so steering into one should be
+    // impossible — but degrade gracefully rather than corrupting a dead
+    // lane's queues if a future change breaks that guarantee.
+    emit(TimelineEvent::Kind::kDropFault, now, dest, st + 1, pkt.seq);
+    drop_packet(std::move(pkt), DropCause::kFault);
+    return;
+  }
   arrivals_[dest][st + 1].push_back(Arrived{std::move(pkt), p});
 }
 
@@ -510,6 +858,12 @@ void Mp5Simulator::egress_packet(Packet&& pkt, Cycle now) {
   ++result_.egressed;
   --live_packets_;
   result_.last_egress = now;
+  if (awaiting_egress_after_failure_) {
+    // First successful egress since the most recent lane failure: the
+    // switch is delivering packets again.
+    result_.time_to_recover = now - fail_marker_;
+    awaiting_egress_after_failure_ = false;
+  }
   if (pkt.ecn_marked) ++result_.ecn_marked;
   if (opts_.track_flow_reordering) {
     auto [it, inserted] = flow_last_egress_.try_emplace(pkt.flow, pkt.seq);

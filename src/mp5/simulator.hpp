@@ -35,11 +35,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "banzai/ir.hpp"
+#include "common/rng.hpp"
 #include "metrics/c1_checker.hpp"
 #include "metrics/sim_result.hpp"
+#include "mp5/faults.hpp"
 #include "mp5/options.hpp"
 #include "mp5/shard_map.hpp"
 #include "mp5/stage_fifo.hpp"
@@ -58,6 +61,33 @@ public:
   /// Observable state, for tests.
   const ShardedState& state() const { return *state_; }
 
+  /// Identity of one phantom in flight: a packet can have at most one
+  /// phantom per destination (pipeline, stage) cell, so this triple is
+  /// unique. (An earlier packed-uint64 encoding `(seq<<16)^(p<<8)^st`
+  /// collided: the seq shift XORs into the same bits as p and st, so e.g.
+  /// {seq=1<<48} aliased {p=0,st=0} variations — see test_robustness.)
+  struct ChannelKey {
+    SeqNo seq = kInvalidSeqNo;
+    PipelineId pipeline = 0;
+    StageId stage = 0;
+    bool operator==(const ChannelKey&) const = default;
+  };
+  struct ChannelKeyHash {
+    std::size_t operator()(const ChannelKey& k) const noexcept {
+      // splitmix64-style mix of the three fields; no information is
+      // discarded before mixing, unlike the old packed key.
+      std::uint64_t x = k.seq;
+      x ^= (static_cast<std::uint64_t>(k.pipeline) << 32) ^
+           (static_cast<std::uint64_t>(k.stage) + 0x9e3779b97f4a7c15ULL);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
 private:
   struct Arrived {
     Packet packet;
@@ -72,10 +102,26 @@ private:
   void exec_stage_atoms(Packet& pkt, PipelineId p, StageId st, bool from_fifo);
   void resolve_conservative_guards(Packet& pkt, StageId done_stage);
   void cancel_entry(Packet& pkt, std::size_t entry_idx);
-  void drop_packet(Packet&& pkt, bool counted_as_data_drop);
+  enum class DropCause : std::uint8_t { kData, kStarved, kFault };
+  void drop_packet(Packet&& pkt, DropCause cause);
   void route_onwards(Packet&& pkt, PipelineId p, StageId st, Cycle now);
   void egress_packet(Packet&& pkt, Cycle now);
   bool work_remaining() const;
+
+  // -- fault injection & graceful degradation --
+
+  /// Process every scheduled lane fail/recover event due at or before
+  /// `now` (events are pre-sorted; fault_cursor_ tracks progress).
+  void apply_fault_events(Cycle now);
+  /// Lane death: quarantine the lane, drop its in-flight packets and every
+  /// packet elsewhere that is doomed to visit it, then atomically re-home
+  /// its active shard indices to survivors.
+  void fail_lane(PipelineId p, Cycle now);
+  void recover_lane(PipelineId p, Cycle now);
+  /// Spray target for an admitted packet: round-robin over live lanes.
+  PipelineId spray_lane(SeqNo seq) const;
+  /// Cycle-end watchdog (SimOptions::paranoid_checks).
+  void check_invariants(Cycle now) const;
   void emit(TimelineEvent::Kind kind, Cycle now, PipelineId p, StageId st,
             SeqNo seq) const {
     if (!opts_.timeline) return;
@@ -110,18 +156,29 @@ private:
     bool cancelled = false;
   };
   std::multimap<Cycle, PendingPhantom> channel_;
-  std::unordered_map<std::uint64_t,
-                     std::multimap<Cycle, PendingPhantom>::iterator>
+  std::unordered_map<ChannelKey, std::multimap<Cycle, PendingPhantom>::iterator,
+                     ChannelKeyHash>
       channel_index_; // (seq, pipeline, stage) -> in-flight record
-
-  static std::uint64_t channel_key(SeqNo seq, PipelineId p, StageId st) {
-    return (seq << 16) ^ (static_cast<std::uint64_t>(p) << 8) ^ st;
-  }
 
   const Trace* trace_ = nullptr;
   std::size_t cursor_ = 0;
   SeqNo next_seq_ = 0;
   std::uint64_t live_packets_ = 0;
+
+  // -- fault state --
+  FaultSchedule fault_sched_;
+  std::size_t fault_cursor_ = 0;  // into fault_sched_.lane_events()
+  Rng fault_rng_{0};              // phantom loss/delay coin flips
+  std::vector<bool> lane_alive_;  // mirrors ShardedState liveness
+  std::size_t current_pressure_ = 0;
+  /// Phantoms lost on the channel: their data packets are orphans and must
+  /// be dropped as faults (not as regular data drops) when they reach the
+  /// stateful stage. Erased on detection or cancellation.
+  std::unordered_set<ChannelKey, ChannelKeyHash> lost_phantoms_;
+  /// Most recent lane-failure cycle with no egress since; kInvalidSeqNo-like
+  /// sentinel via awaiting flag. Feeds SimResult::time_to_recover.
+  Cycle fail_marker_ = 0;
+  bool awaiting_egress_after_failure_ = false;
 
   SimResult result_;
   C1Checker c1_;

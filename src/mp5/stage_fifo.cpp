@@ -37,10 +37,19 @@ bool StageFifo::push_phantom(SeqNo seq, RegId reg, RegIndex index,
   entry.index = index;
   if (ideal_) {
     const IndexKey key = make_key(reg, index);
+    if (pressure_ != 0) {
+      auto it = queues_.find(key);
+      if (it != queues_.end() && it->second.size() >= pressure_) {
+        return false; // forced-pressure fault: treat the queue as full
+      }
+    }
     queues_[key].push_back(std::move(entry));
     seq_key_[seq] = key;
     directory_[seq] = Address{lane, 0};
   } else {
+    if (pressure_ != 0 && lanes_[lane].size() >= pressure_) {
+      return false; // forced-pressure fault: treat the lane as full
+    }
     auto vidx = lanes_[lane].push(std::move(entry));
     if (!vidx) return false; // dropped: lane full
     directory_[seq] = Address{lane, *vidx};
@@ -140,6 +149,184 @@ std::optional<Cycle> StageFifo::oldest_head_enqueue() const {
 
 StageFifo::PopResult StageFifo::pop() {
   return ideal_ ? pop_ideal() : pop_lanes();
+}
+
+std::vector<Packet> StageFifo::drain_all() {
+  std::vector<Packet> data;
+  if (ideal_) {
+    for (auto& [key, queue] : queues_) {
+      for (auto& entry : queue) {
+        if (entry.kind == FifoEntry::Kind::kData) {
+          data.push_back(std::move(entry.packet));
+        }
+      }
+    }
+    queues_.clear();
+    eligible_.clear();
+    seq_key_.clear();
+  } else {
+    for (auto& lane : lanes_) {
+      while (!lane.empty()) {
+        if (lane.front().kind == FifoEntry::Kind::kData) {
+          data.push_back(std::move(lane.front().packet));
+        }
+        lane.pop_front();
+      }
+    }
+  }
+  directory_.clear();
+  live_entries_ = 0;
+  return data;
+}
+
+std::vector<Packet> StageFifo::extract_data_if(
+    const std::function<bool(const Packet&)>& pred) {
+  std::vector<Packet> out;
+  if (ideal_) {
+    for (auto& [key, queue] : queues_) {
+      for (auto& entry : queue) {
+        if (entry.kind == FifoEntry::Kind::kData && pred(entry.packet)) {
+          out.push_back(std::move(entry.packet));
+          entry.packet = Packet{};
+          entry.kind = FifoEntry::Kind::kCancelled;
+          eligible_.erase(entry.seq);
+        }
+      }
+    }
+    if (!out.empty()) {
+      // Reclaim any queue whose front just became cancelled (settling can
+      // erase map entries, so iterate over a key snapshot).
+      std::vector<IndexKey> keys;
+      keys.reserve(queues_.size());
+      for (const auto& [key, queue] : queues_) keys.push_back(key);
+      for (const IndexKey key : keys) ideal_settle_front(key);
+    }
+  } else {
+    for (auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      for (std::uint64_t v = lane.front_vidx(); lane.contains(v); ++v) {
+        auto& entry = lane.at(v);
+        if (entry.kind == FifoEntry::Kind::kData && pred(entry.packet)) {
+          out.push_back(std::move(entry.packet));
+          entry.packet = Packet{};
+          entry.kind = FifoEntry::Kind::kCancelled;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void StageFifo::for_each_entry(
+    const std::function<void(const FifoEntry&)>& fn) const {
+  if (ideal_) {
+    for (const auto& [key, queue] : queues_) {
+      for (const auto& entry : queue) fn(entry);
+    }
+    return;
+  }
+  for (const auto& lane : lanes_) {
+    if (lane.empty()) continue;
+    for (std::uint64_t v = lane.front_vidx(); lane.contains(v); ++v) {
+      fn(lane.at(v));
+    }
+  }
+}
+
+void StageFifo::check_invariants(Cycle now, bool check_order) const {
+  std::size_t counted = 0;
+  std::size_t phantoms = 0;
+  if (ideal_) {
+    for (const auto& [key, queue] : queues_) {
+      SeqNo prev = 0;
+      bool first = true;
+      for (const auto& entry : queue) {
+        ++counted;
+        if (entry.kind == FifoEntry::Kind::kPhantom) ++phantoms;
+        if (entry.kind == FifoEntry::Kind::kEmpty) {
+          throw InvariantError("fifo-entry", now, "empty entry queued");
+        }
+        auto it = seq_key_.find(entry.seq);
+        if (it == seq_key_.end() || it->second != key) {
+          throw InvariantError("phantom-directory", now,
+                               "seq->index map out of sync for seq " +
+                                   std::to_string(entry.seq));
+        }
+        if (check_order && !first && entry.seq <= prev) {
+          throw InvariantError("invariant-1", now,
+                               "per-index queue not in arrival order");
+        }
+        prev = entry.seq;
+        first = false;
+      }
+    }
+    for (const auto& [seq, key] : eligible_) {
+      auto it = queues_.find(key);
+      if (it == queues_.end() || it->second.empty() ||
+          it->second.front().seq != seq ||
+          it->second.front().kind != FifoEntry::Kind::kData) {
+        throw InvariantError("eligible-set", now,
+                             "eligible entry is not a data head");
+      }
+    }
+  } else {
+    for (const auto& lane : lanes_) {
+      if (lane.empty()) continue;
+      SeqNo prev = 0;
+      bool first = true;
+      for (std::uint64_t v = lane.front_vidx(); lane.contains(v); ++v) {
+        const FifoEntry& entry = lane.at(v);
+        ++counted;
+        if (entry.kind == FifoEntry::Kind::kPhantom) ++phantoms;
+        if (entry.kind == FifoEntry::Kind::kEmpty) {
+          throw InvariantError("fifo-entry", now, "empty entry queued");
+        }
+        if (check_order && !first && entry.seq <= prev) {
+          throw InvariantError(
+              "invariant-1", now,
+              "lane not in arrival order: seq " + std::to_string(entry.seq) +
+                  " behind " + std::to_string(prev));
+        }
+        prev = entry.seq;
+        first = false;
+      }
+    }
+  }
+  if (counted != live_entries_) {
+    throw InvariantError("fifo-occupancy", now,
+                         "live_entries=" + std::to_string(live_entries_) +
+                             " but " + std::to_string(counted) +
+                             " entries queued");
+  }
+  if (phantoms != directory_.size()) {
+    throw InvariantError("phantom-directory", now,
+                         std::to_string(phantoms) + " queued phantoms vs " +
+                             std::to_string(directory_.size()) +
+                             " directory entries");
+  }
+  for (const auto& [seq, addr] : directory_) {
+    const FifoEntry* entry = nullptr;
+    if (ideal_) {
+      auto kit = seq_key_.find(seq);
+      if (kit != seq_key_.end()) {
+        auto qit = queues_.find(kit->second);
+        if (qit != queues_.end()) {
+          entry = find_by_seq(const_cast<std::deque<FifoEntry>&>(qit->second),
+                              seq);
+        }
+      }
+    } else {
+      if (addr.lane < lanes_.size() && lanes_[addr.lane].contains(addr.vidx)) {
+        entry = &lanes_[addr.lane].at(addr.vidx);
+      }
+    }
+    if (entry == nullptr || entry->seq != seq ||
+        entry->kind != FifoEntry::Kind::kPhantom) {
+      throw InvariantError("phantom-directory", now,
+                           "directory entry for seq " + std::to_string(seq) +
+                               " does not address a queued phantom");
+    }
+  }
 }
 
 StageFifo::PopResult StageFifo::pop_lanes() {

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <map>
 #include <unordered_map>
@@ -78,6 +79,34 @@ public:
   std::size_t size() const { return live_entries_; }
   std::size_t high_water() const { return high_water_; }
 
+  // -- fault injection & watchdog support --
+
+  /// Clamp the effective per-lane capacity (forced FIFO pressure fault):
+  /// while nonzero, push_phantom fails once the target lane already holds
+  /// `cap` entries, even in the unbounded configuration. 0 disables.
+  void set_pressure_capacity(std::size_t cap) { pressure_ = cap; }
+
+  /// Empty the FIFO completely (lane death): every queued data packet is
+  /// returned to the caller for drop accounting; phantoms and cancelled
+  /// entries die with the lane.
+  std::vector<Packet> drain_all();
+
+  /// Remove every queued data packet matching `pred`, converting its slot
+  /// to a cancelled entry (reclaimed by the normal wasted-pop path, so
+  /// FIFO addressing stays intact). Used to purge packets doomed by a
+  /// remote lane failure. Returns the extracted packets.
+  std::vector<Packet> extract_data_if(
+      const std::function<bool(const Packet&)>& pred);
+
+  /// Visit every queued entry (any kind), in no particular order.
+  void for_each_entry(const std::function<void(const FifoEntry&)>& fn) const;
+
+  /// Watchdog: verify internal consistency — occupancy accounting,
+  /// per-lane seq ordering (`check_order`; Invariant 1 implies each
+  /// source lane is seq-sorted, but injected phantom delays legitimately
+  /// break it), and phantom-directory coherence. Throws InvariantError.
+  void check_invariants(Cycle now, bool check_order = true) const;
+
 private:
   using IndexKey = std::uint64_t; // (reg << 32) | index
 
@@ -105,6 +134,7 @@ private:
   std::unordered_map<SeqNo, Address> directory_;
   std::size_t live_entries_ = 0;
   std::size_t high_water_ = 0;
+  std::size_t pressure_ = 0; // forced capacity clamp; 0 = off
 };
 
 } // namespace mp5

@@ -23,6 +23,10 @@ struct TimelineEvent {
     kEgress,
     kDropData,
     kDropStarved,
+    kDropFault,    // packet lost to an injected fault (lane death, lost
+                   // phantom, stalled cell)
+    kLaneFail,     // scheduled pipeline failure took the lane down
+    kLaneRecover,  // scheduled recovery brought the lane back (empty)
   };
   Kind kind = Kind::kAdmit;
   Cycle cycle = 0;

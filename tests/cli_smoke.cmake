@@ -1,0 +1,66 @@
+# CLI robustness smoke test, run via ctest (see tests/CMakeLists.txt).
+#
+# Every malformed invocation must exit nonzero with a diagnostic on
+# stderr — never crash, hang, or terminate() — and a well-formed control
+# invocation must still exit zero.
+#
+# Inputs: -DMP5C=<path> -DMP5SIM=<path>
+
+function(expect_failure label)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "${label}: expected nonzero exit, got 0")
+  endif()
+  # A crash shows up as a signal name ("Segmentation fault", "Subprocess
+  # aborted") instead of a small integer exit code.
+  if(NOT rc MATCHES "^[0-9]+$")
+    message(FATAL_ERROR "${label}: abnormal termination (${rc})")
+  endif()
+  if(err STREQUAL "")
+    message(FATAL_ERROR "${label}: expected a diagnostic on stderr")
+  endif()
+endfunction()
+
+function(expect_success label)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${label}: expected exit 0, got ${rc}: ${err}")
+  endif()
+endfunction()
+
+set(workdir ${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_scratch)
+file(MAKE_DIRECTORY ${workdir})
+
+# A syntactically broken Domino program.
+file(WRITE ${workdir}/malformed.dom "int x = = ;;; garbage {{{\n")
+
+# -- mp5c --
+expect_failure("mp5c malformed program" ${MP5C} ${workdir}/malformed.dom)
+expect_failure("mp5c missing file" ${MP5C} ${workdir}/does_not_exist.dom)
+expect_failure("mp5c unknown flag" ${MP5C} --no-such-flag)
+expect_failure("mp5c bad numeric flag" ${MP5C} --stages notanumber -)
+expect_failure("mp5c unknown builtin" ${MP5C} --builtin nope)
+expect_success("mp5c builtin control" ${MP5C} --builtin figure3)
+
+# -- mp5sim --
+expect_failure("mp5sim unknown flag" ${MP5SIM} --no-such-flag)
+expect_failure("mp5sim bad numeric flag"
+               ${MP5SIM} --builtin figure3 --packets notanumber)
+expect_failure("mp5sim bad fail spec"
+               ${MP5SIM} --builtin figure3 --fail-pipeline 2)
+expect_failure("mp5sim phantom faults without channel"
+               ${MP5SIM} --builtin figure3 --phantom-loss-rate 0.1)
+expect_failure("mp5sim out-of-range loss rate"
+               ${MP5SIM} --builtin figure3 --phantom-channel
+               --phantom-loss-rate 1.5)
+expect_success("mp5sim control run"
+               ${MP5SIM} --builtin figure3 --packets 200 --paranoid)
+expect_success("mp5sim fault control run"
+               ${MP5SIM} --builtin figure3 --packets 400
+               --fail-pipeline 1@50:300 --paranoid)

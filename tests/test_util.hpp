@@ -63,6 +63,9 @@ inline banzai::ReferenceResult run_reference(const Mp5Program& prog,
 inline EquivalenceReport run_and_check(const Mp5Program& prog,
                                        const Trace& trace, SimOptions opts) {
   opts.record_egress = true;
+  // Every equivalence run doubles as a watchdog run: the per-cycle
+  // invariant checks must stay clean across the whole suite.
+  opts.paranoid_checks = true;
   Mp5Simulator sim(prog, opts);
   const SimResult result = sim.run(trace);
   const auto reference = run_reference(prog, trace);

@@ -176,5 +176,10 @@ int main(int argc, char** argv) {
   } catch (const mp5::Error& e) {
     std::cerr << "mp5c: " << e.what() << "\n";
     return 1;
+  } catch (const std::exception& e) {
+    // Malformed numeric flags (std::stoul etc.) and other library errors
+    // must produce a diagnostic and a nonzero exit, never a terminate().
+    std::cerr << "mp5c: " << e.what() << "\n";
+    return 1;
   }
 }

@@ -19,6 +19,18 @@
 //   --fifo-capacity N  --remap N  --flow-order f1,f2
 //   --check-equivalence     verify vs the single-pipeline reference
 //   --save-trace file.csv   store the generated trace
+// Fault injection (MP5 designs only):
+//   --fail-pipeline P@CYCLE[:RECOVER]   kill pipeline P at CYCLE; with
+//                                       :RECOVER it rejoins empty there
+//                                       (repeatable)
+//   --phantom-channel                   model the phantom channel as a
+//                                       physical pipeline (required by the
+//                                       phantom fault flags)
+//   --phantom-loss-rate R               lose each phantom with prob. R
+//   --phantom-delay-rate R  --phantom-delay D
+//                                       delay each phantom D extra cycles
+//                                       with probability R
+//   --paranoid                          per-cycle invariant watchdog
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -59,7 +71,29 @@ struct Args {
   std::vector<std::string> flow_order_fields;
   bool check_equivalence = false;
   std::uint64_t timeline = 0; // print the first N simulator events
+  FaultPlan faults;
+  bool phantom_channel = false;
+  bool paranoid = false;
 };
+
+/// Parse a --fail-pipeline spec: P@CYCLE or P@CYCLE:RECOVER.
+PipelineFault parse_fail_spec(const std::string& spec) {
+  const auto at = spec.find('@');
+  if (at == std::string::npos || at == 0) {
+    throw ConfigError("--fail-pipeline expects P@CYCLE[:RECOVER], got '" +
+                      spec + "'");
+  }
+  PipelineFault fault;
+  fault.pipeline = static_cast<PipelineId>(std::stoul(spec.substr(0, at)));
+  const auto colon = spec.find(':', at + 1);
+  if (colon == std::string::npos) {
+    fault.fail_at = std::stoull(spec.substr(at + 1));
+  } else {
+    fault.fail_at = std::stoull(spec.substr(at + 1, colon - at - 1));
+    fault.recover_at = std::stoull(spec.substr(colon + 1));
+  }
+  return fault;
+}
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -96,6 +130,16 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--flow-order") args.flow_order_fields = split_csv(next());
     else if (arg == "--check-equivalence") args.check_equivalence = true;
     else if (arg == "--timeline") args.timeline = std::stoull(next());
+    else if (arg == "--fail-pipeline")
+      args.faults.pipeline_faults.push_back(parse_fail_spec(next()));
+    else if (arg == "--phantom-channel") args.phantom_channel = true;
+    else if (arg == "--phantom-loss-rate")
+      args.faults.phantom_loss_rate = std::stod(next());
+    else if (arg == "--phantom-delay-rate")
+      args.faults.phantom_delay_rate = std::stod(next());
+    else if (arg == "--phantom-delay")
+      args.faults.phantom_extra_delay = std::stoull(next());
+    else if (arg == "--paranoid") args.paranoid = true;
     else if (!arg.empty() && arg[0] == '-')
       throw ConfigError("unknown option '" + arg + "'");
     else {
@@ -184,6 +228,11 @@ int run(int argc, char** argv) {
   // Resolve the design and run.
   SimResult result;
   if (args.design == "recirc") {
+    if (!args.faults.empty() || args.paranoid) {
+      throw ConfigError(
+          "fault injection / --paranoid apply to the MP5 designs only, "
+          "not recirc");
+    }
     RecircOptions ropts;
     ropts.pipelines = args.pipelines;
     ropts.seed = args.seed;
@@ -201,6 +250,9 @@ int run(int argc, char** argv) {
     opts.fifo_capacity = args.fifo_capacity;
     opts.remap_period = args.remap;
     opts.record_egress = args.check_equivalence;
+    opts.faults = args.faults;
+    if (args.phantom_channel) opts.realistic_phantom_channel = true;
+    opts.paranoid_checks = args.paranoid;
     std::uint64_t printed = 0;
     if (args.timeline > 0) {
       opts.timeline = [&printed, &args](const TimelineEvent& event) {
@@ -223,10 +275,29 @@ int run(int argc, char** argv) {
   table.add_row({"egressed", TextTable::integer(
                                  static_cast<long long>(result.egressed))});
   table.add_row({"throughput", TextTable::num(result.normalized_throughput(), 4)});
-  table.add_row({"drops (phantom/data/starved)",
+  table.add_row({"drops (phantom/data/starved/fault)",
                  std::to_string(result.dropped_phantom) + "/" +
                      std::to_string(result.dropped_data) + "/" +
-                     std::to_string(result.dropped_starved)});
+                     std::to_string(result.dropped_starved) + "/" +
+                     std::to_string(result.dropped_fault)});
+  if (result.pipeline_failures > 0 || result.phantom_lost > 0 ||
+      result.phantom_delayed > 0 || result.stalled_cycles > 0) {
+    table.add_row({"pipeline failures / recoveries",
+                   std::to_string(result.pipeline_failures) + "/" +
+                       std::to_string(result.pipeline_recoveries)});
+    table.add_row({"fault-remapped indices",
+                   TextTable::integer(static_cast<long long>(
+                       result.fault_remapped_indices))});
+    table.add_row({"phantoms lost / delayed",
+                   std::to_string(result.phantom_lost) + "/" +
+                       std::to_string(result.phantom_delayed)});
+    table.add_row({"stalled cell-cycles",
+                   TextTable::integer(
+                       static_cast<long long>(result.stalled_cycles))});
+    table.add_row({"time to recover (cycles)",
+                   TextTable::integer(
+                       static_cast<long long>(result.time_to_recover))});
+  }
   table.add_row({"C1 violating packets",
                  TextTable::integer(
                      static_cast<long long>(result.c1_violating_packets))});
@@ -254,6 +325,13 @@ int run(int argc, char** argv) {
               << (report.equivalent() ? "OK" : "VIOLATED") << "\n";
     if (!report.equivalent()) {
       std::cout << "  " << report.first_difference << "\n";
+      if (result.dropped_fault > 0) {
+        std::cout << "  note: " << result.dropped_fault
+                  << " packets were dropped by injected faults; the "
+                     "reference processes the full trace, so mismatches "
+                     "are expected (equivalence modulo the declared drop "
+                     "set is what the fault tests check)\n";
+      }
       return 1;
     }
   }
@@ -266,6 +344,11 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const mp5::Error& e) {
+    std::cerr << "mp5sim: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    // Malformed numeric flags (std::stoull etc.) and other library errors
+    // must produce a diagnostic and a nonzero exit, never a terminate().
     std::cerr << "mp5sim: " << e.what() << "\n";
     return 1;
   }
