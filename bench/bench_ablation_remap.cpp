@@ -17,6 +17,7 @@ using namespace mp5::bench;
 int main() {
   constexpr std::uint64_t kPackets = 20000;
   constexpr int kRuns = 5;
+  BenchReport report("ablation_remap");
 
   print_header("Ablation: dynamic-sharding remap period", "");
   {
@@ -39,6 +40,10 @@ int main() {
         throughput.add(result.normalized_throughput());
         moves += result.remap_moves;
       }
+      report.row("remap_period:" + std::to_string(period))
+          .metric("period", period)
+          .metric("throughput", throughput.mean())
+          .metric("remap_moves", static_cast<double>(moves / kRuns));
       table.add_row({period == 0 ? "off (static)" : std::to_string(period),
                      TextTable::num(throughput.mean(), 3),
                      TextTable::integer(static_cast<long long>(moves / kRuns))});
@@ -61,6 +66,13 @@ int main() {
       opts.fifo_capacity = cap;
       Mp5Simulator sim(prog, opts);
       const auto result = sim.run(make_trace(point, 1));
+      report.row("fifo_capacity:" + std::to_string(cap))
+          .metric("capacity", static_cast<double>(cap))
+          .metric("throughput", result.normalized_throughput())
+          .metric("drop_fraction", result.drop_fraction())
+          .metric("dropped_phantom",
+                  static_cast<double>(result.dropped_phantom))
+          .metric("dropped_data", static_cast<double>(result.dropped_data));
       table.add_row(
           {cap == 0 ? "unbounded" : std::to_string(cap),
            TextTable::num(result.normalized_throughput(), 3),
@@ -92,6 +104,10 @@ int main() {
         wasted.add(static_cast<double>(result.wasted_cycles) /
                    static_cast<double>(result.offered));
       }
+      report.row("conservative:k" + std::to_string(k))
+          .metric("pipelines", k)
+          .metric("throughput", throughput.mean())
+          .metric("wasted_per_pkt", wasted.mean());
       table.add_row({TextTable::integer(k), TextTable::num(throughput.mean(), 3),
                      TextTable::num(wasted.mean(), 3)});
     }
@@ -128,6 +144,12 @@ int main() {
       opts.ecn_threshold = 16;
       Mp5Simulator sim(prog, opts);
       const auto result = sim.run(trace);
+      report.row("starvation:" + std::to_string(threshold))
+          .metric("threshold", static_cast<double>(threshold))
+          .metric("throughput", result.normalized_throughput())
+          .metric("dropped_starved",
+                  static_cast<double>(result.dropped_starved))
+          .metric("ecn_marked", static_cast<double>(result.ecn_marked));
       table.add_row(
           {threshold == 0 ? "off" : std::to_string(threshold),
            TextTable::num(result.normalized_throughput(), 3),
@@ -136,5 +158,6 @@ int main() {
     }
     table.print(std::cout);
   }
+  finish_report(report);
   return 0;
 }

@@ -23,7 +23,8 @@ namespace {
 constexpr int kStreams = 10;
 constexpr std::uint64_t kPackets = 20000;
 
-void run_pattern(const Mp5Program& prog, const std::string& name,
+void run_pattern(BenchReport& report, const std::string& key,
+                 const Mp5Program& prog, const std::string& name,
                  AccessPattern pattern, double zipf_exponent,
                  std::uint32_t active_flows) {
   TextTable table({"stream", "dynamic", "static", "speedup"});
@@ -56,6 +57,12 @@ void run_pattern(const Mp5Program& prog, const std::string& name,
   std::cout << "speedup range: " << TextTable::num(ratios.min(), 2) << "x - "
             << TextTable::num(ratios.max(), 2) << "x (mean "
             << TextTable::num(ratios.mean(), 2) << "x)\n\n";
+  report.row(key)
+      .label("pattern", name)
+      .metric("speedup_min", ratios.min())
+      .metric("speedup_max", ratios.max())
+      .metric("speedup_mean", ratios.mean())
+      .metric("streams", kStreams);
 }
 
 } // namespace
@@ -66,11 +73,16 @@ int main() {
 
   const auto prog = compile_for_mp5(apps::make_synthetic_source(4, 512));
 
-  run_pattern(prog, "Zipf-weighted skew (hot indexes of unequal rates)",
+  BenchReport report("d2_sharding");
+  run_pattern(report, "zipf", prog,
+              "Zipf-weighted skew (hot indexes of unequal rates)",
               AccessPattern::kZipf, 0.9, /*active_flows=*/0);
-  run_pattern(prog, "two-class skew (95% pkts -> 30% states), flow churn",
+  run_pattern(report, "two_class_skew", prog,
+              "two-class skew (95% pkts -> 30% states), flow churn",
               AccessPattern::kSkewed, 1.0, /*active_flows=*/32);
-  run_pattern(prog, "uniform with flow churn (short-time-scale skew)",
+  run_pattern(report, "uniform_churn", prog,
+              "uniform with flow churn (short-time-scale skew)",
               AccessPattern::kUniform, 1.0, /*active_flows=*/32);
+  finish_report(report);
   return 0;
 }

@@ -22,6 +22,7 @@ int main() {
 
   const auto prog = compile_for_mp5(apps::make_synthetic_source(4, 512));
 
+  BenchReport report("d3_steering");
   TextTable table({"stream", "MP5", "recirc", "naive", "reduction vs MP5",
                    "recircs/pkt"});
   RunningStats reductions;
@@ -46,6 +47,14 @@ int main() {
 
     const double reduction = t_mp5 > 0 ? 1.0 - t_recirc / t_mp5 : 0.0;
     reductions.add(reduction);
+    report.row("stream" + std::to_string(stream))
+        .metric("mp5", t_mp5)
+        .metric("recirc", t_recirc)
+        .metric("naive", t_naive)
+        .metric("reduction", reduction)
+        .metric("recircs_per_pkt",
+                static_cast<double>(r_recirc.recirculations) /
+                    static_cast<double>(r_recirc.offered));
     table.add_row(
         {TextTable::integer(stream), TextTable::num(t_mp5, 3),
          TextTable::num(t_recirc, 3), TextTable::num(t_naive, 3),
@@ -88,5 +97,13 @@ int main() {
                                 2)});
   worst.add_row({"naive (one pipeline)", TextTable::num(t_naive, 3), "0"});
   worst.print(std::cout);
+  report.row("worst_case_6stages_2pipes")
+      .metric("mp5", t_mp5)
+      .metric("recirc", r_recirc.normalized_throughput())
+      .metric("naive", t_naive)
+      .metric("recircs_per_pkt",
+              static_cast<double>(r_recirc.recirculations) /
+                  static_cast<double>(r_recirc.offered));
+  finish_report(report);
   return 0;
 }

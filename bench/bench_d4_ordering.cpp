@@ -21,6 +21,7 @@ int main() {
 
   const auto prog = compile_for_mp5(apps::make_synthetic_source(4, 512));
 
+  BenchReport report("d4_ordering");
   TextTable table({"stream", "MP5", "MP5 w/o D4", "recirculation",
                    "recirc Kendall tau"});
   RunningStats no_d4_stats, recirc_stats;
@@ -47,6 +48,11 @@ int main() {
     recirc_stats.add(f_recirc);
     const auto reorder = analyze_reordering(r_recirc.egress);
 
+    report.row("stream" + std::to_string(stream))
+        .metric("c1_mp5", f_mp5)
+        .metric("c1_no_d4", f_no_d4)
+        .metric("c1_recirc", f_recirc)
+        .metric("recirc_kendall_tau", reorder.kendall_tau);
     table.add_row({TextTable::integer(stream), TextTable::pct(f_mp5),
                    TextTable::pct(f_no_d4), TextTable::pct(f_recirc),
                    TextTable::num(reorder.kendall_tau, 3)});
@@ -56,5 +62,11 @@ int main() {
             << " - " << TextTable::pct(no_d4_stats.max()) << "\n";
   std::cout << "recirculation range: " << TextTable::pct(recirc_stats.min())
             << " - " << TextTable::pct(recirc_stats.max()) << "\n";
+  report.row("aggregate")
+      .metric("no_d4_min", no_d4_stats.min())
+      .metric("no_d4_max", no_d4_stats.max())
+      .metric("recirc_min", recirc_stats.min())
+      .metric("recirc_max", recirc_stats.max());
+  finish_report(report);
   return 0;
 }

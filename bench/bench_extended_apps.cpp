@@ -23,10 +23,12 @@ int main() {
   std::cout << "workload: web-search flows, bimodal 200/1400 B packets, "
             << kRuns << " streams x " << kPackets << " packets\n\n";
 
+  BenchReport report("extended_apps");
   TextTable table({"app", "k=4 thr", "k=8 thr", "max queue", "conservative",
                    "pinned", "wasted/pkt"});
   for (const auto& app : apps::extended_apps()) {
     const auto prog = compile_for_mp5(app.source);
+    auto& json_row = report.row(app.name);
     std::vector<std::string> row{app.name};
     std::size_t max_queue = 0;
     double wasted_per_pkt = 0.0;
@@ -45,8 +47,15 @@ int main() {
         wasted_per_pkt = static_cast<double>(result.wasted_cycles) /
                          static_cast<double>(result.offered);
       }
+      json_row.metric("throughput_k" + std::to_string(k), throughput.mean());
       row.push_back(TextTable::num(throughput.mean(), 3));
     }
+    json_row.metric("max_queue", static_cast<double>(max_queue))
+        .metric("conservative_accesses",
+                static_cast<double>(prog.conservative_accesses()))
+        .metric("pinned_registers",
+                static_cast<double>(prog.pinned_registers()))
+        .metric("wasted_per_pkt", wasted_per_pkt);
     row.push_back(TextTable::integer(static_cast<long long>(max_queue)));
     row.push_back(TextTable::integer(
         static_cast<long long>(prog.conservative_accesses())));
@@ -56,5 +65,6 @@ int main() {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  finish_report(report);
   return 0;
 }

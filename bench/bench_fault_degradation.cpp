@@ -42,7 +42,7 @@ double phase_rate(const std::vector<std::uint64_t>& buckets, Cycle from,
   return stats.mean();
 }
 
-void run_load(const Mp5Program& prog, double load) {
+void run_load(BenchReport& report, const Mp5Program& prog, double load) {
   SyntheticConfig config;
   config.stateful_stages = 4;
   config.reg_size = 512;
@@ -103,6 +103,16 @@ void run_load(const Mp5Program& prog, double load) {
             << ", indices re-homed: " << result.fault_remapped_indices
             << ", first egress after failure: +" << result.time_to_recover
             << " cycles\n\n";
+
+  report.row("load" + TextTable::num(load, 2))
+      .metric("offered_load", load)
+      .metric("healthy_rate", healthy)
+      .metric("outage_rate", outage)
+      .metric("recovered_rate", recovered)
+      .metric("fault_drops", static_cast<double>(result.dropped_fault))
+      .metric("indices_rehomed",
+              static_cast<double>(result.fault_remapped_indices))
+      .metric("time_to_recover", static_cast<double>(result.time_to_recover));
 }
 
 } // namespace
@@ -114,7 +124,9 @@ int main() {
                "healthy while one lane is dead");
 
   const auto prog = compile_for_mp5(apps::make_synthetic_source(4, 512));
-  run_load(prog, static_cast<double>(kPipelines - 1) / kPipelines);
-  run_load(prog, 1.0);
+  BenchReport report("fault_degradation");
+  run_load(report, prog, static_cast<double>(kPipelines - 1) / kPipelines);
+  run_load(report, prog, 1.0);
+  finish_report(report);
   return 0;
 }

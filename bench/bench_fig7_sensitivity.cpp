@@ -22,7 +22,8 @@ namespace {
 constexpr int kRuns = 5;
 constexpr std::uint64_t kPackets = 20000;
 
-void run_series(const std::string& title, const std::string& param_name,
+void run_series(BenchReport& report, const std::string& series,
+                const std::string& title, const std::string& param_name,
                 const std::vector<SensitivityPoint>& points,
                 const std::vector<std::string>& labels) {
   print_header(title, "");
@@ -33,18 +34,22 @@ void run_series(const std::string& title, const std::string& param_name,
     point.packets = kPackets;
     const auto prog = compile_for_mp5(apps::make_synthetic_source(
         point.stateful_stages, point.reg_size));
+    auto& json_row = report.row(series + ":" + labels[i]);
+    json_row.label("series", series).label(param_name, labels[i]);
     std::vector<std::string> row{labels[i]};
     for (const auto pattern : {AccessPattern::kUniform,
                                AccessPattern::kSkewed}) {
       point.pattern = pattern;
-      row.push_back(TextTable::num(
-          mean_throughput(prog, point, mp5_options(point.pipelines, 1),
-                          kRuns),
-          3));
-      row.push_back(TextTable::num(
-          mean_throughput(prog, point, ideal_options(point.pipelines, 1),
-                          kRuns),
-          3));
+      const char* pat =
+          pattern == AccessPattern::kUniform ? "uniform" : "skewed";
+      const double mp5 = mean_throughput(
+          prog, point, mp5_options(point.pipelines, 1), kRuns);
+      const double ideal = mean_throughput(
+          prog, point, ideal_options(point.pipelines, 1), kRuns);
+      json_row.metric(std::string("mp5_") + pat, mp5);
+      json_row.metric(std::string("ideal_") + pat, ideal);
+      row.push_back(TextTable::num(mp5, 3));
+      row.push_back(TextTable::num(ideal, 3));
     }
     table.add_row(std::move(row));
   }
@@ -54,6 +59,7 @@ void run_series(const std::string& title, const std::string& param_name,
 } // namespace
 
 int main() {
+  BenchReport report("fig7_sensitivity");
   std::cout << "=== Figure 7: sensitivity analysis (throughput normalized "
                "to input rate; mean of "
             << kRuns << " streams x " << kPackets << " packets) ===\n";
@@ -70,7 +76,8 @@ int main() {
       points.push_back(p);
       labels.push_back(std::to_string(k));
     }
-    run_series("Figure 7a: throughput vs number of pipelines", "pipelines",
+    run_series(report, "7a_pipelines",
+               "Figure 7a: throughput vs number of pipelines", "pipelines",
                points, labels);
   }
   {
@@ -82,7 +89,8 @@ int main() {
       points.push_back(p);
       labels.push_back(std::to_string(n));
     }
-    run_series("Figure 7b: throughput vs number of stateful stages",
+    run_series(report, "7b_stateful_stages",
+               "Figure 7b: throughput vs number of stateful stages",
                "stateful stages", points, labels);
   }
   {
@@ -95,7 +103,8 @@ int main() {
       points.push_back(p);
       labels.push_back(std::to_string(r));
     }
-    run_series("Figure 7c: throughput vs register array size",
+    run_series(report, "7c_register_size",
+               "Figure 7c: throughput vs register array size",
                "register size", points, labels);
   }
   {
@@ -107,7 +116,8 @@ int main() {
       points.push_back(p);
       labels.push_back(std::to_string(b) + " B");
     }
-    run_series("Figure 7d: throughput vs packet size", "packet size", points,
+    run_series(report, "7d_packet_size",
+               "Figure 7d: throughput vs packet size", "packet size", points,
                labels);
   }
   {
@@ -126,6 +136,10 @@ int main() {
       const auto bound = analyze_admissibility(prog, trace, point.pipelines);
       Mp5Simulator sim(prog, mp5_options(point.pipelines, 1));
       const double measured = sim.run(trace).normalized_throughput();
+      report.row("bound:" + std::to_string(r))
+          .label("series", "bound_vs_measured")
+          .metric("bound", bound.bound)
+          .metric("measured", measured);
       table.add_row({std::to_string(r), TextTable::num(bound.bound, 3),
                      TextTable::num(measured, 3),
                      TextTable::pct(bound.bound > 0
@@ -134,5 +148,6 @@ int main() {
     }
     table.print(std::cout);
   }
+  finish_report(report);
   return 0;
 }

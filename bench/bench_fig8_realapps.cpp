@@ -15,6 +15,7 @@ using namespace mp5::bench;
 int main() {
   constexpr int kRuns = 5;
   constexpr std::uint64_t kPackets = 20000;
+  BenchReport report("fig8_realapps");
 
   print_header(
       "Figure 8: real applications at line rate",
@@ -42,6 +43,12 @@ int main() {
         max_queue = std::max(max_queue, result.max_queue_depth);
         violations += result.c1_violating_packets;
       }
+      report.row(app.name + ":k" + std::to_string(k))
+          .label("app", app.name)
+          .metric("pipelines", k)
+          .metric("throughput", throughput.mean())
+          .metric("max_queue", static_cast<double>(max_queue))
+          .metric("c1_violations", static_cast<double>(violations));
       table.add_row({
           TextTable::integer(k),
           TextTable::num(throughput.mean(), 3),
@@ -55,5 +62,6 @@ int main() {
     table.print(std::cout);
     std::cout << "\n";
   }
+  finish_report(report);
   return 0;
 }

@@ -1,7 +1,13 @@
 // Microbenchmarks (google-benchmark) for the performance-critical pieces
 // of the library: the stage FIFO operations, the Domino compiler, address
 // resolution, and whole-simulator cycle throughput.
+//
+// Custom main: the usual console output plus a BENCH_micro.json capture of
+// every run (see src/telemetry/bench_report.hpp for the schema and the
+// MP5_BENCH_JSON_DIR output-directory override).
 #include <benchmark/benchmark.h>
+
+#include <iostream>
 
 #include "apps/programs.hpp"
 #include "banzai/single_pipeline.hpp"
@@ -10,6 +16,7 @@
 #include "mp5/simulator.hpp"
 #include "mp5/stage_fifo.hpp"
 #include "mp5/transform.hpp"
+#include "telemetry/bench_report.hpp"
 #include "trace/workloads.hpp"
 
 namespace {
@@ -104,4 +111,40 @@ void BM_ReferenceSwitch(benchmark::State& state) {
 }
 BENCHMARK(BM_ReferenceSwitch);
 
+/// Console output as usual, with every (non-errored) run also captured
+/// into the BENCH_micro.json report.
+class CaptureReporter final : public benchmark::ConsoleReporter {
+public:
+  explicit CaptureReporter(telemetry::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      auto& row = report_->row(run.benchmark_name());
+      row.metric("real_time_ns", run.GetAdjustedRealTime());
+      row.metric("cpu_time_ns", run.GetAdjustedCPUTime());
+      row.metric("iterations", static_cast<double>(run.iterations));
+      for (const auto& [name, counter] : run.counters) {
+        row.metric(name, counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+private:
+  telemetry::BenchReport* report_;
+};
+
 } // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  telemetry::BenchReport report("micro");
+  CaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  std::cout << "bench json: " << report.write() << " (" << report.size()
+            << " rows)\n";
+  return 0;
+}

@@ -5,10 +5,12 @@
 
 #include "common/table.hpp"
 #include "hw/area_model.hpp"
+#include "telemetry/bench_report.hpp"
 
 int main() {
   using namespace mp5;
   using namespace mp5::hw;
+  telemetry::BenchReport report("table1_area");
 
   std::cout << "\n=== Table 1: chip area and clock speed (analytic model "
                "calibrated to the paper's ASIC synthesis) ===\n\n";
@@ -22,6 +24,13 @@ int main() {
       config.stages = s;
       const auto area = chip_area(config);
       const double paper = paper_table1_mm2(k, s);
+      report.row("k" + std::to_string(k) + "_s" + std::to_string(s))
+          .metric("pipelines", k)
+          .metric("stages", s)
+          .metric("model_mm2", area.total_mm2)
+          .metric("paper_mm2", paper)
+          .metric("clock_ghz", clock_ghz(config))
+          .metric("meets_1ghz", meets_1ghz(config) ? 1.0 : 0.0);
       table.add_row({
           TextTable::integer(k),
           TextTable::integer(s),
@@ -53,6 +62,12 @@ int main() {
       {"steering/sharding logic", TextTable::num(area.steering_logic_mm2, 3),
        TextTable::pct(area.steering_logic_mm2 / area.total_mm2)});
   breakdown.print(std::cout);
+  report.row("breakdown_k4_s16")
+      .metric("data_crossbar_mm2", area.data_crossbar_mm2)
+      .metric("phantom_crossbar_mm2", area.phantom_crossbar_mm2)
+      .metric("fifo_mm2", area.fifo_mm2)
+      .metric("steering_logic_mm2", area.steering_logic_mm2)
+      .metric("total_mm2", area.total_mm2);
 
   std::cout << "\nSRAM overhead (30 bits/register index: 6 map + 16 access "
                "counter + 8 in-flight):\n";
@@ -98,5 +113,7 @@ int main() {
   std::cout << "quadratic crossbars shrink with disaggregation, but the "
                "cross-chiplet path drops below the 1 GHz stage clock — the "
                "interconnection-design problem §3.5.3 leaves open.\n";
+  std::cout << "\nbench json: " << report.write() << " (" << report.size()
+            << " rows)\n";
   return 0;
 }

@@ -12,9 +12,12 @@
 #include "domino/compiler.hpp"
 #include "mp5/simulator.hpp"
 #include "mp5/transform.hpp"
+#include "telemetry/bench_report.hpp"
 #include "trace/workloads.hpp"
 
 namespace mp5::bench {
+
+using telemetry::BenchReport;
 
 inline Mp5Program compile_for_mp5(const std::string& source) {
   return transform(
@@ -66,6 +69,14 @@ inline void print_header(const std::string& title, const std::string& paper) {
   std::cout << "\n=== " << title << " ===\n";
   if (!paper.empty()) std::cout << "paper: " << paper << "\n";
   std::cout << "\n";
+}
+
+/// Write the harness's BENCH_<name>.json (into $MP5_BENCH_JSON_DIR or the
+/// working directory) and say where it went. Call once, at the end of
+/// main.
+inline void finish_report(const BenchReport& report) {
+  std::cout << "\nbench json: " << report.write() << " (" << report.size()
+            << " rows)\n";
 }
 
 } // namespace mp5::bench

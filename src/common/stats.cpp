@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
 namespace mp5 {
 
 void RunningStats::add(double x) {
+  if (std::isnan(x)) {
+    throw ConfigError("RunningStats::add: NaN sample");
+  }
   ++n_;
   sum_ += x;
   const double delta = x - mean_;
@@ -31,6 +35,9 @@ Histogram::Histogram(double bucket_width, std::size_t buckets)
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) {
+    throw ConfigError("Histogram::add: NaN sample");
+  }
   auto idx = static_cast<std::size_t>(std::max(0.0, x) / width_);
   idx = std::min(idx, counts_.size() - 1);
   ++counts_[idx];
@@ -38,7 +45,12 @@ void Histogram::add(double x) {
 }
 
 double Histogram::quantile(double q) const {
-  if (total_ == 0) return 0.0;
+  if (std::isnan(q) || q < 0.0 || q > 1.0) {
+    throw ConfigError("Histogram::quantile: q must be in [0, 1]");
+  }
+  // An empty histogram has no quantiles; NaN is unambiguous where the old
+  // 0.0 looked like a legitimate first-bucket answer.
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
   const auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(total_));
   std::uint64_t acc = 0;

@@ -12,6 +12,8 @@ namespace mp5 {
 /// Streaming mean / min / max / variance accumulator (Welford).
 class RunningStats {
 public:
+  /// Throws ConfigError on NaN: one NaN would silently poison the mean,
+  /// variance and extrema for the rest of the run.
   void add(double x);
 
   std::uint64_t count() const noexcept { return n_; }
@@ -37,11 +39,20 @@ class Histogram {
 public:
   Histogram(double bucket_width, std::size_t buckets);
 
+  /// Throws ConfigError on NaN (it has no bucket).
   void add(double x);
   std::uint64_t total() const noexcept { return total_; }
 
-  /// Value below which `q` (in [0,1]) of the mass lies, to bucket precision.
+  /// Value below which `q` of the mass lies, to bucket precision. Returns
+  /// NaN on an empty histogram (there is no mass to take a quantile of; an
+  /// earlier version returned 0.0, indistinguishable from real data).
+  /// Throws ConfigError when `q` is outside [0, 1] or NaN.
   double quantile(double q) const;
+
+  /// Convenience percentiles (same semantics as quantile()).
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
 
   const std::vector<std::uint64_t>& buckets() const noexcept { return counts_; }
   double bucket_width() const noexcept { return width_; }

@@ -9,6 +9,10 @@
 
 namespace mp5 {
 
+namespace telemetry {
+class Telemetry;
+}
+
 struct SimOptions {
   /// Number of parallel pipelines (k). The paper's default is 4 (§4.3.1).
   std::uint32_t pipelines = 4;
@@ -95,6 +99,14 @@ struct SimOptions {
 
   /// Optional per-event instrumentation hook (tests, mp5sim --timeline).
   TimelineHook timeline;
+
+  /// Optional telemetry sink (non-owning; see src/telemetry/). When null —
+  /// the default — every hook in the simulator and its components reduces
+  /// to a never-taken branch and the run is bit-identical to a build
+  /// without telemetry. Attach one Telemetry object per run: counters,
+  /// gauges and histograms are registered at simulator construction and
+  /// the event ring records the cycle-level timeline.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 } // namespace mp5

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "packet/packet.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace mp5 {
 
@@ -59,11 +60,19 @@ PipelineId ShardedState::pipeline_of(RegId reg, RegIndex index) const {
   return regs_[reg].map[index];
 }
 
+void ShardedState::set_telemetry(telemetry::Telemetry& sink) {
+  t_rebalance_runs_ = &sink.counter("shard.rebalance_runs");
+  t_rebalance_moves_ = &sink.counter("shard.rebalance_moves");
+  t_fault_rehomed_ = &sink.counter("shard.fault_rehomed_indices");
+  t_accesses_ = &sink.counter("shard.state_accesses");
+}
+
 void ShardedState::note_resolved(RegId reg, RegIndex index) {
   if (index == kUnresolvedIndex) return;
   auto& per = regs_[reg];
   ++per.access[index];
   ++per.in_flight[index];
+  MP5_TELEM_INC(t_accesses_);
 }
 
 void ShardedState::note_completed(RegId reg, RegIndex index) {
@@ -145,6 +154,7 @@ std::size_t ShardedState::fail_pipeline(PipelineId pipeline) {
     }
   }
   total_moves_ += moved;
+  MP5_TELEM_ADD(t_fault_rehomed_, moved);
   return moved;
 }
 
@@ -186,6 +196,8 @@ std::size_t ShardedState::rebalance() {
     std::fill(per.access.begin(), per.access.end(), 0);
   }
   total_moves_ += moves;
+  MP5_TELEM_INC(t_rebalance_runs_);
+  MP5_TELEM_ADD(t_rebalance_moves_, moves);
   return moves;
 }
 

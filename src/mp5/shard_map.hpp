@@ -23,6 +23,11 @@
 
 namespace mp5 {
 
+namespace telemetry {
+class Counter;
+class Telemetry;
+}
+
 enum class ShardingPolicy {
   /// Figure 6 heuristic every remap period (the MP5 default).
   kDynamic,
@@ -87,6 +92,11 @@ public:
   std::uint64_t total_moves() const { return total_moves_; }
   const std::vector<std::vector<Value>>& storage() const { return values_; }
 
+  /// Attach the telemetry registry (see src/telemetry/): registers the
+  /// "shard.*" counters for rebalance churn and fault re-homing. Not
+  /// called on telemetry-disabled runs; the hooks stay null and free.
+  void set_telemetry(telemetry::Telemetry& sink);
+
 private:
   struct PerReg {
     std::vector<PipelineId> map;          // index -> active pipeline
@@ -105,6 +115,12 @@ private:
   std::vector<std::vector<Value>> values_;
   std::vector<PerReg> regs_;
   std::uint64_t total_moves_ = 0;
+
+  // -- telemetry hooks (registry-owned; null when telemetry is off) --
+  telemetry::Counter* t_rebalance_runs_ = nullptr;
+  telemetry::Counter* t_rebalance_moves_ = nullptr;
+  telemetry::Counter* t_fault_rehomed_ = nullptr;
+  telemetry::Counter* t_accesses_ = nullptr;
 };
 
 } // namespace mp5

@@ -29,27 +29,6 @@ bool entry_live(const PlannedAccess& e) { return !e.done && !e.cancelled; }
 
 } // namespace
 
-const char* to_string(TimelineEvent::Kind kind) {
-  switch (kind) {
-    case TimelineEvent::Kind::kAdmit: return "admit";
-    case TimelineEvent::Kind::kPhantomPush: return "phantom";
-    case TimelineEvent::Kind::kPassThrough: return "pass";
-    case TimelineEvent::Kind::kInsert: return "insert";
-    case TimelineEvent::Kind::kPopData: return "pop";
-    case TimelineEvent::Kind::kPopWasted: return "wasted";
-    case TimelineEvent::Kind::kBlocked: return "blocked";
-    case TimelineEvent::Kind::kSteer: return "steer";
-    case TimelineEvent::Kind::kCancel: return "cancel";
-    case TimelineEvent::Kind::kEgress: return "egress";
-    case TimelineEvent::Kind::kDropData: return "drop";
-    case TimelineEvent::Kind::kDropStarved: return "drop_starved";
-    case TimelineEvent::Kind::kDropFault: return "drop_fault";
-    case TimelineEvent::Kind::kLaneFail: return "lane_fail";
-    case TimelineEvent::Kind::kLaneRecover: return "lane_recover";
-  }
-  return "?";
-}
-
 Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
     : prog_(&program), opts_(options) {
   // Option validation: every inconsistent combination is rejected here, at
@@ -116,6 +95,30 @@ Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
     }
   }
   ingress_.resize(k_);
+
+#if MP5_TELEMETRY_COMPILED
+  if (opts_.telemetry != nullptr) {
+    telem_ = opts_.telemetry;
+    state_->set_telemetry(*telem_);
+    for (auto& per_pipe : fifos_) {
+      for (auto& fifo : per_pipe) fifo.set_telemetry(*telem_);
+    }
+    t_admit_ = &telem_->counter("sim.admitted");
+    t_egress_ = &telem_->counter("sim.egressed");
+    t_steer_ = &telem_->counter("sim.steers");
+    t_drop_data_ = &telem_->counter("sim.dropped_data");
+    t_drop_starved_ = &telem_->counter("sim.dropped_starved");
+    t_drop_fault_ = &telem_->counter("sim.dropped_fault");
+    t_ecn_ = &telem_->counter("sim.ecn_marked");
+    t_stall_cycles_ = &telem_->counter("fault.stalled_cycles");
+    t_phantom_sent_ = &telem_->counter("phantom.sent");
+    t_phantom_lost_ = &telem_->counter("phantom.lost");
+    t_phantom_delayed_ = &telem_->counter("phantom.delayed");
+    t_lane_fail_ = &telem_->counter("fault.lane_failures");
+    t_lane_recover_ = &telem_->counter("fault.lane_recoveries");
+    t_egress_latency_ = &telem_->histogram("sim.egress_latency", 1.0, 128);
+  }
+#endif
 }
 
 SimResult Mp5Simulator::run(const Trace& trace) {
@@ -177,7 +180,12 @@ SimResult Mp5Simulator::run(const Trace& trace) {
     // 4. Periodic dynamic state sharding (Figure 6).
     if (opts_.remap_period != 0 &&
         (now + 1) % opts_.remap_period == 0) {
-      result_.remap_moves += state_->rebalance();
+      const std::size_t moves = state_->rebalance();
+      result_.remap_moves += moves;
+      if (moves != 0) {
+        emit(TimelineEvent::Kind::kRemap, now, 0, 0, kInvalidSeqNo,
+             static_cast<std::uint64_t>(moves));
+      }
     }
     // 5. Cycle-end watchdog.
     if (opts_.paranoid_checks) check_invariants(now);
@@ -191,6 +199,13 @@ SimResult Mp5Simulator::run(const Trace& trace) {
       result_.max_queue_depth =
           std::max(result_.max_queue_depth, fifo.high_water());
     }
+  }
+  if (telem_ != nullptr) {
+    telem_->gauge("sim.cycles_run").set(static_cast<double>(now));
+    telem_->gauge("sim.max_queue_depth")
+        .set(static_cast<double>(result_.max_queue_depth));
+    telem_->gauge("sim.normalized_throughput")
+        .set(result_.normalized_throughput());
   }
   std::sort(result_.egress.begin(), result_.egress.end(),
             [](const EgressRecord& a, const EgressRecord& b) {
@@ -219,6 +234,7 @@ void Mp5Simulator::apply_fault_events(Cycle now) {
 void Mp5Simulator::fail_lane(PipelineId p, Cycle now) {
   emit(TimelineEvent::Kind::kLaneFail, now, p, 0, kInvalidSeqNo);
   ++result_.pipeline_failures;
+  MP5_TELEM_INC(t_lane_fail_);
   fail_marker_ = now;
   awaiting_egress_after_failure_ = true;
 
@@ -300,6 +316,7 @@ void Mp5Simulator::recover_lane(PipelineId p, Cycle now) {
   state_->recover_pipeline(p);
   lane_alive_[p] = true;
   ++result_.pipeline_recoveries;
+  MP5_TELEM_INC(t_lane_recover_);
   emit(TimelineEvent::Kind::kLaneRecover, now, p, 0, kInvalidSeqNo);
 }
 
@@ -509,12 +526,14 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
             // deadlocking behind a hole in the order).
             lost_phantoms_.insert(key);
             ++result_.phantom_lost;
+            MP5_TELEM_INC(t_phantom_lost_);
           } else {
             Cycle deliver = now + acc.stage;
             if (opts_.faults.phantom_delay_rate > 0.0 &&
                 fault_rng_.chance(opts_.faults.phantom_delay_rate)) {
               deliver += opts_.faults.phantom_extra_delay;
               ++result_.phantom_delayed;
+              MP5_TELEM_INC(t_phantom_delayed_);
             }
             PendingPhantom pending;
             pending.seq = pkt.seq;
@@ -525,6 +544,7 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
             pending.lane = lane_pred;
             auto it = channel_.emplace(deliver, pending);
             channel_index_[key] = it;
+            MP5_TELEM_INC(t_phantom_sent_);
           }
         } else {
           const bool ok = fifos_[acc.pipeline][acc.stage].push_phantom(
@@ -533,6 +553,7 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
             acc.phantom_dropped = true;
             ++result_.dropped_phantom;
           } else {
+            MP5_TELEM_INC(t_phantom_sent_);
             emit(TimelineEvent::Kind::kPhantomPush, now, acc.pipeline,
                  acc.stage, pkt.seq);
           }
@@ -547,6 +568,7 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
 
   ++result_.offered;
   ++live_packets_;
+  MP5_TELEM_INC(t_admit_);
   emit(TimelineEvent::Kind::kAdmit, now, admit_lane, 0, pkt.seq);
   ingress_[admit_lane].push_back(std::move(pkt));
 }
@@ -558,7 +580,10 @@ void Mp5Simulator::step_cell(PipelineId p, StageId st, Cycle now) {
   // Invariant 2 forbids queueing it.
   const bool stalled =
       fault_sched_.has_stalls() && fault_sched_.stalled(p, st, now);
-  if (stalled) ++result_.stalled_cycles;
+  if (stalled) {
+    ++result_.stalled_cycles;
+    MP5_TELEM_INC(t_stall_cycles_);
+  }
 
   auto incoming = std::move(arrivals_[p][st]);
   arrivals_[p][st].clear();
@@ -796,12 +821,15 @@ void Mp5Simulator::drop_packet(Packet&& pkt, DropCause cause) {
   switch (cause) {
     case DropCause::kData:
       ++result_.dropped_data;
+      MP5_TELEM_INC(t_drop_data_);
       break;
     case DropCause::kStarved:
       ++result_.dropped_starved;
+      MP5_TELEM_INC(t_drop_starved_);
       break;
     case DropCause::kFault: {
       ++result_.dropped_fault;
+      MP5_TELEM_INC(t_drop_fault_);
       if (opts_.record_egress) {
         // Declared drop set for equivalence-modulo-drops: remember whether
         // the packet's partial state effects remain in the registers.
@@ -838,6 +866,7 @@ void Mp5Simulator::route_onwards(Packet&& pkt, PipelineId p, StageId st,
     dest = acc->pipeline;
     if (dest != p) {
       ++result_.steers;
+      MP5_TELEM_INC(t_steer_);
       emit(TimelineEvent::Kind::kSteer, now, dest, st + 1, pkt.seq);
     }
   }
@@ -856,6 +885,9 @@ void Mp5Simulator::route_onwards(Packet&& pkt, PipelineId p, StageId st,
 void Mp5Simulator::egress_packet(Packet&& pkt, Cycle now) {
   emit(TimelineEvent::Kind::kEgress, now, 0, num_stages_ - 1, pkt.seq);
   ++result_.egressed;
+  MP5_TELEM_INC(t_egress_);
+  MP5_TELEM_OBSERVE(t_egress_latency_,
+                    static_cast<double>(now - pkt.arrival_cycle));
   --live_packets_;
   result_.last_egress = now;
   if (awaiting_egress_after_failure_) {
@@ -864,7 +896,10 @@ void Mp5Simulator::egress_packet(Packet&& pkt, Cycle now) {
     result_.time_to_recover = now - fail_marker_;
     awaiting_egress_after_failure_ = false;
   }
-  if (pkt.ecn_marked) ++result_.ecn_marked;
+  if (pkt.ecn_marked) {
+    ++result_.ecn_marked;
+    MP5_TELEM_INC(t_ecn_);
+  }
   if (opts_.track_flow_reordering) {
     auto [it, inserted] = flow_last_egress_.try_emplace(pkt.flow, pkt.seq);
     if (!inserted) {

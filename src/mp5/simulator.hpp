@@ -47,6 +47,7 @@
 #include "mp5/shard_map.hpp"
 #include "mp5/stage_fifo.hpp"
 #include "mp5/transform.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
 namespace mp5 {
@@ -123,15 +124,17 @@ private:
   /// Cycle-end watchdog (SimOptions::paranoid_checks).
   void check_invariants(Cycle now) const;
   void emit(TimelineEvent::Kind kind, Cycle now, PipelineId p, StageId st,
-            SeqNo seq) const {
-    if (!opts_.timeline) return;
+            SeqNo seq, std::uint64_t arg = 0) const {
+    if (telem_ == nullptr && !opts_.timeline) return;
     TimelineEvent event;
     event.kind = kind;
     event.cycle = now;
     event.pipeline = p;
     event.stage = st;
     event.seq = seq;
-    opts_.timeline(event);
+    event.arg = arg;
+    if (telem_ != nullptr) telem_->record(event);
+    if (opts_.timeline) opts_.timeline(event);
   }
 
   const Mp5Program* prog_;
@@ -183,6 +186,25 @@ private:
   SimResult result_;
   C1Checker c1_;
   std::unordered_map<std::uint64_t, SeqNo> flow_last_egress_;
+
+  // -- telemetry (see src/telemetry/): registry-owned hooks, all null on a
+  // telemetry-disabled run, where every hook is a never-taken branch and
+  // the SimResult is bit-identical to a build without telemetry. --
+  telemetry::Telemetry* telem_ = nullptr;
+  telemetry::Counter* t_admit_ = nullptr;
+  telemetry::Counter* t_egress_ = nullptr;
+  telemetry::Counter* t_steer_ = nullptr;
+  telemetry::Counter* t_drop_data_ = nullptr;
+  telemetry::Counter* t_drop_starved_ = nullptr;
+  telemetry::Counter* t_drop_fault_ = nullptr;
+  telemetry::Counter* t_ecn_ = nullptr;
+  telemetry::Counter* t_stall_cycles_ = nullptr;
+  telemetry::Counter* t_phantom_sent_ = nullptr;
+  telemetry::Counter* t_phantom_lost_ = nullptr;
+  telemetry::Counter* t_phantom_delayed_ = nullptr;
+  telemetry::Counter* t_lane_fail_ = nullptr;
+  telemetry::Counter* t_lane_recover_ = nullptr;
+  Histogram* t_egress_latency_ = nullptr; // cycles from arrival to egress
 };
 
 } // namespace mp5

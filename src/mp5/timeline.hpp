@@ -27,16 +27,41 @@ struct TimelineEvent {
                    // phantom, stalled cell)
     kLaneFail,     // scheduled pipeline failure took the lane down
     kLaneRecover,  // scheduled recovery brought the lane back (empty)
+    kRemap,        // periodic shard rebalance re-homed indices (arg = moves)
   };
   Kind kind = Kind::kAdmit;
   Cycle cycle = 0;
   PipelineId pipeline = 0;
   StageId stage = 0;
   SeqNo seq = kInvalidSeqNo; // kInvalidSeqNo for packet-less events
+  std::uint64_t arg = 0;     // event-specific payload (e.g. remap moves)
 };
 
 using TimelineHook = std::function<void(const TimelineEvent&)>;
 
-const char* to_string(TimelineEvent::Kind kind);
+// Inline (not in mp5_core's simulator.cpp) so lower layers — notably the
+// telemetry exporters — can name events without a link dependency on the
+// simulator.
+inline const char* to_string(TimelineEvent::Kind kind) {
+  switch (kind) {
+    case TimelineEvent::Kind::kAdmit: return "admit";
+    case TimelineEvent::Kind::kPhantomPush: return "phantom";
+    case TimelineEvent::Kind::kPassThrough: return "pass";
+    case TimelineEvent::Kind::kInsert: return "insert";
+    case TimelineEvent::Kind::kPopData: return "pop";
+    case TimelineEvent::Kind::kPopWasted: return "wasted";
+    case TimelineEvent::Kind::kBlocked: return "blocked";
+    case TimelineEvent::Kind::kSteer: return "steer";
+    case TimelineEvent::Kind::kCancel: return "cancel";
+    case TimelineEvent::Kind::kEgress: return "egress";
+    case TimelineEvent::Kind::kDropData: return "drop";
+    case TimelineEvent::Kind::kDropStarved: return "drop_starved";
+    case TimelineEvent::Kind::kDropFault: return "drop_fault";
+    case TimelineEvent::Kind::kLaneFail: return "lane_fail";
+    case TimelineEvent::Kind::kLaneRecover: return "lane_recover";
+    case TimelineEvent::Kind::kRemap: return "remap";
+  }
+  return "?";
+}
 
 } // namespace mp5

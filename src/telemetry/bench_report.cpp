@@ -1,0 +1,62 @@
+#include "telemetry/bench_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "telemetry/json_writer.hpp"
+
+namespace mp5::telemetry {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw ConfigError("BenchReport: name must be non-empty");
+}
+
+BenchReport::Row& BenchReport::row(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return rows_[it->second];
+  index_.emplace(name, rows_.size());
+  rows_.emplace_back(name);
+  return rows_.back();
+}
+
+void BenchReport::write_to(std::ostream& out) const {
+  JsonWriter json(out);
+  json.begin_object();
+  json.kv("schema", "mp5-bench");
+  json.kv("schema_version", kBenchSchemaVersion);
+  json.kv("bench", name_);
+  json.key("rows").begin_array();
+  for (const Row& row : rows_) {
+    json.begin_object();
+    json.kv("name", row.name());
+    json.key("metrics").begin_object();
+    for (const auto& [key, value] : row.metrics()) json.kv(key, value);
+    json.end_object();
+    json.key("labels").begin_object();
+    for (const auto& [key, value] : row.labels()) json.kv(key, value);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << "\n";
+}
+
+std::string BenchReport::write(const std::string& dir) const {
+  std::string target = dir;
+  if (target.empty()) {
+    const char* env = std::getenv("MP5_BENCH_JSON_DIR");
+    target = (env != nullptr && *env != '\0') ? env : ".";
+  }
+  const std::string path = target + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("BenchReport: cannot open '" + path + "' for writing");
+  }
+  write_to(out);
+  if (!out) throw Error("BenchReport: write to '" + path + "' failed");
+  return path;
+}
+
+} // namespace mp5::telemetry

@@ -1,0 +1,77 @@
+// BENCH_*.json emitter: every bench harness collects named rows of
+// numeric metrics (plus optional string labels) and writes one
+// schema-versioned file per harness, so future PRs can diff benchmark
+// trajectories for regressions instead of eyeballing table printouts.
+//
+// Schema "mp5-bench", version 1 (documented in DESIGN.md "Telemetry"):
+//   {
+//     "schema": "mp5-bench", "schema_version": 1,
+//     "bench": "<harness name>",
+//     "rows": [ { "name": "...",
+//                 "metrics": { "<metric>": <number>, ... },
+//                 "labels":  { "<label>": "<string>", ... } }, ... ]
+//   }
+//
+// Output directory: the MP5_BENCH_JSON_DIR environment variable when set,
+// else the current working directory. File name: BENCH_<name>.json.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mp5::telemetry {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+class BenchReport {
+public:
+  /// `name` becomes both the "bench" field and the BENCH_<name>.json
+  /// file name; keep it filesystem-safe.
+  explicit BenchReport(std::string name);
+
+  class Row {
+  public:
+    explicit Row(std::string name) : name_(std::move(name)) {}
+    Row& metric(const std::string& key, double value) {
+      metrics_[key] = value;
+      return *this;
+    }
+    Row& label(const std::string& key, std::string value) {
+      labels_[key] = std::move(value);
+      return *this;
+    }
+    const std::string& name() const { return name_; }
+    const std::map<std::string, double>& metrics() const { return metrics_; }
+    const std::map<std::string, std::string>& labels() const {
+      return labels_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, double> metrics_;
+    std::map<std::string, std::string> labels_;
+  };
+
+  /// Find-or-append a row (insertion order is preserved in the output).
+  Row& row(const std::string& name);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return rows_.size(); }
+
+  void write_to(std::ostream& out) const;
+
+  /// Write BENCH_<name>.json into `dir` (empty: $MP5_BENCH_JSON_DIR or
+  /// "."). Returns the path written. Throws Error if the file cannot be
+  /// opened.
+  std::string write(const std::string& dir = "") const;
+
+private:
+  std::string name_;
+  std::vector<Row> rows_;
+  std::map<std::string, std::size_t> index_;
+};
+
+} // namespace mp5::telemetry

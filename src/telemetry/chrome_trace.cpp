@@ -1,0 +1,68 @@
+#include "telemetry/chrome_trace.hpp"
+
+#include <set>
+
+#include "telemetry/json_writer.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace mp5::telemetry {
+
+void write_chrome_trace(std::ostream& out, const Telemetry& telemetry) {
+  const EventRing& ring = telemetry.events(); // throws when disabled
+
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+
+  // Name the per-pipeline "processes" so the viewer rows are readable.
+  std::set<PipelineId> pipelines;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    pipelines.insert(ring.at(i).pipeline);
+  }
+  for (const PipelineId p : pipelines) {
+    json.begin_object()
+        .kv("name", "process_name")
+        .kv("ph", "M")
+        .kv("pid", p)
+        .key("args")
+        .begin_object()
+        .kv("name", "pipeline " + std::to_string(p))
+        .end_object()
+        .end_object();
+  }
+
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const TimelineEvent& ev = ring.at(i);
+    json.begin_object()
+        .kv("name", to_string(ev.kind))
+        .kv("cat", "mp5")
+        .kv("ph", "i")
+        .kv("s", "t")
+        .kv("ts", ev.cycle)
+        .kv("pid", ev.pipeline)
+        .kv("tid", ev.stage);
+    json.key("args").begin_object();
+    if (ev.seq != kInvalidSeqNo) json.kv("seq", ev.seq);
+    if (ev.arg != 0) json.kv("arg", ev.arg);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.kv("displayTimeUnit", "ms");
+  json.key("otherData").begin_object();
+  json.kv("schema", "mp5-chrome-trace");
+  json.kv("schema_version", kChromeTraceSchemaVersion);
+  json.kv("events_recorded", ring.recorded());
+  json.kv("events_dropped", ring.dropped());
+  json.key("counters").begin_object();
+  for (const auto& [name, counter] : telemetry.counters()) {
+    json.kv(name, counter.value());
+  }
+  json.end_object();
+  json.end_object();
+  json.end_object();
+  out << "\n";
+}
+
+} // namespace mp5::telemetry

@@ -1,0 +1,22 @@
+// Chrome trace_event exporter: dumps the telemetry event ring as a JSON
+// object-format trace loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Mapping:
+//   ts  <- simulated cycle (microsecond units in the viewer; 1 us == 1 cycle)
+//   pid <- pipeline, tid <- stage (so each lane renders as a process row)
+//   ph  <- "i" instant events, scope "t" (thread)
+//   args.seq <- packet sequence number (omitted for packet-less events)
+#pragma once
+
+#include <ostream>
+
+namespace mp5::telemetry {
+
+class Telemetry;
+
+inline constexpr int kChromeTraceSchemaVersion = 1;
+
+/// Write the whole retained event ring (plus counter totals as trace
+/// metadata). Throws Error if the telemetry object has events disabled.
+void write_chrome_trace(std::ostream& out, const Telemetry& telemetry);
+
+} // namespace mp5::telemetry

@@ -1,0 +1,156 @@
+#include "telemetry/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace mp5::telemetry {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  if (stack_.empty()) {
+    // Root value: open a synthetic frame so `complete()` can report once
+    // the root container closes.
+    stack_.push_back(Frame{});
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.is_object && !pending_key_) {
+    throw Error("JsonWriter: value inside an object needs a key");
+  }
+  if (!top.is_object) {
+    if (!top.first) out_ << ',';
+    top.first = false;
+  }
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || !stack_.back().is_object) {
+    throw Error("JsonWriter: key() outside an object");
+  }
+  if (pending_key_) throw Error("JsonWriter: consecutive keys");
+  Frame& top = stack_.back();
+  if (!top.first) out_ << ',';
+  top.first = false;
+  out_ << '"' << escape(name) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  out_ << '{';
+  stack_.push_back(Frame{/*is_object=*/true, /*first=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || !stack_.back().is_object) {
+    throw Error("JsonWriter: end_object() without matching begin_object()");
+  }
+  if (pending_key_) throw Error("JsonWriter: dangling key at end_object()");
+  out_ << '}';
+  stack_.pop_back();
+  if (stack_.size() == 1 && !stack_.front().is_object) {
+    stack_.front().closed = true;
+  } else if (stack_.empty()) {
+    stack_.push_back(Frame{});
+    stack_.front().closed = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  out_ << '[';
+  stack_.push_back(Frame{/*is_object=*/false, /*first=*/true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().is_object) {
+    throw Error("JsonWriter: end_array() without matching begin_array()");
+  }
+  out_ << ']';
+  stack_.pop_back();
+  if (stack_.size() == 1 && !stack_.front().is_object) {
+    stack_.front().closed = true;
+  } else if (stack_.empty()) {
+    stack_.push_back(Frame{});
+    stack_.front().closed = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_for_value();
+  out_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_for_value();
+  if (std::isnan(v) || std::isinf(v)) {
+    out_ << "null"; // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[64];
+  // %.17g round-trips every double and is locale-independent via snprintf
+  // with the C locale assumption the rest of the code base already makes.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_for_value();
+  out_ << "null";
+  return *this;
+}
+
+} // namespace mp5::telemetry

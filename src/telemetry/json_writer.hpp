@@ -1,0 +1,65 @@
+// Minimal streaming JSON emitter — no external dependency, just enough
+// for the telemetry exporters: nested objects/arrays, string escaping,
+// and locale-independent number formatting (NaN/Inf become null, since
+// JSON has no representation for them).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mp5::telemetry {
+
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Next value inside an object is written under this key.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& null();
+
+  /// Shorthand: key + scalar value.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once every opened object/array has been closed.
+  bool complete() const { return !stack_.empty() && stack_.front().closed; }
+
+  static std::string escape(std::string_view s);
+
+private:
+  struct Frame {
+    bool is_object = false;
+    bool first = true;
+    bool closed = false; // only meaningful for the root frame
+  };
+
+  void comma_for_value();
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+} // namespace mp5::telemetry

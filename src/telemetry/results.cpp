@@ -1,0 +1,137 @@
+#include "telemetry/results.hpp"
+
+#include "telemetry/json_writer.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace mp5::telemetry {
+namespace {
+
+void write_telemetry_section(JsonWriter& json, const Telemetry& telem) {
+  json.begin_object();
+
+  json.key("counters").begin_object();
+  for (const auto& [name, counter] : telem.counters()) {
+    json.kv(name, counter.value());
+  }
+  json.end_object();
+
+  json.key("gauges").begin_object();
+  for (const auto& [name, gauge] : telem.gauges()) {
+    json.kv(name, gauge.value());
+  }
+  json.end_object();
+
+  json.key("histograms").begin_object();
+  for (const auto& [name, hist] : telem.histograms()) {
+    json.key(name).begin_object();
+    json.kv("bucket_width", hist.bucket_width());
+    json.kv("total", hist.total());
+    json.kv("p50", hist.p50());
+    json.kv("p90", hist.p90());
+    json.kv("p99", hist.p99());
+    json.key("buckets").begin_array();
+    for (const std::uint64_t c : hist.buckets()) json.value(c);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+
+  json.key("events");
+  if (telem.events_enabled()) {
+    const EventRing& ring = telem.events();
+    json.begin_object()
+        .kv("capacity", static_cast<std::uint64_t>(ring.capacity()))
+        .kv("recorded", ring.recorded())
+        .kv("retained", static_cast<std::uint64_t>(ring.size()))
+        .kv("dropped", ring.dropped())
+        .end_object();
+  } else {
+    json.null();
+  }
+
+  json.end_object();
+}
+
+} // namespace
+
+void write_results_json(std::ostream& out, const RunMeta& meta,
+                        const SimResult& result, const Telemetry* telemetry) {
+  JsonWriter json(out);
+  json.begin_object();
+  json.kv("schema", "mp5-results");
+  json.kv("schema_version", kResultsSchemaVersion);
+
+  json.key("meta")
+      .begin_object()
+      .kv("design", meta.design)
+      .kv("program", meta.program)
+      .kv("pipelines", meta.pipelines)
+      .kv("packets", meta.packets)
+      .kv("seed", meta.seed)
+      .kv("load", meta.load)
+      .end_object();
+
+  json.key("packets")
+      .begin_object()
+      .kv("offered", result.offered)
+      .kv("egressed", result.egressed)
+      .kv("dropped_phantom", result.dropped_phantom)
+      .kv("dropped_data", result.dropped_data)
+      .kv("dropped_starved", result.dropped_starved)
+      .kv("dropped_fault", result.dropped_fault)
+      .kv("ecn_marked", result.ecn_marked)
+      .end_object();
+
+  json.key("timing")
+      .begin_object()
+      .kv("first_arrival", result.first_arrival)
+      .kv("last_arrival", result.last_arrival)
+      .kv("last_egress", result.last_egress)
+      .kv("cycles_run", result.cycles_run)
+      .kv("input_rate", result.input_rate())
+      .kv("normalized_throughput", result.normalized_throughput())
+      .end_object();
+
+  json.key("mechanics")
+      .begin_object()
+      .kv("steers", result.steers)
+      .kv("wasted_cycles", result.wasted_cycles)
+      .kv("blocked_cycles", result.blocked_cycles)
+      .kv("remap_moves", result.remap_moves)
+      .kv("recirculations", result.recirculations)
+      .kv("max_queue_depth", static_cast<std::uint64_t>(result.max_queue_depth))
+      .end_object();
+
+  json.key("faults")
+      .begin_object()
+      .kv("pipeline_failures", result.pipeline_failures)
+      .kv("pipeline_recoveries", result.pipeline_recoveries)
+      .kv("fault_remapped_indices", result.fault_remapped_indices)
+      .kv("phantom_lost", result.phantom_lost)
+      .kv("phantom_delayed", result.phantom_delayed)
+      .kv("stalled_cycles", result.stalled_cycles)
+      .kv("time_to_recover", result.time_to_recover)
+      .kv("fault_drops",
+          static_cast<std::uint64_t>(result.fault_drops.size()))
+      .end_object();
+
+  json.key("correctness")
+      .begin_object()
+      .kv("c1_violating_packets", result.c1_violating_packets)
+      .kv("c1_fraction", result.c1_fraction())
+      .kv("reordered_flow_packets", result.reordered_flow_packets)
+      .kv("drop_fraction", result.drop_fraction())
+      .end_object();
+
+  json.key("telemetry");
+  if (telemetry != nullptr) {
+    write_telemetry_section(json, *telemetry);
+  } else {
+    json.null();
+  }
+
+  json.end_object();
+  out << "\n";
+}
+
+} // namespace mp5::telemetry

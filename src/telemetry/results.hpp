@@ -1,0 +1,52 @@
+// Machine-readable run results: every SimResult field (including the
+// PR 1 fault/recovery counters) plus an optional telemetry section, as a
+// schema-versioned JSON document. `mp5sim --json <path>` writes one per
+// run; future PRs diff them for regressions.
+//
+// Schema "mp5-results", version 1 (documented in DESIGN.md "Telemetry"):
+//   {
+//     "schema": "mp5-results", "schema_version": 1,
+//     "meta":        { design, program, pipelines, packets, seed, load },
+//     "packets":     { offered, egressed, dropped_*, ecn_marked },
+//     "timing":      { first_arrival, last_arrival, last_egress,
+//                      cycles_run, input_rate, normalized_throughput },
+//     "mechanics":   { steers, wasted_cycles, blocked_cycles, remap_moves,
+//                      recirculations, max_queue_depth },
+//     "faults":      { pipeline_failures, pipeline_recoveries,
+//                      fault_remapped_indices, phantom_lost,
+//                      phantom_delayed, stalled_cycles, time_to_recover,
+//                      fault_drops },
+//     "correctness": { c1_violating_packets, c1_fraction,
+//                      reordered_flow_packets, drop_fraction },
+//     "telemetry":   { counters, gauges, histograms, events } | null
+//   }
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "metrics/sim_result.hpp"
+
+namespace mp5::telemetry {
+
+class Telemetry;
+
+inline constexpr int kResultsSchemaVersion = 1;
+
+/// Free-form description of what was run; lands in the "meta" section.
+struct RunMeta {
+  std::string design;
+  std::string program;
+  std::uint32_t pipelines = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t seed = 0;
+  double load = 1.0;
+};
+
+/// Emit the full document. `telemetry` may be null (the "telemetry" key
+/// is then JSON null).
+void write_results_json(std::ostream& out, const RunMeta& meta,
+                        const SimResult& result, const Telemetry* telemetry);
+
+} // namespace mp5::telemetry

@@ -1,0 +1,76 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mp5::telemetry {
+
+EventRing::EventRing(std::size_t capacity) : buf_(capacity) {
+  if (capacity == 0) {
+    throw ConfigError("EventRing: capacity must be > 0");
+  }
+}
+
+void EventRing::push(const TimelineEvent& event) {
+  buf_[next_] = event;
+  next_ = (next_ + 1) % buf_.size();
+  if (size_ < buf_.size()) ++size_;
+  ++recorded_;
+}
+
+const TimelineEvent& EventRing::at(std::size_t i) const {
+  if (i >= size_) throw Error("EventRing::at: index out of range");
+  // When full, the oldest retained event sits at next_ (the slot the next
+  // push will overwrite); before wrapping, it sits at physical 0.
+  const std::size_t oldest = size_ == buf_.size() ? next_ : 0;
+  return buf_[(oldest + i) % buf_.size()];
+}
+
+std::vector<TimelineEvent> EventRing::snapshot() const {
+  std::vector<TimelineEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+  return out;
+}
+
+Telemetry::Telemetry(Config config) {
+  if (config.event_capacity > 0) {
+    ring_ = std::make_unique<EventRing>(config.event_capacity);
+  }
+}
+
+Counter& Telemetry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& Telemetry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& Telemetry::histogram(const std::string& name, double bucket_width,
+                                std::size_t buckets) {
+  auto [it, inserted] =
+      histograms_.try_emplace(name, bucket_width, buckets);
+  if (!inserted && (it->second.bucket_width() != bucket_width ||
+                    it->second.buckets().size() != buckets)) {
+    throw ConfigError("Telemetry: histogram '" + name +
+                      "' re-registered with a different shape");
+  }
+  return it->second;
+}
+
+void Telemetry::record(const TimelineEvent& event) {
+  if (ring_) ring_->push(event);
+}
+
+const EventRing& Telemetry::events() const {
+  if (!ring_) throw Error("Telemetry: event recording is disabled");
+  return *ring_;
+}
+
+std::map<std::string, std::uint64_t> Telemetry::counter_snapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter.value();
+  return out;
+}
+
+} // namespace mp5::telemetry

@@ -1,0 +1,165 @@
+// Telemetry subsystem: per-component counters/gauges/histograms plus a
+// bounded cycle-level event ring buffer.
+//
+// Design contract (see DESIGN.md "Telemetry"):
+//   * Zero overhead when disabled. Components hold raw pointers to
+//     registry-owned metric objects; a disabled run leaves every pointer
+//     null and each hook is a single predictable branch (the MP5_TELEM_*
+//     macros below), compiled out entirely when MP5_TELEMETRY_COMPILED is
+//     0. Telemetry never touches the simulation RNG or any simulated
+//     state, so results are bit-identical with and without it.
+//   * Deterministic. Metrics live in name-ordered maps; two same-seed runs
+//     produce identical snapshots. No wall-clock time anywhere — the event
+//     timestamps are simulated cycles.
+//   * Bounded. The event ring keeps the newest `event_capacity` events and
+//     counts what it had to discard; memory use is fixed up front.
+//
+// The exporters live next door: chrome_trace.hpp (Perfetto /
+// chrome://tracing), results.hpp (schema-versioned run results JSON) and
+// bench_report.hpp (BENCH_*.json files for the bench harnesses).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mp5/timeline.hpp"
+
+// Compile-time master switch. Building with -DMP5_TELEMETRY_COMPILED=0
+// removes every hook from the binary (the "compiled out" half of the
+// overhead contract); the default build keeps them behind null checks.
+#ifndef MP5_TELEMETRY_COMPILED
+#define MP5_TELEMETRY_COMPILED 1
+#endif
+
+#if MP5_TELEMETRY_COMPILED
+/// Increment a registry counter through a possibly-null Counter*.
+#define MP5_TELEM_INC(counter_ptr)                                  \
+  do {                                                              \
+    if (counter_ptr) (counter_ptr)->inc();                          \
+  } while (0)
+/// Add `delta` to a registry counter through a possibly-null Counter*.
+#define MP5_TELEM_ADD(counter_ptr, delta)                           \
+  do {                                                              \
+    if (counter_ptr) (counter_ptr)->inc(delta);                     \
+  } while (0)
+/// Record a sample into a possibly-null Histogram*.
+#define MP5_TELEM_OBSERVE(hist_ptr, sample)                         \
+  do {                                                              \
+    if (hist_ptr) (hist_ptr)->add(sample);                          \
+  } while (0)
+#else
+#define MP5_TELEM_INC(counter_ptr) do {} while (0)
+#define MP5_TELEM_ADD(counter_ptr, delta) do {} while (0)
+#define MP5_TELEM_OBSERVE(hist_ptr, sample) do {} while (0)
+#endif
+
+namespace mp5::telemetry {
+
+/// Monotonic event/occurrence counter.
+class Counter {
+public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value-wins instantaneous measurement (occupancy, depth, rate).
+/// `set_max` keeps a high-water mark instead.
+class Gauge {
+public:
+  void set(double v) noexcept { value_ = v; }
+  void set_max(double v) noexcept {
+    if (v > value_) value_ = v;
+  }
+  double value() const noexcept { return value_; }
+
+private:
+  double value_ = 0.0;
+};
+
+/// Bounded ring of simulator timeline events: keeps the newest `capacity`
+/// events, counting (not storing) everything older that wrapped out.
+class EventRing {
+public:
+  explicit EventRing(std::size_t capacity);
+
+  void push(const TimelineEvent& event);
+
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  /// Events currently held (<= capacity).
+  std::size_t size() const noexcept { return size_; }
+  /// Total events ever pushed.
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events discarded because the ring wrapped (recorded() - size()).
+  std::uint64_t dropped() const noexcept { return recorded_ - size_; }
+
+  /// The i-th retained event, oldest first (0 <= i < size()).
+  const TimelineEvent& at(std::size_t i) const;
+
+  /// Oldest-to-newest snapshot (copies; for tests and exporters).
+  std::vector<TimelineEvent> snapshot() const;
+
+private:
+  std::vector<TimelineEvent> buf_;
+  std::size_t next_ = 0;   // physical slot of the next push
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+struct Config {
+  /// Event-ring capacity. 0 disables event recording entirely (counters
+  /// and gauges still work).
+  std::size_t event_capacity = 1 << 16;
+};
+
+/// The per-run metric registry plus the event ring. One Telemetry object
+/// instruments one simulator run; attach it via SimOptions::telemetry.
+///
+/// Metric objects are owned by the registry and never move (node-based
+/// map), so components may cache raw pointers for inlined updates.
+class Telemetry {
+public:
+  explicit Telemetry(Config config = {});
+
+  /// Find-or-create. Repeated registration under one name returns the
+  /// same object, so aggregate counters can be shared across instances
+  /// (e.g. every StageFifo updates the one "fifo.push" counter).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Find-or-create; the width/bucket shape is fixed by the first
+  /// registration (later mismatching registrations throw ConfigError).
+  Histogram& histogram(const std::string& name, double bucket_width,
+                       std::size_t buckets);
+
+  /// Record one simulator event into the ring (no-op when
+  /// Config::event_capacity was 0).
+  void record(const TimelineEvent& event);
+
+  bool events_enabled() const noexcept { return ring_ != nullptr; }
+  const EventRing& events() const;
+
+  // Name-ordered read access for exporters and determinism checks.
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Flat name->value snapshot of all counters (determinism tests).
+  std::map<std::string, std::uint64_t> counter_snapshot() const;
+
+private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::unique_ptr<EventRing> ring_;
+};
+
+} // namespace mp5::telemetry

@@ -59,8 +59,25 @@ expect_failure("mp5sim phantom faults without channel"
 expect_failure("mp5sim out-of-range loss rate"
                ${MP5SIM} --builtin figure3 --phantom-channel
                --phantom-loss-rate 1.5)
+expect_failure("mp5sim telemetry under recirculation baseline"
+               ${MP5SIM} --builtin figure3 --design recirc --telemetry)
+expect_failure("mp5sim trace-out to unwritable path"
+               ${MP5SIM} --builtin figure3 --packets 100
+               --trace-out ${workdir}/no_such_dir/trace.json)
+expect_failure("mp5sim json to unwritable path"
+               ${MP5SIM} --builtin figure3 --packets 100
+               --json ${workdir}/no_such_dir/results.json)
 expect_success("mp5sim control run"
                ${MP5SIM} --builtin figure3 --packets 200 --paranoid)
+expect_success("mp5sim telemetry exports control run"
+               ${MP5SIM} --builtin figure3 --packets 400 --telemetry
+               --json ${workdir}/results.json
+               --trace-out ${workdir}/trace.json)
+foreach(artifact results.json trace.json)
+  if(NOT EXISTS ${workdir}/${artifact})
+    message(FATAL_ERROR "mp5sim telemetry exports: missing ${artifact}")
+  endif()
+endforeach()
 expect_success("mp5sim fault control run"
                ${MP5SIM} --builtin figure3 --packets 400
                --fail-pipeline 1@50:300 --paranoid)

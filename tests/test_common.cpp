@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
+#include "common/error.hpp"
 #include "common/hashing.hpp"
 #include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
@@ -114,6 +117,36 @@ TEST(Stats, HistogramQuantiles) {
   for (int i = 0; i < 100; ++i) h.add(i);
   EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
   EXPECT_NEAR(h.quantile(0.99), 99.0, 2.0);
+}
+
+TEST(Stats, HistogramNamedQuantiles) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i);
+  EXPECT_NEAR(h.p50(), 50.0, 2.0);
+  EXPECT_NEAR(h.p90(), 90.0, 2.0);
+  EXPECT_NEAR(h.p99(), 99.0, 2.0);
+}
+
+TEST(Stats, EmptyHistogramQuantileIsNaN) {
+  Histogram h(1.0, 10);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.p99()));
+}
+
+TEST(Stats, QuantileRejectsInvalidQ) {
+  Histogram h(1.0, 10);
+  h.add(1.0);
+  EXPECT_THROW(h.quantile(-0.1), ConfigError);
+  EXPECT_THROW(h.quantile(1.5), ConfigError);
+  EXPECT_THROW(h.quantile(std::numeric_limits<double>::quiet_NaN()),
+               ConfigError);
+}
+
+TEST(Stats, NanSamplesRejected) {
+  RunningStats s;
+  EXPECT_THROW(s.add(std::numeric_limits<double>::quiet_NaN()), ConfigError);
+  Histogram h(1.0, 10);
+  EXPECT_THROW(h.add(std::numeric_limits<double>::quiet_NaN()), ConfigError);
 }
 
 TEST(Stats, PercentileInterpolates) {

@@ -1,0 +1,413 @@
+// Telemetry subsystem tests: registry semantics, event-ring bounds,
+// exporter validity, run-to-run determinism, and the zero-overhead
+// contract (telemetry attached vs absent must not change the simulation).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "apps/programs.hpp"
+#include "baseline/presets.hpp"
+#include "common/error.hpp"
+#include "domino/compiler.hpp"
+#include "mp5/simulator.hpp"
+#include "mp5/transform.hpp"
+#include "telemetry/bench_report.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/json_writer.hpp"
+#include "telemetry/results.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/workloads.hpp"
+
+namespace mp5 {
+namespace {
+
+using telemetry::BenchReport;
+using telemetry::Config;
+using telemetry::EventRing;
+using telemetry::JsonWriter;
+using telemetry::RunMeta;
+using telemetry::Telemetry;
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON syntax checker, so the exporter tests
+// validate real JSON instead of grepping for substrings. Accepts exactly
+// the RFC 8259 grammar (no trailing commas, no comments).
+class MiniJsonParser {
+public:
+  explicit MiniJsonParser(std::string text) : s_(std::move(text)) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_; // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_; // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_; // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+Mp5Program synthetic_program() {
+  return transform(domino::compile(apps::make_synthetic_source(4, 64),
+                                   banzai::MachineSpec{}, 1)
+                       .pvsm);
+}
+
+Trace synthetic_trace(std::uint64_t seed, std::uint64_t packets = 2000) {
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 64;
+  config.pattern = AccessPattern::kSkewed;
+  config.pipelines = 4;
+  config.packets = packets;
+  config.seed = seed;
+  config.active_flows = 16;
+  return make_synthetic_trace(config);
+}
+
+// ---------------------------------------------------------------------
+// Registry semantics
+
+TEST(Telemetry, RegistryFindOrCreate) {
+  Telemetry telem;
+  auto& a = telem.counter("x");
+  a.inc(3);
+  EXPECT_EQ(&telem.counter("x"), &a);
+  EXPECT_EQ(telem.counter("x").value(), 3u);
+  EXPECT_NE(&telem.counter("y"), &a);
+
+  auto& g = telem.gauge("depth");
+  g.set(4.0);
+  g.set_max(2.0); // lower: ignored
+  EXPECT_DOUBLE_EQ(telem.gauge("depth").value(), 4.0);
+  g.set_max(9.0);
+  EXPECT_DOUBLE_EQ(telem.gauge("depth").value(), 9.0);
+}
+
+TEST(Telemetry, HistogramShapeMismatchThrows) {
+  Telemetry telem;
+  auto& h = telem.histogram("lat", 1.0, 32);
+  h.add(3.0);
+  EXPECT_EQ(&telem.histogram("lat", 1.0, 32), &h); // same shape: same object
+  EXPECT_THROW(telem.histogram("lat", 2.0, 32), ConfigError);
+  EXPECT_THROW(telem.histogram("lat", 1.0, 64), ConfigError);
+}
+
+TEST(Telemetry, EventsDisabledByZeroCapacity) {
+  Telemetry telem(Config{.event_capacity = 0});
+  EXPECT_FALSE(telem.events_enabled());
+  TimelineEvent event;
+  telem.record(event); // silently ignored
+  EXPECT_THROW(telem.events(), Error);
+}
+
+// ---------------------------------------------------------------------
+// Event ring
+
+TEST(EventRingTest, WrapsKeepingNewest) {
+  EventRing ring(4);
+  EXPECT_THROW(EventRing(0), ConfigError);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    TimelineEvent event;
+    event.cycle = i;
+    ring.push(event);
+  }
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Oldest-first: cycles 6, 7, 8, 9 survive.
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.at(i).cycle, 6 + i);
+  }
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().cycle, 6u);
+  EXPECT_EQ(snap.back().cycle, 9u);
+}
+
+TEST(EventRingTest, PartialFillIsOrdered) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    TimelineEvent event;
+    event.cycle = 100 + i;
+    ring.push(event);
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.at(0).cycle, 100u);
+  EXPECT_EQ(ring.at(2).cycle, 102u);
+}
+
+// ---------------------------------------------------------------------
+// JSON writer
+
+TEST(JsonWriterTest, EscapesAndStructures) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("plain", std::uint64_t{7});
+  w.kv("quote\"back\\slash", std::string_view{"line\nfeed\ttab"});
+  w.key("nested");
+  w.begin_array();
+  w.value(1.5);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  MiniJsonParser parser(out.str());
+  EXPECT_TRUE(parser.parse()) << out.str();
+  EXPECT_NE(out.str().find("\\\""), std::string::npos);
+  EXPECT_NE(out.str().find("\\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Simulator integration
+
+TEST(TelemetrySim, CountersMatchSimResult) {
+  const auto prog = synthetic_program();
+  const auto trace = synthetic_trace(1);
+  Telemetry telem;
+  SimOptions opts = mp5_options(4, 1);
+  opts.telemetry = &telem;
+  Mp5Simulator sim(prog, opts);
+  const auto result = sim.run(trace);
+
+  const auto counters = telem.counter_snapshot();
+  EXPECT_EQ(counters.at("sim.admitted"), result.offered);
+  EXPECT_EQ(counters.at("sim.egressed"), result.egressed);
+  EXPECT_EQ(counters.at("sim.steers"), result.steers);
+  EXPECT_EQ(counters.at("sim.dropped_data"), result.dropped_data);
+  EXPECT_EQ(counters.at("fifo.pop_wasted"), result.wasted_cycles);
+  EXPECT_GT(counters.at("fifo.push"), 0u);
+  EXPECT_GT(counters.at("shard.state_accesses"), 0u);
+  EXPECT_TRUE(telem.events_enabled());
+  EXPECT_GT(telem.events().recorded(), 0u);
+  // End-of-run gauges.
+  EXPECT_DOUBLE_EQ(telem.gauge("sim.cycles_run").value(),
+                   static_cast<double>(result.cycles_run));
+  // Egress-latency histogram saw every egressed packet.
+  EXPECT_EQ(telem.histograms().at("sim.egress_latency").total(),
+            result.egressed);
+}
+
+TEST(TelemetrySim, DeterministicAcrossSameSeedRuns) {
+  const auto prog = synthetic_program();
+  const auto trace = synthetic_trace(7);
+  std::map<std::string, std::uint64_t> snap[2];
+  std::uint64_t recorded[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    Telemetry telem;
+    SimOptions opts = mp5_options(4, 7);
+    opts.telemetry = &telem;
+    Mp5Simulator sim(prog, opts);
+    (void)sim.run(trace);
+    snap[i] = telem.counter_snapshot();
+    recorded[i] = telem.events().recorded();
+  }
+  EXPECT_EQ(snap[0], snap[1]);
+  EXPECT_EQ(recorded[0], recorded[1]);
+  EXPECT_FALSE(snap[0].empty());
+}
+
+TEST(TelemetrySim, DisabledRunIsBitIdentical) {
+  const auto prog = synthetic_program();
+  const auto trace = synthetic_trace(3);
+
+  SimOptions opts = mp5_options(4, 3);
+  opts.record_egress = true;
+  opts.track_flow_reordering = true;
+  Mp5Simulator plain_sim(prog, opts);
+  const auto plain = plain_sim.run(trace);
+
+  Telemetry telem;
+  opts.telemetry = &telem;
+  Mp5Simulator telem_sim(prog, opts);
+  const auto instrumented = telem_sim.run(trace);
+
+  EXPECT_EQ(plain.offered, instrumented.offered);
+  EXPECT_EQ(plain.egressed, instrumented.egressed);
+  EXPECT_EQ(plain.dropped_phantom, instrumented.dropped_phantom);
+  EXPECT_EQ(plain.dropped_data, instrumented.dropped_data);
+  EXPECT_EQ(plain.dropped_starved, instrumented.dropped_starved);
+  EXPECT_EQ(plain.dropped_fault, instrumented.dropped_fault);
+  EXPECT_EQ(plain.ecn_marked, instrumented.ecn_marked);
+  EXPECT_EQ(plain.first_arrival, instrumented.first_arrival);
+  EXPECT_EQ(plain.last_arrival, instrumented.last_arrival);
+  EXPECT_EQ(plain.last_egress, instrumented.last_egress);
+  EXPECT_EQ(plain.cycles_run, instrumented.cycles_run);
+  EXPECT_EQ(plain.steers, instrumented.steers);
+  EXPECT_EQ(plain.wasted_cycles, instrumented.wasted_cycles);
+  EXPECT_EQ(plain.blocked_cycles, instrumented.blocked_cycles);
+  EXPECT_EQ(plain.remap_moves, instrumented.remap_moves);
+  EXPECT_EQ(plain.max_queue_depth, instrumented.max_queue_depth);
+  EXPECT_EQ(plain.c1_violating_packets, instrumented.c1_violating_packets);
+  EXPECT_EQ(plain.reordered_flow_packets,
+            instrumented.reordered_flow_packets);
+  EXPECT_EQ(plain.final_registers, instrumented.final_registers);
+  ASSERT_EQ(plain.egress.size(), instrumented.egress.size());
+  for (std::size_t i = 0; i < plain.egress.size(); ++i) {
+    EXPECT_EQ(plain.egress[i].seq, instrumented.egress[i].seq);
+    EXPECT_EQ(plain.egress[i].egress_cycle,
+              instrumented.egress[i].egress_cycle);
+    EXPECT_EQ(plain.egress[i].headers, instrumented.egress[i].headers);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+
+TEST(TelemetryExport, ChromeTraceParsesNonEmpty) {
+  const auto prog = synthetic_program();
+  const auto trace = synthetic_trace(1, 500);
+  Telemetry telem;
+  SimOptions opts = mp5_options(4, 1);
+  opts.telemetry = &telem;
+  Mp5Simulator sim(prog, opts);
+  (void)sim.run(trace);
+
+  std::ostringstream out;
+  telemetry::write_chrome_trace(out, telem);
+  const std::string json = out.str();
+  MiniJsonParser parser(json);
+  EXPECT_TRUE(parser.parse());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos)
+      << "expected at least one instant event";
+  EXPECT_NE(json.find("\"mp5-chrome-trace\""), std::string::npos);
+}
+
+TEST(TelemetryExport, ResultsJsonParses) {
+  const auto prog = synthetic_program();
+  const auto trace = synthetic_trace(1, 500);
+  Telemetry telem;
+  SimOptions opts = mp5_options(4, 1);
+  opts.telemetry = &telem;
+  Mp5Simulator sim(prog, opts);
+  const auto result = sim.run(trace);
+
+  RunMeta meta;
+  meta.design = "mp5";
+  meta.program = "synthetic";
+  meta.pipelines = 4;
+  meta.packets = trace.size();
+  meta.seed = 1;
+
+  std::ostringstream with_telem;
+  telemetry::write_results_json(with_telem, meta, result, &telem);
+  MiniJsonParser parser(with_telem.str());
+  EXPECT_TRUE(parser.parse());
+  EXPECT_NE(with_telem.str().find("\"mp5-results\""), std::string::npos);
+  EXPECT_NE(with_telem.str().find("\"sim.admitted\""), std::string::npos);
+
+  std::ostringstream without;
+  telemetry::write_results_json(without, meta, result, nullptr);
+  MiniJsonParser parser2(without.str());
+  EXPECT_TRUE(parser2.parse());
+  EXPECT_NE(without.str().find("\"telemetry\":null"), std::string::npos);
+}
+
+TEST(TelemetryExport, BenchReportRoundTrip) {
+  BenchReport report("unit");
+  report.row("a").metric("x", 1.5).label("kind", "first");
+  report.row("b").metric("y", 2.0);
+  report.row("a").metric("z", 3.0); // find-or-append: still two rows
+  EXPECT_EQ(report.size(), 2u);
+
+  std::ostringstream out;
+  report.write_to(out);
+  MiniJsonParser parser(out.str());
+  EXPECT_TRUE(parser.parse());
+  EXPECT_NE(out.str().find("\"mp5-bench\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"z\":3"), std::string::npos);
+}
+
+} // namespace
+} // namespace mp5

@@ -31,8 +31,21 @@
 //                                       delay each phantom D extra cycles
 //                                       with probability R
 //   --paranoid                          per-cycle invariant watchdog
+// Telemetry & machine-readable output (see DESIGN.md "Telemetry"):
+//   --telemetry                         attach the telemetry registry
+//                                       (counters + event ring; MP5
+//                                       designs only)
+//   --trace-out file.json               write the event ring as a Chrome
+//                                       trace_event file (implies
+//                                       --telemetry; load in Perfetto or
+//                                       chrome://tracing)
+//   --json file.json                    write the schema-versioned
+//                                       "mp5-results" document (includes
+//                                       the telemetry section when
+//                                       --telemetry is on)
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "apps/programs.hpp"
@@ -47,6 +60,9 @@
 #include "metrics/equivalence.hpp"
 #include "mp5/simulator.hpp"
 #include "mp5/transform.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/results.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/workloads.hpp"
 
@@ -74,6 +90,9 @@ struct Args {
   FaultPlan faults;
   bool phantom_channel = false;
   bool paranoid = false;
+  bool telemetry = false;
+  std::string trace_out; // Chrome trace_event JSON (implies telemetry)
+  std::string json_out;  // mp5-results JSON
 };
 
 /// Parse a --fail-pipeline spec: P@CYCLE or P@CYCLE:RECOVER.
@@ -140,6 +159,9 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--phantom-delay")
       args.faults.phantom_extra_delay = std::stoull(next());
     else if (arg == "--paranoid") args.paranoid = true;
+    else if (arg == "--telemetry") args.telemetry = true;
+    else if (arg == "--trace-out") args.trace_out = next();
+    else if (arg == "--json") args.json_out = next();
     else if (!arg.empty() && arg[0] == '-')
       throw ConfigError("unknown option '" + arg + "'");
     else {
@@ -226,12 +248,21 @@ int run(int argc, char** argv) {
   if (!args.save_trace.empty()) save_trace_file(trace, args.save_trace);
 
   // Resolve the design and run.
+  const bool want_telemetry = args.telemetry || !args.trace_out.empty();
   SimResult result;
+  std::unique_ptr<telemetry::Telemetry> telem;
   if (args.design == "recirc") {
     if (!args.faults.empty() || args.paranoid) {
       throw ConfigError(
           "fault injection / --paranoid apply to the MP5 designs only, "
           "not recirc");
+    }
+    if (want_telemetry) {
+      // --json alone stays legal for recirc: the document just carries a
+      // null telemetry section.
+      throw ConfigError(
+          "--telemetry/--trace-out apply to the MP5 designs only, not "
+          "recirc");
     }
     RecircOptions ropts;
     ropts.pipelines = args.pipelines;
@@ -253,6 +284,10 @@ int run(int argc, char** argv) {
     opts.faults = args.faults;
     if (args.phantom_channel) opts.realistic_phantom_channel = true;
     opts.paranoid_checks = args.paranoid;
+    if (want_telemetry) {
+      telem = std::make_unique<telemetry::Telemetry>();
+      opts.telemetry = telem.get();
+    }
     std::uint64_t printed = 0;
     if (args.timeline > 0) {
       opts.timeline = [&printed, &args](const TimelineEvent& event) {
@@ -260,6 +295,7 @@ int run(int argc, char** argv) {
         std::cout << "cycle " << event.cycle << "  pipe " << event.pipeline
                   << "  stage " << event.stage << "  " << to_string(event.kind);
         if (event.seq != kInvalidSeqNo) std::cout << "  pkt " << event.seq;
+        if (event.arg != 0) std::cout << "  arg " << event.arg;
         std::cout << "\n";
       };
     }
@@ -315,6 +351,34 @@ int run(int argc, char** argv) {
   table.add_row({"cycles", TextTable::integer(
                                static_cast<long long>(result.cycles_run))});
   table.print(std::cout);
+
+  if (!args.json_out.empty()) {
+    std::ofstream out(args.json_out);
+    if (!out) {
+      throw ConfigError("--json: cannot open '" + args.json_out +
+                        "' for writing");
+    }
+    telemetry::RunMeta meta;
+    meta.design = args.design;
+    meta.program = !args.builtin.empty() ? args.builtin : "custom";
+    meta.pipelines = args.pipelines;
+    meta.packets = trace.size();
+    meta.seed = args.seed;
+    meta.load = args.load;
+    telemetry::write_results_json(out, meta, result, telem.get());
+    std::cout << "results json: " << args.json_out << "\n";
+  }
+  if (!args.trace_out.empty()) {
+    std::ofstream out(args.trace_out);
+    if (!out) {
+      throw ConfigError("--trace-out: cannot open '" + args.trace_out +
+                        "' for writing");
+    }
+    telemetry::write_chrome_trace(out, *telem);
+    std::cout << "chrome trace: " << args.trace_out << " ("
+              << telem->events().size() << " events retained, "
+              << telem->events().dropped() << " dropped)\n";
+  }
 
   if (args.check_equivalence) {
     banzai::ReferenceSwitch reference(program.pvsm);

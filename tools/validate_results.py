@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Validate MP5 machine-readable artifacts (stdlib only).
+
+Checks any mix of the three JSON schemas this repo emits:
+
+  mp5-results       mp5sim --json            (schema_version 1)
+  mp5-chrome-trace  mp5sim --trace-out       (schema_version 1)
+  mp5-bench         bench_* BENCH_<name>.json (schema_version 1)
+
+Usage:  validate_results.py FILE [FILE...]
+
+The schema is sniffed per file (a top-level "schema" key, or the Chrome
+trace's "traceEvents"/"otherData" envelope), so callers can pass results,
+traces, and bench reports in one invocation. Exits nonzero on the first
+malformed file with a one-line diagnostic naming the file and the check.
+"""
+
+import json
+import sys
+
+SUPPORTED_VERSIONS = {
+    "mp5-results": 1,
+    "mp5-chrome-trace": 1,
+    "mp5-bench": 1,
+}
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(msg):
+    raise ValidationError(msg)
+
+
+def require(obj, key, types, where):
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected object, got {type(obj).__name__}")
+    if key not in obj:
+        fail(f"{where}: missing required key '{key}'")
+    if not isinstance(obj[key], types):
+        names = (
+            types.__name__
+            if isinstance(types, type)
+            else "/".join(t.__name__ for t in types)
+        )
+        fail(f"{where}: '{key}' must be {names}, "
+             f"got {type(obj[key]).__name__}")
+    return obj[key]
+
+
+NUM = (int, float)
+
+
+def check_version(doc, schema, where):
+    version = require(doc, "schema_version", int, where)
+    expected = SUPPORTED_VERSIONS[schema]
+    if version != expected:
+        fail(f"{where}: unsupported {schema} schema_version {version} "
+             f"(this validator knows {expected})")
+
+
+def check_metric_map(obj, where):
+    """A {name: number} map — counters, gauges, or bench metrics."""
+    if not isinstance(obj, dict):
+        fail(f"{where}: expected object of named numbers")
+    for name, value in obj.items():
+        if not isinstance(value, NUM):
+            fail(f"{where}: metric '{name}' is not a number")
+
+
+def check_telemetry_section(telem, where):
+    check_metric_map(require(telem, "counters", dict, where),
+                     f"{where}.counters")
+    check_metric_map(require(telem, "gauges", dict, where),
+                     f"{where}.gauges")
+    histograms = require(telem, "histograms", dict, where)
+    for name, hist in histograms.items():
+        hwhere = f"{where}.histograms['{name}']"
+        require(hist, "bucket_width", NUM, hwhere)
+        total = require(hist, "total", int, hwhere)
+        for q in ("p50", "p90", "p99"):
+            # Empty histograms quantile to NaN, which the writer emits as
+            # null; both shapes are legal.
+            v = require(hist, q, (int, float, type(None)), hwhere)
+            if total == 0 and isinstance(v, NUM):
+                fail(f"{hwhere}: empty histogram has non-null {q}")
+        buckets = require(hist, "buckets", list, hwhere)
+        if sum(int(b) for b in buckets) != total:
+            fail(f"{hwhere}: bucket sum != total")
+    events = require(telem, "events", (dict, type(None)), where)
+    if events is not None:
+        ewhere = f"{where}.events"
+        capacity = require(events, "capacity", int, ewhere)
+        recorded = require(events, "recorded", int, ewhere)
+        retained = require(events, "retained", int, ewhere)
+        dropped = require(events, "dropped", int, ewhere)
+        if retained > capacity:
+            fail(f"{ewhere}: retained {retained} exceeds capacity {capacity}")
+        if retained + dropped != recorded:
+            fail(f"{ewhere}: retained + dropped != recorded")
+
+
+def validate_results(doc, where):
+    check_version(doc, "mp5-results", where)
+    meta = require(doc, "meta", dict, where)
+    for key, types in (("design", str), ("program", str), ("pipelines", int),
+                       ("packets", int), ("seed", int), ("load", NUM)):
+        require(meta, key, types, f"{where}.meta")
+
+    packets = require(doc, "packets", dict, where)
+    fields = ("offered", "egressed", "dropped_phantom", "dropped_data",
+              "dropped_starved", "dropped_fault", "ecn_marked")
+    for key in fields:
+        require(packets, key, int, f"{where}.packets")
+    accounted = sum(packets[k] for k in ("egressed", "dropped_data",
+                                         "dropped_starved", "dropped_fault"))
+    if accounted > packets["offered"]:
+        fail(f"{where}.packets: conservation violated "
+             f"({accounted} accounted > {packets['offered']} offered)")
+
+    timing = require(doc, "timing", dict, where)
+    for key in ("first_arrival", "last_arrival", "last_egress", "cycles_run"):
+        require(timing, key, int, f"{where}.timing")
+    for key in ("input_rate", "normalized_throughput"):
+        require(timing, key, NUM, f"{where}.timing")
+
+    mechanics = require(doc, "mechanics", dict, where)
+    for key in ("steers", "wasted_cycles", "blocked_cycles", "remap_moves",
+                "recirculations", "max_queue_depth"):
+        require(mechanics, key, int, f"{where}.mechanics")
+
+    faults = require(doc, "faults", dict, where)
+    for key in ("pipeline_failures", "pipeline_recoveries",
+                "fault_remapped_indices", "phantom_lost", "phantom_delayed",
+                "stalled_cycles", "time_to_recover", "fault_drops"):
+        require(faults, key, int, f"{where}.faults")
+
+    correctness = require(doc, "correctness", dict, where)
+    require(correctness, "c1_violating_packets", int, f"{where}.correctness")
+    require(correctness, "reordered_flow_packets", int,
+            f"{where}.correctness")
+    for key in ("c1_fraction", "drop_fraction"):
+        v = require(correctness, key, NUM, f"{where}.correctness")
+        if not 0.0 <= v <= 1.0:
+            fail(f"{where}.correctness: {key}={v} outside [0, 1]")
+
+    telem = require(doc, "telemetry", (dict, type(None)), where)
+    if telem is not None:
+        check_telemetry_section(telem, f"{where}.telemetry")
+
+
+def validate_chrome_trace(doc, where):
+    other = require(doc, "otherData", dict, where)
+    schema = require(other, "schema", str, f"{where}.otherData")
+    if schema != "mp5-chrome-trace":
+        fail(f"{where}.otherData: schema '{schema}' != 'mp5-chrome-trace'")
+    check_version(other, "mp5-chrome-trace", f"{where}.otherData")
+    recorded = require(other, "events_recorded", int, f"{where}.otherData")
+    dropped = require(other, "events_dropped", int, f"{where}.otherData")
+    check_metric_map(require(other, "counters", dict, f"{where}.otherData"),
+                     f"{where}.otherData.counters")
+
+    events = require(doc, "traceEvents", list, where)
+    instants = [e for e in events if e.get("ph") == "i"]
+    if recorded > 0 and not instants:
+        fail(f"{where}: recorded {recorded} events but traceEvents has "
+             f"no instant events")
+    if len(instants) + dropped != recorded:
+        fail(f"{where}: instant events ({len(instants)}) + dropped "
+             f"({dropped}) != recorded ({recorded})")
+    last_ts = None
+    for i, ev in enumerate(events):
+        ewhere = f"{where}.traceEvents[{i}]"
+        require(ev, "name", str, ewhere)
+        require(ev, "ph", str, ewhere)
+        require(ev, "pid", int, ewhere)
+        if ev["ph"] == "M":
+            continue
+        require(ev, "tid", int, ewhere)
+        ts = require(ev, "ts", int, ewhere)
+        if last_ts is not None and ts < last_ts:
+            fail(f"{ewhere}: timestamps not monotonic ({ts} < {last_ts})")
+        last_ts = ts
+
+
+def validate_bench(doc, where):
+    check_version(doc, "mp5-bench", where)
+    require(doc, "bench", str, where)
+    rows = require(doc, "rows", list, where)
+    if not rows:
+        fail(f"{where}: rows must be non-empty")
+    seen = set()
+    for i, row in enumerate(rows):
+        rwhere = f"{where}.rows[{i}]"
+        name = require(row, "name", str, rwhere)
+        if name in seen:
+            fail(f"{rwhere}: duplicate row name '{name}'")
+        seen.add(name)
+        metrics = require(row, "metrics", dict, rwhere)
+        if not metrics:
+            fail(f"{rwhere}: metrics must be non-empty")
+        check_metric_map(metrics, f"{rwhere}.metrics")
+        labels = require(row, "labels", dict, rwhere)
+        for key, value in labels.items():
+            if not isinstance(value, str):
+                fail(f"{rwhere}.labels: '{key}' is not a string")
+
+
+def validate_file(path):
+    with open(path, "r", encoding="utf-8") as fp:
+        doc = json.load(fp)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    if "traceEvents" in doc:
+        schema = "mp5-chrome-trace"
+        validate_chrome_trace(doc, path)
+    else:
+        schema = require(doc, "schema", str, path)
+        if schema == "mp5-results":
+            validate_results(doc, path)
+        elif schema == "mp5-bench":
+            validate_bench(doc, path)
+        else:
+            fail(f"{path}: unknown schema '{schema}'")
+    return schema
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            schema = validate_file(path)
+        except ValidationError as err:
+            print(f"FAIL {err}", file=sys.stderr)
+            return 1
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            return 1
+        print(f"ok   {path} ({schema})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
