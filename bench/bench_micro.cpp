@@ -15,6 +15,7 @@
 #include "domino/compiler.hpp"
 #include "mp5/simulator.hpp"
 #include "mp5/stage_fifo.hpp"
+#include "packet/arena.hpp"
 #include "mp5/transform.hpp"
 #include "telemetry/bench_report.hpp"
 #include "trace/workloads.hpp"
@@ -28,9 +29,7 @@ void BM_StageFifoPushInsertPop(benchmark::State& state) {
   SeqNo seq = 0;
   for (auto _ : state) {
     fifo.push_phantom(seq, 0, static_cast<RegIndex>(seq % 64), seq % 4);
-    Packet pkt;
-    pkt.seq = seq;
-    fifo.insert_data(std::move(pkt));
+    fifo.insert_data(seq, static_cast<PacketRef>(seq));
     benchmark::DoNotOptimize(fifo.pop());
     ++seq;
   }
@@ -43,15 +42,31 @@ void BM_StageFifoIdealPop(benchmark::State& state) {
   SeqNo seq = 0;
   for (auto _ : state) {
     fifo.push_phantom(seq, 0, static_cast<RegIndex>(seq % 8), seq % 4);
-    Packet pkt;
-    pkt.seq = seq;
-    fifo.insert_data(std::move(pkt));
+    fifo.insert_data(seq, static_cast<PacketRef>(seq));
     benchmark::DoNotOptimize(fifo.pop());
     ++seq;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(seq));
 }
 BENCHMARK(BM_StageFifoIdealPop);
+
+void BM_PacketArenaAllocRelease(benchmark::State& state) {
+  PacketArena arena;
+  arena.reserve(64);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    // Steady-state churn: 8 live packets cycling through the freelist.
+    PacketRef refs[8];
+    for (auto& r : refs) {
+      r = arena.alloc();
+      arena.get(r).seq = static_cast<SeqNo>(n++);
+    }
+    for (const auto r : refs) arena.release(r);
+    benchmark::DoNotOptimize(arena.live_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PacketArenaAllocRelease);
 
 void BM_CompileFlowlet(benchmark::State& state) {
   const auto source = apps::flowlet_app().source;
@@ -95,6 +110,33 @@ void BM_SimulatorCyclesPerSecond(benchmark::State& state) {
       static_cast<double>(packets), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorCyclesPerSecond)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SimulatorParallel(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  const auto prog =
+      transform(domino::compile(apps::make_synthetic_source(4, 512),
+                                banzai::MachineSpec{}, 1)
+                    .pvsm);
+  SyntheticConfig config;
+  config.pipelines = k;
+  config.packets = 5000;
+  const auto trace = make_synthetic_trace(config);
+  auto opts = mp5_options(k, 1);
+  opts.threads = threads;
+  std::uint64_t cycles = 0, packets = 0;
+  for (auto _ : state) {
+    Mp5Simulator sim(prog, opts);
+    const auto result = sim.run(trace);
+    cycles += result.cycles_run;
+    packets += result.egressed;
+  }
+  state.counters["sim_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["packets/s"] = benchmark::Counter(
+      static_cast<double>(packets), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorParallel)->Args({8, 1})->Args({8, 4});
 
 void BM_ReferenceSwitch(benchmark::State& state) {
   const auto pvsm =

@@ -1,19 +1,63 @@
 #include "metrics/c1_checker.hpp"
 
+#include "common/error.hpp"
+
 namespace mp5 {
 
-void C1Checker::on_access(RegId reg, RegIndex index, SeqNo seq) {
-  ++accesses_;
+void C1Checker::init_dense(const std::vector<std::size_t>& reg_sizes) {
+  dense_ = true;
+  last_seq_dense_.clear();
+  last_seq_dense_.reserve(reg_sizes.size());
+  for (const std::size_t size : reg_sizes) {
+    last_seq_dense_.emplace_back(size, kInvalidSeqNo);
+  }
+}
+
+void C1Checker::on_access(RegId reg, RegIndex index, SeqNo seq,
+                          C1Scratch* scratch) {
+  if (scratch != nullptr) {
+    ++scratch->accesses;
+  } else {
+    ++accesses_;
+  }
+  if (dense_) {
+    if (reg >= last_seq_dense_.size() ||
+        index >= last_seq_dense_[reg].size()) {
+      throw Error("C1Checker: access outside declared register space");
+    }
+    SeqNo& last = last_seq_dense_[reg][index];
+    if (last == kInvalidSeqNo) {
+      last = seq;
+    } else if (seq < last) {
+      // `seq` arrives at the state after a later-arriving packet: inversion.
+      if (scratch != nullptr) {
+        scratch->violators.insert(seq);
+      } else {
+        violators_.insert(seq);
+      }
+    } else {
+      last = seq;
+    }
+    return;
+  }
   const std::uint64_t key =
       (static_cast<std::uint64_t>(reg) << 32) | index;
   auto [it, inserted] = last_seq_.try_emplace(key, seq);
   if (inserted) return;
   if (seq < it->second) {
-    // `seq` arrives at the state after a later-arriving packet: inversion.
-    violators_.insert(seq);
+    if (scratch != nullptr) {
+      scratch->violators.insert(seq);
+    } else {
+      violators_.insert(seq);
+    }
   } else {
     it->second = seq;
   }
+}
+
+void C1Checker::absorb(const C1Scratch& scratch) {
+  accesses_ += scratch.accesses;
+  violators_.insert(scratch.violators.begin(), scratch.violators.end());
 }
 
 } // namespace mp5

@@ -9,20 +9,50 @@
 // arrived later than it already accessed that state (i.e. it participates
 // in an inversion as the late side). The §4.3.2 D4 experiment reports the
 // fraction of packets with at least one such violation.
+//
+// Two storage modes:
+//  * map mode (default): last-seq table keyed by (reg << 32 | index) in an
+//    unordered_map. Works for any index space; used by the recirculation
+//    baseline, whose register universe is not pre-declared to the checker.
+//  * dense mode (init_dense): one flat SeqNo vector per register, sized to
+//    the register's declared length. This removes the hash+probe from every
+//    state access on the simulator hot path, and — because a (reg, index)
+//    cell is only ever written by the lane that owns its shard — makes the
+//    table safely writable from the parallel engine's workers without
+//    locks. Workers accumulate their own violator sets / access counts in a
+//    C1Scratch and the simulator absorb()s them at the end of the run.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/types.hpp"
 
 namespace mp5 {
 
+/// Per-worker accumulator for the parallel engine: everything a state
+/// access mutates besides its own (reg, index) cell of the dense table.
+struct C1Scratch {
+  std::unordered_set<SeqNo> violators;
+  std::uint64_t accesses = 0;
+};
+
 class C1Checker {
 public:
+  /// Switch to dense storage. `reg_sizes[r]` is the declared length of
+  /// register array `r`; accesses outside the declared space throw.
+  void init_dense(const std::vector<std::size_t>& reg_sizes);
+
   /// Record that packet `seq` performed an access at (reg, index).
-  void on_access(RegId reg, RegIndex index, SeqNo seq);
+  /// Violators and the access count go into `scratch` when given (parallel
+  /// workers), into the checker's own totals otherwise.
+  void on_access(RegId reg, RegIndex index, SeqNo seq,
+                 C1Scratch* scratch = nullptr);
+
+  /// Merge a worker's accumulator into the run totals.
+  void absorb(const C1Scratch& scratch);
 
   std::uint64_t violating_packets() const { return violators_.size(); }
   std::uint64_t total_accesses() const { return accesses_; }
@@ -36,6 +66,8 @@ public:
   }
 
 private:
+  bool dense_ = false;
+  std::vector<std::vector<SeqNo>> last_seq_dense_; // [reg][index] -> max seq
   std::unordered_map<std::uint64_t, SeqNo> last_seq_; // key -> max seq seen
   std::unordered_set<SeqNo> violators_;
   std::uint64_t accesses_ = 0;

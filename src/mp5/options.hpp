@@ -71,6 +71,25 @@ struct SimOptions {
   /// Safety valve for runaway runs; tests assert it is never hit.
   std::uint64_t max_cycles = 5'000'000;
 
+  /// Worker threads for the per-lane parallel engine. 1 (the default)
+  /// runs the classic sequential engine. N > 1 partitions the k lanes
+  /// into contiguous blocks stepped by a persistent worker pool with a
+  /// per-cycle barrier; cross-lane effects are staged per worker and
+  /// merged deterministically, so results are bit-identical to the
+  /// sequential engine for every seed and fault plan. Clamped to k.
+  /// Incompatible with `telemetry` and `timeline` (their event streams
+  /// are inherently ordered by the sequential walk).
+  std::uint32_t threads = 1;
+
+  /// Idle-cycle fast-forward: when no packet is anywhere in the switch
+  /// and no fault plan is scheduled, jump the clock straight to the next
+  /// event (trace arrival, phantom-channel delivery) instead of stepping
+  /// empty cycles one by one. Sparse traces then cost O(packets) instead
+  /// of O(cycles). Results — including SimResult::cycles_run — are
+  /// identical with the optimization on or off; disable only to measure
+  /// the raw cycle loop.
+  bool fast_forward = true;
+
   /// Record per-packet egress headers (needed for equivalence checks).
   bool record_egress = false;
 

@@ -1,7 +1,7 @@
 #include "mp5/simulator.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <exception>
 
 #include "common/error.hpp"
 
@@ -9,16 +9,19 @@ namespace mp5 {
 namespace {
 
 /// Access observer that feeds the C1 checker, collapsing one packet's
-/// read-modify-write of a state into a single logical access.
+/// read-modify-write of a state into a single logical access. Parallel
+/// workers pass their C1Scratch so the shared violator set is only touched
+/// at the barrier merge.
 struct C1Observer final : ir::AccessObserver {
   void on_state_access(RegId reg, RegIndex index, bool /*is_write*/) override {
     if (seen && reg == last_reg && index == last_index) return;
-    checker->on_access(reg, index, seq);
+    checker->on_access(reg, index, seq, scratch);
     last_reg = reg;
     last_index = index;
     seen = true;
   }
   C1Checker* checker = nullptr;
+  C1Scratch* scratch = nullptr;
   SeqNo seq = 0;
   RegId last_reg = ir::kNoReg;
   RegIndex last_index = 0;
@@ -59,6 +62,16 @@ Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
         "SimOptions: ecn_threshold exceeds the maximum stage-FIFO "
         "occupancy (pipelines * fifo_capacity); it could never trigger");
   }
+  if (opts_.threads == 0) {
+    throw ConfigError("SimOptions: threads must be >= 1");
+  }
+  if (opts_.threads > 1 &&
+      (opts_.telemetry != nullptr || opts_.timeline)) {
+    throw ConfigError(
+        "SimOptions: the parallel engine (threads > 1) cannot produce the "
+        "telemetry/timeline event streams (their order is defined by the "
+        "sequential walk); run with threads = 1 to record events");
+  }
   opts_.faults.validate(opts_.pipelines);
   if (opts_.faults.has_phantom_faults() && !opts_.realistic_phantom_channel) {
     throw ConfigError(
@@ -85,24 +98,46 @@ Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
   fault_rng_ = rng.fork();
   fault_sched_ = FaultSchedule(opts_.faults, k_);
   lane_alive_.assign(k_, true);
-  fifos_.resize(k_);
-  arrivals_.resize(k_);
-  for (PipelineId p = 0; p < k_; ++p) {
-    arrivals_[p].resize(num_stages_);
-    fifos_[p].reserve(num_stages_);
-    for (StageId s = 0; s < num_stages_; ++s) {
-      fifos_[p].emplace_back(k_, opts_.fifo_capacity, opts_.ideal_queues);
-    }
+  lost_phantoms_.resize(k_);
+
+  const std::size_t cells =
+      static_cast<std::size_t>(k_) * static_cast<std::size_t>(num_stages_);
+  fifos_.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    fifos_.emplace_back(k_, opts_.fifo_capacity, opts_.ideal_queues);
   }
+  arrival_slots_.assign(cells * k_, ArrivedRef{});
+  arrival_count_.assign(cells, 0);
   ingress_.resize(k_);
+
+  if (opts_.check_c1) {
+    // Dense last-seq table: one flat vector per register array, replacing
+    // the per-access hash lookup (and letting parallel workers write their
+    // own shard's cells without locks).
+    std::vector<std::size_t> sizes;
+    sizes.reserve(prog_->pvsm.registers.size());
+    for (const auto& spec : prog_->pvsm.registers) {
+      sizes.push_back(static_cast<std::size_t>(spec.size));
+    }
+    c1_.init_dense(sizes);
+  }
+
+  workers_ = std::min<std::uint32_t>(opts_.threads, k_);
+  worker_ctx_.resize(workers_);
+  worker_error_.resize(workers_);
+  lane_range_.reserve(workers_);
+  for (std::uint32_t w = 0; w < workers_; ++w) {
+    lane_range_.emplace_back(
+        static_cast<PipelineId>(static_cast<std::uint64_t>(w) * k_ / workers_),
+        static_cast<PipelineId>(static_cast<std::uint64_t>(w + 1) * k_ /
+                                workers_));
+  }
 
 #if MP5_TELEMETRY_COMPILED
   if (opts_.telemetry != nullptr) {
     telem_ = opts_.telemetry;
     state_->set_telemetry(*telem_);
-    for (auto& per_pipe : fifos_) {
-      for (auto& fifo : per_pipe) fifo.set_telemetry(*telem_);
-    }
+    for (auto& fifo : fifos_) fifo.set_telemetry(*telem_);
     t_admit_ = &telem_->counter("sim.admitted");
     t_egress_ = &telem_->counter("sim.egressed");
     t_steer_ = &telem_->counter("sim.steers");
@@ -121,84 +156,141 @@ Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
 #endif
 }
 
+Mp5Simulator::~Mp5Simulator() { stop_workers(); }
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
 SimResult Mp5Simulator::run(const Trace& trace) {
   trace_ = &trace;
   cursor_ = 0;
   result_ = SimResult{};
   result_.offered = 0;
 
+  // Pre-size the per-run pools: the arena grows to the peak number of
+  // in-flight packets (bounded by the trace but usually far smaller), and
+  // the egress log is exactly one record per delivered packet.
+  arena_.reserve(std::min<std::size_t>(trace.size(), 4096));
+  if (opts_.record_egress) result_.egress.reserve(trace.size());
+
+  // Fast-forward is only sound when nothing is scheduled against the wall
+  // clock: any fault plan (stall windows, pressure windows, lane events,
+  // phantom coin flips happen at admit) pins the cycle-by-cycle walk.
+  const bool ff_enabled = opts_.fast_forward && !fault_sched_.any();
+  const bool parallel = workers_ > 1;
+  if (parallel) start_workers();
+
   Cycle now = 0;
-  bool first = true;
-  while (work_remaining()) {
-    if (now >= opts_.max_cycles) {
-      throw Error("Mp5Simulator: max_cycles exceeded (deadlock or overload?)");
-    }
-    // 0. Scheduled faults fire at the cycle boundary, before arrivals, so
-    //    packets admitted this cycle already see the new lane set.
-    if (fault_sched_.any()) {
-      apply_fault_events(now);
-      if (fault_sched_.has_pressure()) {
-        const std::size_t cap = fault_sched_.pressure_capacity(now);
-        if (cap != current_pressure_) {
-          current_pressure_ = cap;
-          for (auto& per_pipe : fifos_) {
-            for (auto& fifo : per_pipe) fifo.set_pressure_capacity(cap);
+  try {
+    bool first = true;
+    while (work_remaining()) {
+      if (now >= opts_.max_cycles) {
+        throw Error(
+            "Mp5Simulator: max_cycles exceeded (deadlock or overload?)");
+      }
+      // 0a. Idle-cycle fast-forward: with the switch fully drained, every
+      //     cycle until the next event is a provable no-op — jump there.
+      if (ff_enabled && live_packets_ == 0 && cursor_ < trace_->size() &&
+          fully_drained()) {
+        now = next_event_cycle(now);
+        if (now >= opts_.max_cycles) {
+          throw Error(
+              "Mp5Simulator: max_cycles exceeded (deadlock or overload?)");
+        }
+      }
+      // 0b. Scheduled faults fire at the cycle boundary, before arrivals,
+      //     so packets admitted this cycle already see the new lane set.
+      if (fault_sched_.any()) {
+        apply_fault_events(now);
+        if (fault_sched_.has_pressure()) {
+          const std::size_t cap = fault_sched_.pressure_capacity(now);
+          if (cap != current_pressure_) {
+            current_pressure_ = cap;
+            for (auto& fifo : fifos_) fifo.set_pressure_capacity(cap);
           }
         }
       }
-    }
-    // 1. Arrivals for this cycle (trace is pre-sorted by (time, port)).
-    while (cursor_ < trace_->size() &&
-           (*trace_)[cursor_].arrival_time < static_cast<double>(now + 1)) {
-      admit((*trace_)[cursor_], now);
-      ++cursor_;
-      if (first) {
-        result_.first_arrival = now;
-        first = false;
+      // 1. Arrivals for this cycle (trace is pre-sorted by (time, port)).
+      while (cursor_ < trace_->size() &&
+             (*trace_)[cursor_].arrival_time < static_cast<double>(now + 1)) {
+        admit((*trace_)[cursor_], now);
+        ++cursor_;
+        if (first) {
+          result_.first_arrival = now;
+          first = false;
+        }
+        result_.last_arrival = now;
       }
-      result_.last_arrival = now;
-    }
-    // 1b. Phantom channel: deliver phantoms whose hop count has elapsed.
-    if (opts_.realistic_phantom_channel) deliver_due_phantoms(now);
-    // 2. Ingress: each live pipeline admits one packet into the AR stage.
-    for (PipelineId p = 0; p < k_; ++p) {
-      if (!lane_alive_[p]) continue;
-      if (!ingress_[p].empty()) {
-        arrivals_[p][0].push_back(Arrived{std::move(ingress_[p].front()), p});
-        ingress_[p].pop_front();
-      }
-    }
-    // 3. Stage processing, last stage first so packets move one stage per
-    //    cycle (outputs land in already-processed downstream cells). Dead
-    //    lanes are skipped (their queues were drained at failure time).
-    for (StageId st = num_stages_; st-- > 0;) {
+      // 1b. Phantom channel: deliver phantoms whose hop count has elapsed.
+      if (opts_.realistic_phantom_channel) deliver_due_phantoms(now);
+      // 2. Ingress: each live pipeline admits one packet into the AR stage.
       for (PipelineId p = 0; p < k_; ++p) {
         if (!lane_alive_[p]) continue;
-        step_cell(p, st, now);
+        if (!ingress_[p].empty()) {
+          push_arrival(p, 0, ingress_[p].front(), p);
+          ingress_[p].pop_front();
+        }
       }
-    }
-    // 4. Periodic dynamic state sharding (Figure 6).
-    if (opts_.remap_period != 0 &&
-        (now + 1) % opts_.remap_period == 0) {
-      const std::size_t moves = state_->rebalance();
-      result_.remap_moves += moves;
-      if (moves != 0) {
-        emit(TimelineEvent::Kind::kRemap, now, 0, 0, kInvalidSeqNo,
-             static_cast<std::uint64_t>(moves));
+      // 3. Stage processing, last stage first so packets move one stage per
+      //    cycle (outputs land in already-processed downstream cells). Dead
+      //    lanes are skipped (their queues were drained at failure time).
+      if (!parallel) {
+        for (StageId st = num_stages_; st-- > 0;) {
+          for (PipelineId p = 0; p < k_; ++p) {
+            if (!lane_alive_[p]) continue;
+            step_cell(p, st, now, nullptr);
+          }
+        }
+      } else {
+        shared_now_ = now;
+        pending_.store(workers_ - 1, std::memory_order_relaxed);
+        phase_.fetch_add(1, std::memory_order_release);
+        run_worker_lanes(0, now); // the main thread is worker 0
+        while (pending_.load(std::memory_order_acquire) != 0) {
+          std::this_thread::yield();
+        }
+        for (auto& err : worker_error_) {
+          if (err) {
+            std::exception_ptr e = err;
+            err = nullptr;
+            std::rethrow_exception(e);
+          }
+        }
+        merge_worker_effects(now);
       }
+      // 4. Periodic dynamic state sharding (Figure 6).
+      if (opts_.remap_period != 0 && (now + 1) % opts_.remap_period == 0) {
+        const std::size_t moves = state_->rebalance();
+        result_.remap_moves += moves;
+        counters_dirty_ = false; // rebalance() reset the access counters
+        if (moves != 0) {
+          emit(TimelineEvent::Kind::kRemap, now, 0, 0, kInvalidSeqNo,
+               static_cast<std::uint64_t>(moves));
+        }
+      }
+      // 5. Cycle-end watchdog.
+      if (opts_.paranoid_checks) check_invariants(now);
+      ++now;
     }
-    // 5. Cycle-end watchdog.
-    if (opts_.paranoid_checks) check_invariants(now);
-    ++now;
+  } catch (...) {
+    stop_workers();
+    throw;
   }
+  if (parallel) {
+    for (auto& ctx : worker_ctx_) {
+      c1_.absorb(ctx.c1);
+      ctx.c1 = C1Scratch{};
+    }
+    stop_workers();
+  }
+
   result_.cycles_run = now;
   result_.final_registers = state_->storage();
   result_.c1_violating_packets = c1_.violating_packets();
-  for (const auto& per_pipe : fifos_) {
-    for (const auto& fifo : per_pipe) {
-      result_.max_queue_depth =
-          std::max(result_.max_queue_depth, fifo.high_water());
-    }
+  for (const auto& fifo : fifos_) {
+    result_.max_queue_depth =
+        std::max(result_.max_queue_depth, fifo.high_water());
   }
   if (telem_ != nullptr) {
     telem_->gauge("sim.cycles_run").set(static_cast<double>(now));
@@ -206,6 +298,10 @@ SimResult Mp5Simulator::run(const Trace& trace) {
         .set(static_cast<double>(result_.max_queue_depth));
     telem_->gauge("sim.normalized_throughput")
         .set(result_.normalized_throughput());
+    telem_->gauge("sim.arena_peak_live")
+        .set(static_cast<double>(arena_.peak_live()));
+    telem_->gauge("sim.arena_recycled_allocs")
+        .set(static_cast<double>(arena_.recycled_allocs()));
   }
   std::sort(result_.egress.begin(), result_.egress.end(),
             [](const EgressRecord& a, const EgressRecord& b) {
@@ -217,6 +313,239 @@ SimResult Mp5Simulator::run(const Trace& trace) {
             });
   return std::move(result_);
 }
+
+// ---------------------------------------------------------------------------
+// Idle-cycle fast-forward
+// ---------------------------------------------------------------------------
+
+bool Mp5Simulator::fully_drained() const {
+  // live_packets_ == 0 is checked by the caller, but cancelled zombie
+  // phantoms may still be queued — and reclaiming them consumes real
+  // (wasted) pop cycles, so the clock must tick through them.
+  for (const auto& fifo : fifos_) {
+    if (fifo.size() != 0) return false;
+  }
+  return true;
+}
+
+Cycle Mp5Simulator::next_event_cycle(Cycle now) {
+  // Next trace arrival: admitted in the cycle its arrival time truncates
+  // to (the run loop admits while arrival_time < now + 1).
+  Cycle target = static_cast<Cycle>((*trace_)[cursor_].arrival_time);
+  // A cancelled phantom still in flight is delivered as a zombie at its
+  // scheduled cycle and costs a wasted pop afterwards.
+  if (const auto deliver = channel_next_deliver(); deliver.has_value()) {
+    target = std::min(target, *deliver);
+  }
+  // Remap boundaries are observable while the access counters are dirty
+  // (the rebalance could move shards) or telemetry counts rebalance runs;
+  // with clean counters and no telemetry the rebalance is a provable no-op
+  // (zero loads => zero moves) and the boundary can be skipped.
+  if (opts_.remap_period != 0 && (counters_dirty_ || telem_ != nullptr)) {
+    const Cycle period = opts_.remap_period;
+    const Cycle boundary = ((now + period) / period) * period - 1;
+    target = std::min(target, boundary);
+  }
+  target = std::min<Cycle>(target, opts_.max_cycles);
+  return std::max(target, now);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine
+// ---------------------------------------------------------------------------
+
+void Mp5Simulator::start_workers() {
+  if (!pool_.empty()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  worker_error_.assign(workers_, nullptr);
+  for (auto& ctx : worker_ctx_) {
+    ctx.clear_cycle();
+    ctx.routed.reserve(static_cast<std::size_t>(num_stages_) * k_);
+  }
+  // Capture the phase baseline here, on the dispatching thread: a worker
+  // reading phase_ itself after spawn could observe a generation that was
+  // already advanced for the first dispatch and sleep through it forever.
+  const std::uint64_t base = phase_.load(std::memory_order_relaxed);
+  pool_.reserve(workers_ - 1);
+  for (std::uint32_t w = 1; w < workers_; ++w) {
+    pool_.emplace_back([this, w, base] { worker_loop(w, base); });
+  }
+}
+
+void Mp5Simulator::stop_workers() {
+  if (pool_.empty()) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : pool_) t.join();
+  pool_.clear();
+}
+
+void Mp5Simulator::worker_loop(std::uint32_t w, std::uint64_t seen) {
+  while (true) {
+    // Spin briefly, then yield: the pool must degrade gracefully when the
+    // host has fewer cores than workers (pure spinning would starve the
+    // very thread it waits for).
+    std::uint64_t cur;
+    std::uint32_t spins = 0;
+    while ((cur = phase_.load(std::memory_order_acquire)) == seen &&
+           !stop_.load(std::memory_order_acquire)) {
+      if (++spins >= 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    if (cur == seen) break; // stop requested with no new phase
+    seen = cur;
+    try {
+      run_worker_lanes(w, shared_now_);
+    } catch (...) {
+      worker_error_[w] = std::current_exception();
+    }
+    pending_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void Mp5Simulator::run_worker_lanes(std::uint32_t w, Cycle now) {
+  WorkerCtx& ctx = worker_ctx_[w];
+  const auto [lo, hi] = lane_range_[w];
+  for (StageId st = num_stages_; st-- > 0;) {
+    for (PipelineId p = lo; p < hi; ++p) {
+      if (!lane_alive_[p]) continue;
+      step_cell(p, st, now, &ctx);
+    }
+  }
+}
+
+void Mp5Simulator::merge_worker_effects(Cycle now) {
+  // Worker order equals source-lane order (contiguous lane blocks), and
+  // each worker recorded its effects in its own processing order — so this
+  // serial replay reproduces exactly the effect order of the sequential
+  // engine's lane-ascending walk. Every applied operation either commutes
+  // (counter adds, in-flight decrements, per-seq FIFO cancels) or is only
+  // observable next cycle (arrival pushes), so category grouping is safe.
+  for (std::uint32_t w = 0; w < workers_; ++w) {
+    WorkerCtx& ctx = worker_ctx_[w];
+    result_.blocked_cycles += ctx.blocked;
+    result_.wasted_cycles += ctx.wasted;
+    result_.stalled_cycles += ctx.stalled;
+    result_.steers += ctx.steers;
+    for (const auto& [reg, index] : ctx.completions) {
+      state_->note_completed(reg, index);
+    }
+    for (const auto& r : ctx.routed) {
+      push_arrival(r.dest, r.stage, r.ref, r.from_lane);
+    }
+    for (const auto& sc : ctx.cancels) apply_staged_cancel(sc, now);
+    for (const auto& d : ctx.drops) drop_packet(d.ref, d.cause, nullptr);
+    for (const PacketRef ref : ctx.egressed) egress_packet(ref, now, nullptr);
+    ctx.clear_cycle();
+  }
+}
+
+void Mp5Simulator::apply_staged_cancel(const WorkerCtx::StagedCancel& sc,
+                                       Cycle /*now*/) {
+  // Serial tail of cancel_entry for a phantom whose sharers all cancelled
+  // during the parallel lane phase.
+  if (sc.maybe_in_channel) {
+    const ChannelKey key{sc.seq, sc.pipeline, sc.stage};
+    if (lost_phantoms_[sc.pipeline].erase(key) != 0) return;
+    if (auto it = channel_index_.find(key); it != channel_index_.end()) {
+      channel_slots_[it->second].cancelled = true;
+      return;
+    }
+    // Already delivered: fall through to the FIFO cancel.
+  }
+  fifo_at(sc.pipeline, sc.stage).cancel(sc.seq);
+}
+
+// ---------------------------------------------------------------------------
+// Phantom channel (slot pool + lazy-deletion min-heap)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Min-heap order on (deliver, seq) for std::*_heap (which build max-heaps,
+/// hence the inverted comparisons).
+constexpr auto kChannelDueLater = [](const auto& a, const auto& b) {
+  if (a.deliver != b.deliver) return a.deliver > b.deliver;
+  return a.seq > b.seq;
+};
+} // namespace
+
+void Mp5Simulator::channel_push(Cycle deliver, const PendingPhantom& rec) {
+  std::uint32_t slot;
+  if (!channel_free_.empty()) {
+    slot = channel_free_.back();
+    channel_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(channel_slots_.size());
+    channel_slots_.emplace_back();
+  }
+  PendingPhantom& dst = channel_slots_[slot];
+  dst = rec;
+  dst.stamp = channel_next_stamp_++;
+  channel_heap_.push_back(ChannelDue{deliver, dst.seq, slot, dst.stamp});
+  std::push_heap(channel_heap_.begin(), channel_heap_.end(), kChannelDueLater);
+  channel_index_[ChannelKey{dst.seq, dst.pipeline, dst.stage}] = slot;
+  ++channel_live_;
+}
+
+void Mp5Simulator::channel_free_slot(std::uint32_t slot) {
+  channel_slots_[slot].stamp = 0; // invalidates any heap entry lazily
+  channel_free_.push_back(slot);
+  --channel_live_;
+}
+
+std::optional<Cycle> Mp5Simulator::channel_next_deliver() {
+  while (!channel_heap_.empty()) {
+    const ChannelDue& top = channel_heap_.front();
+    if (channel_slots_[top.slot].stamp == top.stamp) return top.deliver;
+    std::pop_heap(channel_heap_.begin(), channel_heap_.end(),
+                  kChannelDueLater);
+    channel_heap_.pop_back();
+  }
+  return std::nullopt;
+}
+
+void Mp5Simulator::deliver_due_phantoms(Cycle now) {
+  // Collect everything due, then push in global arrival (seq) order so
+  // every FIFO receives its phantoms in generation order (Invariant 1).
+  due_scratch_.clear();
+  while (!channel_heap_.empty() && channel_heap_.front().deliver <= now) {
+    const ChannelDue top = channel_heap_.front();
+    std::pop_heap(channel_heap_.begin(), channel_heap_.end(),
+                  kChannelDueLater);
+    channel_heap_.pop_back();
+    PendingPhantom& rec = channel_slots_[top.slot];
+    if (rec.stamp != top.stamp) continue; // stale: erased/recycled slot
+    due_scratch_.push_back(rec);
+    channel_index_.erase(ChannelKey{rec.seq, rec.pipeline, rec.stage});
+    channel_free_slot(top.slot);
+  }
+  if (due_scratch_.empty()) return;
+  std::sort(due_scratch_.begin(), due_scratch_.end(),
+            [](const PendingPhantom& a, const PendingPhantom& b) {
+              return a.seq < b.seq;
+            });
+  for (const auto& pending : due_scratch_) {
+    auto& fifo = fifo_at(pending.pipeline, pending.stage);
+    if (!fifo.push_phantom(pending.seq, pending.reg, pending.index,
+                           pending.lane, now)) {
+      ++result_.dropped_phantom;
+      continue; // the data packet will miss its placeholder and be dropped
+    }
+    emit(TimelineEvent::Kind::kPhantomPush, now, pending.pipeline,
+         pending.stage, pending.seq);
+    if (pending.cancelled) {
+      // Cancelled while in flight: arrives as a zombie (one wasted pop).
+      fifo.cancel(pending.seq);
+      emit(TimelineEvent::Kind::kCancel, now, pending.pipeline,
+           pending.stage, pending.seq);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection & graceful degradation
+// ---------------------------------------------------------------------------
 
 void Mp5Simulator::apply_fault_events(Cycle now) {
   const auto& events = fault_sched_.lane_events();
@@ -239,36 +568,36 @@ void Mp5Simulator::fail_lane(PipelineId p, Cycle now) {
   awaiting_egress_after_failure_ = true;
 
   // 1. Everything physically inside the lane dies with it.
-  std::vector<Packet> doomed;
-  for (auto& pkt : ingress_[p]) doomed.push_back(std::move(pkt));
+  std::vector<PacketRef> doomed;
+  for (const PacketRef ref : ingress_[p]) doomed.push_back(ref);
   ingress_[p].clear();
   for (StageId st = 0; st < num_stages_; ++st) {
-    for (auto& arr : arrivals_[p][st]) doomed.push_back(std::move(arr.packet));
-    arrivals_[p][st].clear();
-    for (auto& pkt : fifos_[p][st].drain_all()) doomed.push_back(std::move(pkt));
+    const std::size_t c = cell(p, st);
+    for (std::uint32_t i = 0; i < arrival_count_[c]; ++i) {
+      doomed.push_back(arrival_slots_[c * k_ + i].ref);
+    }
+    arrival_count_[c] = 0;
+    for (const PacketRef ref : fifos_[c].drain_all()) doomed.push_back(ref);
   }
 
   // 2. Phantoms in flight toward the dead lane vanish with its channel
   //    ports (their packets are swept below: the plan entry is live).
-  for (auto it = channel_.begin(); it != channel_.end();) {
-    if (it->second.pipeline == p) {
-      channel_index_.erase(
-          ChannelKey{it->second.seq, it->second.pipeline, it->second.stage});
-      it = channel_.erase(it);
+  for (auto it = channel_index_.begin(); it != channel_index_.end();) {
+    if (channel_slots_[it->second].pipeline == p) {
+      channel_free_slot(it->second);
+      it = channel_index_.erase(it);
     } else {
       ++it;
     }
   }
-  for (auto it = lost_phantoms_.begin(); it != lost_phantoms_.end();) {
-    it = it->pipeline == p ? lost_phantoms_.erase(it) : std::next(it);
-  }
+  lost_phantoms_[p].clear();
 
   // 3. Sweep the survivors for packets doomed to visit the dead lane: a
   //    live plan entry targeting it can no longer be served. Dropping them
   //    now (rather than at steer time) keeps the in-flight counters exact
   //    for the remap below.
-  const auto doomed_pred = [p](const Packet& pkt) {
-    for (const auto& e : pkt.plan) {
+  const auto doomed_pred = [this, p](PacketRef ref) {
+    for (const auto& e : arena_.get(ref).plan) {
       if (entry_live(e) && e.pipeline == p) return true;
     }
     return false;
@@ -278,33 +607,36 @@ void Mp5Simulator::fail_lane(PipelineId p, Cycle now) {
     auto& ing = ingress_[q];
     for (auto it = ing.begin(); it != ing.end();) {
       if (doomed_pred(*it)) {
-        doomed.push_back(std::move(*it));
+        doomed.push_back(*it);
         it = ing.erase(it);
       } else {
         ++it;
       }
     }
     for (StageId st = 0; st < num_stages_; ++st) {
-      auto& arr = arrivals_[q][st];
-      for (auto it = arr.begin(); it != arr.end();) {
-        if (doomed_pred(it->packet)) {
-          doomed.push_back(std::move(it->packet));
-          it = arr.erase(it);
+      const std::size_t c = cell(q, st);
+      const std::uint32_t n = arrival_count_[c];
+      std::uint32_t kept = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const ArrivedRef a = arrival_slots_[c * k_ + i];
+        if (doomed_pred(a.ref)) {
+          doomed.push_back(a.ref);
         } else {
-          ++it;
+          arrival_slots_[c * k_ + kept++] = a;
         }
       }
-      for (auto& pkt : fifos_[q][st].extract_data_if(doomed_pred)) {
-        doomed.push_back(std::move(pkt));
+      arrival_count_[c] = kept;
+      for (const PacketRef ref : fifos_[c].extract_data_if(doomed_pred)) {
+        doomed.push_back(ref);
       }
     }
   }
 
   // 4. Account the losses. Cancelling each packet's remaining phantoms
   //    also releases its in-flight counters, clearing the §3.4 guard.
-  for (auto& pkt : doomed) {
-    emit(TimelineEvent::Kind::kDropFault, now, p, 0, pkt.seq);
-    drop_packet(std::move(pkt), DropCause::kFault);
+  for (const PacketRef ref : doomed) {
+    emit(TimelineEvent::Kind::kDropFault, now, p, 0, arena_.get(ref).seq);
+    drop_packet(ref, DropCause::kFault, nullptr);
   }
 
   // 5. Atomically re-home the dead lane's active indices to survivors.
@@ -350,23 +682,30 @@ void Mp5Simulator::check_invariants(Cycle now) const {
     }
     in_containers += ingress_[p].size();
     for (StageId st = 0; st < num_stages_; ++st) {
-      const auto& fifo = fifos_[p][st];
+      const std::size_t c = cell(p, st);
+      const auto& fifo = fifos_[c];
       if (!lane_alive_[p] &&
-          (fifo.size() != 0 || !arrivals_[p][st].empty())) {
+          (fifo.size() != 0 || arrival_count_[c] != 0)) {
         throw InvariantError("dead-lane", now,
                              "dead lane " + std::to_string(p) +
                                  " has queued entries at stage " +
                                  std::to_string(st));
       }
-      in_containers += arrivals_[p][st].size();
+      in_containers += arrival_count_[c];
       fifo.check_invariants(now, check_order);
       fifo.for_each_entry([&](const FifoEntry& entry) {
         if (entry.kind != FifoEntry::Kind::kData) return;
         ++in_containers;
+        if (!arena_.live(entry.ref)) {
+          throw InvariantError("arena", now,
+                               "queued FIFO entry addresses a released "
+                               "arena slot");
+        }
+        const Packet& pkt = arena_.get(entry.ref);
         // Invariant 2: only packets awaiting stateful processing at this
         // very cell may be queued here.
         bool awaiting_here = false;
-        for (const auto& e : entry.packet.plan) {
+        for (const auto& e : pkt.plan) {
           if (!entry_live(e)) continue;
           awaiting_here = e.stage == st && e.pipeline == p;
           break;
@@ -374,7 +713,7 @@ void Mp5Simulator::check_invariants(Cycle now) const {
         if (!awaiting_here) {
           throw InvariantError(
               "invariant-2", now,
-              "queued packet seq " + std::to_string(entry.packet.seq) +
+              "queued packet seq " + std::to_string(pkt.seq) +
                   " is not awaiting stateful processing at (" +
                   std::to_string(p) + ", " + std::to_string(st) + ")");
         }
@@ -387,18 +726,25 @@ void Mp5Simulator::check_invariants(Cycle now) const {
                              " packets live but " +
                              std::to_string(in_containers) + " queued");
   }
+  if (in_containers != arena_.live_count()) {
+    throw InvariantError("arena", now,
+                         std::to_string(arena_.live_count()) +
+                             " live arena slots but " +
+                             std::to_string(in_containers) +
+                             " packets queued");
+  }
   if (opts_.realistic_phantom_channel) {
-    if (channel_index_.size() != channel_.size()) {
+    if (channel_index_.size() != channel_live_) {
       throw InvariantError("phantom-channel", now,
                            "channel index size " +
                                std::to_string(channel_index_.size()) +
-                               " != channel size " +
-                               std::to_string(channel_.size()));
+                               " != live channel records " +
+                               std::to_string(channel_live_));
     }
-    for (const auto& [key, it] : channel_index_) {
-      const PendingPhantom& rec = it->second;
-      if (rec.seq != key.seq || rec.pipeline != key.pipeline ||
-          rec.stage != key.stage) {
+    for (const auto& [key, slot] : channel_index_) {
+      const PendingPhantom& rec = channel_slots_[slot];
+      if (rec.stamp == 0 || rec.seq != key.seq ||
+          rec.pipeline != key.pipeline || rec.stage != key.stage) {
         throw InvariantError("phantom-channel", now,
                              "channel index entry for seq " +
                                  std::to_string(key.seq) +
@@ -408,45 +754,31 @@ void Mp5Simulator::check_invariants(Cycle now) const {
   }
 }
 
-void Mp5Simulator::deliver_due_phantoms(Cycle now) {
-  // Collect everything due, then push in global arrival (seq) order so
-  // every FIFO receives its phantoms in generation order (Invariant 1).
-  std::vector<PendingPhantom> due;
-  while (!channel_.empty() && channel_.begin()->first <= now) {
-    channel_index_.erase(ChannelKey{channel_.begin()->second.seq,
-                                    channel_.begin()->second.pipeline,
-                                    channel_.begin()->second.stage});
-    due.push_back(channel_.begin()->second);
-    channel_.erase(channel_.begin());
-  }
-  std::sort(due.begin(), due.end(),
-            [](const PendingPhantom& a, const PendingPhantom& b) {
-              return a.seq < b.seq;
-            });
-  for (const auto& pending : due) {
-    auto& fifo = fifos_[pending.pipeline][pending.stage];
-    if (!fifo.push_phantom(pending.seq, pending.reg, pending.index,
-                           pending.lane, now)) {
-      ++result_.dropped_phantom;
-      continue; // the data packet will miss its placeholder and be dropped
-    }
-    emit(TimelineEvent::Kind::kPhantomPush, now, pending.pipeline,
-         pending.stage, pending.seq);
-    if (pending.cancelled) {
-      // Cancelled while in flight: arrives as a zombie (one wasted pop).
-      fifo.cancel(pending.seq);
-      emit(TimelineEvent::Kind::kCancel, now, pending.pipeline,
-           pending.stage, pending.seq);
-    }
-  }
-}
+// ---------------------------------------------------------------------------
+// Per-cycle packet movement
+// ---------------------------------------------------------------------------
 
 bool Mp5Simulator::work_remaining() const {
   return live_packets_ > 0 || (trace_ != nullptr && cursor_ < trace_->size());
 }
 
+void Mp5Simulator::push_arrival(PipelineId dest, StageId st, PacketRef ref,
+                                PipelineId from_lane) {
+  const std::size_t c = cell(dest, st);
+  const std::uint32_t n = arrival_count_[c];
+  if (n >= k_) {
+    // One packet per predecessor cell per cycle is a structural bound of
+    // the crossbar; more means a routing bug, not congestion.
+    throw Error("Mp5Simulator: arrival slots overflow at cell (" +
+                std::to_string(dest) + ", " + std::to_string(st) + ")");
+  }
+  arrival_slots_[c * k_ + n] = ArrivedRef{ref, from_lane};
+  arrival_count_[c] = n + 1;
+}
+
 void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
-  Packet pkt;
+  const PacketRef ref = arena_.alloc();
+  Packet& pkt = arena_.get(ref);
   pkt.seq = next_seq_++;
   pkt.arrival_cycle = now;
   pkt.port = item.port;
@@ -491,6 +823,7 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
       acc.guard_negate = desc.guard_negate;
     }
     state_->note_resolved(desc.reg, acc.index);
+    counters_dirty_ = true; // the next remap boundary is now observable
     pkt.plan.push_back(acc);
   }
 
@@ -524,7 +857,7 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
             // packet finds no placeholder at its stateful stage and is
             // dropped there with fault accounting (instead of
             // deadlocking behind a hole in the order).
-            lost_phantoms_.insert(key);
+            lost_phantoms_[acc.pipeline].insert(key);
             ++result_.phantom_lost;
             MP5_TELEM_INC(t_phantom_lost_);
           } else {
@@ -542,13 +875,13 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
             pending.pipeline = acc.pipeline;
             pending.stage = acc.stage;
             pending.lane = lane_pred;
-            auto it = channel_.emplace(deliver, pending);
-            channel_index_[key] = it;
+            channel_push(deliver, pending);
             MP5_TELEM_INC(t_phantom_sent_);
           }
         } else {
-          const bool ok = fifos_[acc.pipeline][acc.stage].push_phantom(
-              pkt.seq, acc.reg, acc.index, lane_pred, now);
+          const bool ok = fifo_at(acc.pipeline, acc.stage)
+                              .push_phantom(pkt.seq, acc.reg, acc.index,
+                                            lane_pred, now);
           if (!ok) {
             acc.phantom_dropped = true;
             ++result_.dropped_phantom;
@@ -570,10 +903,11 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
   ++live_packets_;
   MP5_TELEM_INC(t_admit_);
   emit(TimelineEvent::Kind::kAdmit, now, admit_lane, 0, pkt.seq);
-  ingress_[admit_lane].push_back(std::move(pkt));
+  ingress_[admit_lane].push_back(ref);
 }
 
-void Mp5Simulator::step_cell(PipelineId p, StageId st, Cycle now) {
+void Mp5Simulator::step_cell(PipelineId p, StageId st, Cycle now,
+                             WorkerCtx* ctx) {
   // Injected transient stall: the cell has no processing slot this cycle.
   // FIFO inserts still happen (they are memory operations, not processing)
   // but nothing is served — a stateless arrival must be dropped, since
@@ -581,93 +915,94 @@ void Mp5Simulator::step_cell(PipelineId p, StageId st, Cycle now) {
   const bool stalled =
       fault_sched_.has_stalls() && fault_sched_.stalled(p, st, now);
   if (stalled) {
-    ++result_.stalled_cycles;
-    MP5_TELEM_INC(t_stall_cycles_);
+    if (ctx != nullptr) {
+      ++ctx->stalled;
+    } else {
+      ++result_.stalled_cycles;
+      MP5_TELEM_INC(t_stall_cycles_);
+    }
   }
 
-  auto incoming = std::move(arrivals_[p][st]);
-  arrivals_[p][st].clear();
+  StageFifo& fifo = fifos_[cell(p, st)];
+  const std::size_t base = cell(p, st) * k_;
+  const std::uint32_t n = arrival_count_[cell(p, st)];
 
-  std::optional<Packet> passthrough;
-  for (auto& arr : incoming) {
-    Packet& pkt = arr.packet;
+  PacketRef passthrough = kNullPacketRef;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const PacketRef ref = arrival_slots_[base + i].ref;
+    const PipelineId from_lane = arrival_slots_[base + i].from_lane;
+    Packet& pkt = arena_.get(ref);
     PlannedAccess* acc = pkt.pending_access();
     if (acc != nullptr && acc->stage == st) {
       // Arriving for stateful processing here; acc->pipeline == p by
       // construction of routing.
-      if (opts_.ecn_threshold != 0 &&
-          fifos_[p][st].size() >= opts_.ecn_threshold) {
+      if (opts_.ecn_threshold != 0 && fifo.size() >= opts_.ecn_threshold) {
         // §3.4 backpressure: mark packets joining a congested FIFO.
         pkt.ecn_marked = true;
       }
       if (!opts_.phantoms) {
         // no-D4 ablation: queue the data packet directly at the stage.
-        FifoEntry entry;
-        entry.kind = FifoEntry::Kind::kData;
-        entry.seq = pkt.seq;
-        entry.reg = acc->reg;
-        entry.index = acc->index;
         const SeqNo seq = pkt.seq;
-        entry.packet = std::move(pkt);
-        if (!fifos_[p][st].push_phantom(seq, entry.reg, entry.index,
-                                        arr.from_lane, now)) {
-          drop_packet(std::move(entry.packet), DropCause::kData);
+        if (!fifo.push_phantom(seq, acc->reg, acc->index, from_lane, now)) {
+          drop_packet(ref, DropCause::kData, ctx);
         } else {
           // Convert the just-pushed placeholder into the data packet.
-          fifos_[p][st].insert_data(std::move(entry.packet));
+          fifo.insert_data(seq, ref);
         }
       } else if (acc->phantom_dropped) {
         emit(TimelineEvent::Kind::kDropData, now, p, st, pkt.seq);
-        drop_packet(std::move(pkt), DropCause::kData);
-      } else if (!fifos_[p][st].has_phantom(pkt.seq)) {
+        drop_packet(ref, DropCause::kData, ctx);
+      } else if (!fifo.has_phantom(pkt.seq)) {
         if (!opts_.realistic_phantom_channel) {
           // Defensive: phantom vanished despite not being flagged dropped.
           throw Error("Mp5Simulator: phantom missing at insert");
         }
         // No placeholder for this data packet. Classify the orphan:
         const ChannelKey key{pkt.seq, p, st};
-        if (lost_phantoms_.erase(key) != 0) {
+        if (lost_phantoms_[p].erase(key) != 0) {
           // The phantom was lost on the channel (injected fault): drop the
           // orphaned data packet with fault accounting instead of letting
           // it deadlock the FIFO order.
           emit(TimelineEvent::Kind::kDropFault, now, p, st, pkt.seq);
-          drop_packet(std::move(pkt), DropCause::kFault);
+          drop_packet(ref, DropCause::kFault, ctx);
         } else if (auto chan = channel_index_.find(key);
                    chan != channel_index_.end()) {
           // The phantom is still in flight (injected extra delay let the
           // data packet overtake it — Invariant 1 broken for this packet).
           // Drop the packet; the late phantom arrives pre-cancelled and
           // costs one wasted pop.
-          chan->second->second.cancelled = true;
+          channel_slots_[chan->second].cancelled = true;
           emit(TimelineEvent::Kind::kDropFault, now, p, st, pkt.seq);
-          drop_packet(std::move(pkt), DropCause::kFault);
+          drop_packet(ref, DropCause::kFault, ctx);
         } else {
           // The phantom was dropped at channel delivery (FIFO full): the
           // regular §3.4 drop path.
           emit(TimelineEvent::Kind::kDropData, now, p, st, pkt.seq);
-          drop_packet(std::move(pkt), DropCause::kData);
+          drop_packet(ref, DropCause::kData, ctx);
         }
       } else {
         const SeqNo seq = pkt.seq;
-        if (!fifos_[p][st].insert_data(std::move(pkt))) {
+        if (!fifo.insert_data(seq, ref)) {
           throw Error("Mp5Simulator: insert failed with phantom present");
         }
         emit(TimelineEvent::Kind::kInsert, now, p, st, seq);
       }
     } else {
-      if (passthrough.has_value()) {
+      if (passthrough != kNullPacketRef) {
         throw Error("Mp5Simulator: two pass-through packets in one cell");
       }
-      passthrough = std::move(pkt);
+      passthrough = ref;
     }
   }
+  arrival_count_[cell(p, st)] = 0;
 
-  if (passthrough.has_value()) {
+  if (passthrough != kNullPacketRef) {
+    const SeqNo pt_seq = arena_.get(passthrough).seq;
     if (stalled) {
       // A stalled cell cannot serve the stateless packet, and Invariant 2
       // forbids queueing it: it is lost to the fault.
-      emit(TimelineEvent::Kind::kDropFault, now, p, st, passthrough->seq);
-      drop_packet(std::move(*passthrough), DropCause::kFault);
+      emit(TimelineEvent::Kind::kDropFault, now, p, st, pt_seq);
+      drop_packet(passthrough, DropCause::kFault, ctx);
     } else {
       // §3.4 starvation guard: when a queued stateful packet has waited
       // past the threshold, drop the arriving stateless packet instead of
@@ -675,52 +1010,61 @@ void Mp5Simulator::step_cell(PipelineId p, StageId st, Cycle now) {
       // Invariant 2 holds).
       bool starved = false;
       if (opts_.starvation_threshold != 0) {
-        const auto oldest = fifos_[p][st].oldest_head_enqueue();
+        const auto oldest = fifo.oldest_head_enqueue();
         starved = oldest.has_value() &&
                   now - *oldest > opts_.starvation_threshold;
       }
       if (starved) {
-        emit(TimelineEvent::Kind::kDropStarved, now, p, st, passthrough->seq);
-        drop_packet(std::move(*passthrough), DropCause::kStarved);
+        emit(TimelineEvent::Kind::kDropStarved, now, p, st, pt_seq);
+        drop_packet(passthrough, DropCause::kStarved, ctx);
       } else {
         // Invariant 2: stateless packets are processed with priority and
         // never queued.
-        emit(TimelineEvent::Kind::kPassThrough, now, p, st, passthrough->seq);
-        process_packet(std::move(*passthrough), p, st, /*from_fifo=*/false,
-                       now);
+        emit(TimelineEvent::Kind::kPassThrough, now, p, st, pt_seq);
+        process_packet(passthrough, p, st, /*from_fifo=*/false, now, ctx);
         return;
       }
     }
   }
   if (stalled) return; // no processing slot: the FIFO is not served
 
-  auto popped = fifos_[p][st].pop();
+  auto popped = fifo.pop();
   switch (popped.kind) {
     case StageFifo::PopResult::Kind::kIdle:
       return;
     case StageFifo::PopResult::Kind::kBlocked:
-      ++result_.blocked_cycles;
+      if (ctx != nullptr) {
+        ++ctx->blocked;
+      } else {
+        ++result_.blocked_cycles;
+      }
       emit(TimelineEvent::Kind::kBlocked, now, p, st, kInvalidSeqNo);
       return;
     case StageFifo::PopResult::Kind::kWasted:
-      ++result_.wasted_cycles;
+      if (ctx != nullptr) {
+        ++ctx->wasted;
+      } else {
+        ++result_.wasted_cycles;
+      }
       emit(TimelineEvent::Kind::kPopWasted, now, p, st, kInvalidSeqNo);
       return;
     case StageFifo::PopResult::Kind::kData:
-      emit(TimelineEvent::Kind::kPopData, now, p, st, popped.packet.seq);
-      process_packet(std::move(popped.packet), p, st, /*from_fifo=*/true, now);
+      emit(TimelineEvent::Kind::kPopData, now, p, st,
+           arena_.get(popped.ref).seq);
+      process_packet(popped.ref, p, st, /*from_fifo=*/true, now, ctx);
       return;
   }
 }
 
 void Mp5Simulator::exec_stage_atoms(Packet& pkt, PipelineId p, StageId st,
-                                    bool from_fifo) {
+                                    bool from_fifo, WorkerCtx* ctx) {
   if (st == 0) return; // AR stage has no program atoms
   const ir::Stage& stage = prog_->pvsm.stages[st - 1];
 
   C1Observer obs;
   obs.checker = &c1_;
   obs.seq = pkt.seq;
+  obs.scratch = ctx != nullptr ? &ctx->c1 : nullptr;
 
   for (const auto& atom : stage.atoms) {
     bool allow_state = false;
@@ -752,25 +1096,31 @@ void Mp5Simulator::exec_stage_atoms(Packet& pkt, PipelineId p, StageId st,
   }
 }
 
-void Mp5Simulator::process_packet(Packet pkt, PipelineId p, StageId st,
-                                  bool from_fifo, Cycle now) {
-  exec_stage_atoms(pkt, p, st, from_fifo);
+void Mp5Simulator::process_packet(PacketRef ref, PipelineId p, StageId st,
+                                  bool from_fifo, Cycle now, WorkerCtx* ctx) {
+  Packet& pkt = arena_.get(ref);
+  exec_stage_atoms(pkt, p, st, from_fifo, ctx);
 
   if (from_fifo) {
     for (auto& e : pkt.plan) {
       if (e.stage == st && e.pipeline == p && entry_live(e)) {
         e.done = true;
-        state_->note_completed(e.reg, e.index);
+        if (ctx != nullptr) {
+          ctx->completions.emplace_back(e.reg, e.index);
+        } else {
+          state_->note_completed(e.reg, e.index);
+        }
       }
     }
   }
 
-  resolve_conservative_guards(pkt, st);
-  route_onwards(std::move(pkt), p, st, now);
+  resolve_conservative_guards(pkt, st, ctx);
+  route_onwards(ref, p, st, now, ctx);
 }
 
 void Mp5Simulator::resolve_conservative_guards(Packet& pkt,
-                                               StageId done_stage) {
+                                               StageId done_stage,
+                                               WorkerCtx* ctx) {
   for (std::size_t i = 0; i < pkt.plan.size(); ++i) {
     auto& e = pkt.plan[i];
     if (e.guard != GuardStatus::kConservative || !entry_live(e)) continue;
@@ -781,15 +1131,20 @@ void Mp5Simulator::resolve_conservative_guards(Packet& pkt,
     if (taken) {
       e.guard = GuardStatus::kTaken; // resolved: access will happen
     } else {
-      cancel_entry(pkt, i);
+      cancel_entry(pkt, i, ctx);
     }
   }
 }
 
-void Mp5Simulator::cancel_entry(Packet& pkt, std::size_t entry_idx) {
+void Mp5Simulator::cancel_entry(Packet& pkt, std::size_t entry_idx,
+                                WorkerCtx* ctx) {
   auto& e = pkt.plan[entry_idx];
   e.cancelled = true;
-  state_->note_completed(e.reg, e.index);
+  if (ctx != nullptr) {
+    ctx->completions.emplace_back(e.reg, e.index);
+  } else {
+    state_->note_completed(e.reg, e.index);
+  }
   if (!opts_.phantoms) return;
 
   // Zombie the phantom once every plan entry sharing it is cancelled.
@@ -799,25 +1154,43 @@ void Mp5Simulator::cancel_entry(Packet& pkt, std::size_t entry_idx) {
   }
   const auto& owner_acc = pkt.plan[owner];
   if (owner_acc.phantom_dropped) return;
+  if (ctx != nullptr) {
+    // The phantom may live in another worker's lane (channel structures
+    // and foreign FIFOs are off-limits during the lane phase): stage the
+    // cancellation for the serial merge.
+    ctx->cancels.push_back(WorkerCtx::StagedCancel{
+        pkt.seq, owner_acc.pipeline, owner_acc.stage,
+        opts_.realistic_phantom_channel && !owner_acc.phantom_delivered});
+    return;
+  }
   if (opts_.realistic_phantom_channel && !owner_acc.phantom_delivered) {
     const ChannelKey key{pkt.seq, owner_acc.pipeline, owner_acc.stage};
     // Lost on the channel (injected fault): there is nothing to cancel,
     // just forget the pending orphan detection.
-    if (lost_phantoms_.erase(key) != 0) return;
+    if (lost_phantoms_[owner_acc.pipeline].erase(key) != 0) return;
     // Still on the phantom channel: mark it; it arrives as a zombie.
     auto it = channel_index_.find(key);
     if (it != channel_index_.end()) {
-      it->second->second.cancelled = true;
+      channel_slots_[it->second].cancelled = true;
       return;
     }
     // Already delivered (the packet's flag is stale): fall through.
   }
   emit(TimelineEvent::Kind::kCancel, 0, owner_acc.pipeline, owner_acc.stage,
        pkt.seq);
-  fifos_[owner_acc.pipeline][owner_acc.stage].cancel(pkt.seq);
+  fifo_at(owner_acc.pipeline, owner_acc.stage).cancel(pkt.seq);
 }
 
-void Mp5Simulator::drop_packet(Packet&& pkt, DropCause cause) {
+void Mp5Simulator::drop_packet(PacketRef ref, DropCause cause,
+                               WorkerCtx* ctx) {
+  if (ctx != nullptr) {
+    // Dropping cancels downstream phantoms in arbitrary lanes and mutates
+    // global counters: stage the whole drop for the serial merge. The
+    // packet stays live in the arena until then.
+    ctx->drops.push_back(WorkerCtx::StagedDrop{ref, cause});
+    return;
+  }
+  Packet& pkt = arena_.get(ref);
   switch (cause) {
     case DropCause::kData:
       ++result_.dropped_data;
@@ -849,24 +1222,30 @@ void Mp5Simulator::drop_packet(Packet&& pkt, DropCause cause) {
     auto& e = pkt.plan[i];
     if (!entry_live(e)) continue;
     // Cancel downstream phantoms so they do not block their FIFOs forever.
-    cancel_entry(pkt, i);
+    cancel_entry(pkt, i, nullptr);
   }
   --live_packets_;
+  arena_.release(ref);
 }
 
-void Mp5Simulator::route_onwards(Packet&& pkt, PipelineId p, StageId st,
-                                 Cycle now) {
+void Mp5Simulator::route_onwards(PacketRef ref, PipelineId p, StageId st,
+                                 Cycle now, WorkerCtx* ctx) {
   if (st == num_stages_ - 1) {
-    egress_packet(std::move(pkt), now);
+    egress_packet(ref, now, ctx);
     return;
   }
+  Packet& pkt = arena_.get(ref);
   PipelineId dest = p;
   PlannedAccess* acc = pkt.pending_access();
   if (acc != nullptr && acc->stage == st + 1) {
     dest = acc->pipeline;
     if (dest != p) {
-      ++result_.steers;
-      MP5_TELEM_INC(t_steer_);
+      if (ctx != nullptr) {
+        ++ctx->steers;
+      } else {
+        ++result_.steers;
+        MP5_TELEM_INC(t_steer_);
+      }
       emit(TimelineEvent::Kind::kSteer, now, dest, st + 1, pkt.seq);
     }
   }
@@ -876,13 +1255,28 @@ void Mp5Simulator::route_onwards(Packet&& pkt, PipelineId p, StageId st,
     // impossible — but degrade gracefully rather than corrupting a dead
     // lane's queues if a future change breaks that guarantee.
     emit(TimelineEvent::Kind::kDropFault, now, dest, st + 1, pkt.seq);
-    drop_packet(std::move(pkt), DropCause::kFault);
+    drop_packet(ref, DropCause::kFault, ctx);
     return;
   }
-  arrivals_[dest][st + 1].push_back(Arrived{std::move(pkt), p});
+  if (ctx != nullptr) {
+    // The destination cell may belong to another worker: stage the hop.
+    // The merge replays routes worker-ascending == lane-ascending, the
+    // same order the sequential engine fills arrival cells in.
+    ctx->routed.push_back(WorkerCtx::Routed{ref, dest, static_cast<StageId>(st + 1), p});
+  } else {
+    push_arrival(dest, static_cast<StageId>(st + 1), ref, p);
+  }
 }
 
-void Mp5Simulator::egress_packet(Packet&& pkt, Cycle now) {
+void Mp5Simulator::egress_packet(PacketRef ref, Cycle now, WorkerCtx* ctx) {
+  if (ctx != nullptr) {
+    // Egress mutates global counters, latency histograms and the per-flow
+    // reordering table: replay serially at the barrier (worker-ascending ==
+    // the sequential engine's lane walk order).
+    ctx->egressed.push_back(ref);
+    return;
+  }
+  Packet& pkt = arena_.get(ref);
   emit(TimelineEvent::Kind::kEgress, now, 0, num_stages_ - 1, pkt.seq);
   ++result_.egressed;
   MP5_TELEM_INC(t_egress_);
@@ -918,6 +1312,7 @@ void Mp5Simulator::egress_packet(Packet&& pkt, Cycle now) {
     rec.headers = std::move(pkt.headers);
     result_.egress.push_back(std::move(rec));
   }
+  arena_.release(ref);
 }
 
 } // namespace mp5

@@ -26,15 +26,30 @@
 //      register indexes between pipelines (in-flight guarded) and resets
 //      the access counters.
 //
+// Hot-path engineering (see DESIGN.md "Performance engineering"):
+//   * Packets live in a PacketArena and move between queues as 32-bit
+//     refs; the per-cell arrival buffers are fixed-stride dense slots and
+//     the (pipeline, stage) FIFO grid is one flat vector.
+//   * The realistic phantom channel is a slot pool plus a lazy-deletion
+//     min-heap instead of a multimap.
+//   * When the switch is completely drained (fault-free runs only), the
+//     clock jumps straight to the next event (SimOptions::fast_forward).
+//   * SimOptions::threads > 1 steps lanes on a persistent worker pool
+//     with a per-cycle barrier; all cross-lane effects are staged per
+//     worker (WorkerCtx) and merged deterministically, so results are
+//     bit-identical to the sequential engine.
+//
 // The same class implements the ablations (no-D4, static sharding, naive
 // single-pipeline, ideal) via SimOptions; the recirculation baseline has
 // its own simulator in src/baseline.
 #pragma once
 
+#include <atomic>
 #include <deque>
-#include <map>
 #include <memory>
 #include <optional>
+#include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -47,6 +62,7 @@
 #include "mp5/shard_map.hpp"
 #include "mp5/stage_fifo.hpp"
 #include "mp5/transform.hpp"
+#include "packet/arena.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
 
@@ -55,12 +71,18 @@ namespace mp5 {
 class Mp5Simulator {
 public:
   Mp5Simulator(const Mp5Program& program, const SimOptions& options);
+  ~Mp5Simulator();
+
+  Mp5Simulator(const Mp5Simulator&) = delete;
+  Mp5Simulator& operator=(const Mp5Simulator&) = delete;
 
   /// Run a whole trace to completion (all packets egressed or dropped).
   SimResult run(const Trace& trace);
 
   /// Observable state, for tests.
   const ShardedState& state() const { return *state_; }
+  /// The run's packet pool, for tests (recycling/peak-live statistics).
+  const PacketArena& arena() const { return arena_; }
 
   /// Identity of one phantom in flight: a packet can have at most one
   /// phantom per destination (pipeline, stage) cell, so this triple is
@@ -90,24 +112,134 @@ public:
   };
 
 private:
-  struct Arrived {
-    Packet packet;
+  /// One steered/advanced packet landing in a cell's arrival slots.
+  struct ArrivedRef {
+    PacketRef ref = kNullPacketRef;
     PipelineId from_lane = 0;
   };
 
+  enum class DropCause : std::uint8_t { kData, kStarved, kFault };
+
+  /// Per-worker staging area for the parallel engine. During the lane
+  /// phase a worker may only mutate structures owned by its own lanes
+  /// (their FIFOs, their shard of the register state, its packets'
+  /// fields); every cross-lane effect is recorded here and applied by the
+  /// main thread at the barrier, in worker order — which equals source-
+  /// lane order, reproducing the sequential engine's effect order exactly.
+  struct WorkerCtx {
+    struct Routed {
+      PacketRef ref = kNullPacketRef;
+      PipelineId dest = 0;
+      StageId stage = 0;
+      PipelineId from_lane = 0;
+    };
+    struct StagedDrop {
+      PacketRef ref = kNullPacketRef;
+      DropCause cause = DropCause::kData;
+    };
+    /// Deferred phantom-zombie action from a conservative-guard cancel
+    /// (the cancelled packet itself keeps flowing).
+    struct StagedCancel {
+      SeqNo seq = kInvalidSeqNo;
+      PipelineId pipeline = 0;
+      StageId stage = 0;
+      /// Realistic channel: the phantom may still be in flight (or lost).
+      bool maybe_in_channel = false;
+    };
+    std::vector<Routed> routed;
+    std::vector<PacketRef> egressed;
+    std::vector<StagedDrop> drops;
+    std::vector<std::pair<RegId, RegIndex>> completions;
+    std::vector<StagedCancel> cancels;
+    std::uint64_t blocked = 0;
+    std::uint64_t wasted = 0;
+    std::uint64_t stalled = 0;
+    std::uint64_t steers = 0;
+    /// Persists across cycles; absorbed into the C1 checker at run end.
+    C1Scratch c1;
+
+    void clear_cycle() {
+      routed.clear();
+      egressed.clear();
+      drops.clear();
+      completions.clear();
+      cancels.clear();
+      blocked = wasted = stalled = steers = 0;
+    }
+  };
+
+  // -- cell addressing --
+  std::size_t cell(PipelineId p, StageId st) const {
+    return static_cast<std::size_t>(p) * num_stages_ + st;
+  }
+  StageFifo& fifo_at(PipelineId p, StageId st) { return fifos_[cell(p, st)]; }
+  const StageFifo& fifo_at(PipelineId p, StageId st) const {
+    return fifos_[cell(p, st)];
+  }
+  void push_arrival(PipelineId dest, StageId st, PacketRef ref,
+                    PipelineId from_lane);
+
   void admit(const TraceItem& item, Cycle now);
   void deliver_due_phantoms(Cycle now);
-  void step_cell(PipelineId p, StageId st, Cycle now);
-  void process_packet(Packet pkt, PipelineId p, StageId st, bool from_fifo,
-                      Cycle now);
-  void exec_stage_atoms(Packet& pkt, PipelineId p, StageId st, bool from_fifo);
-  void resolve_conservative_guards(Packet& pkt, StageId done_stage);
-  void cancel_entry(Packet& pkt, std::size_t entry_idx);
-  enum class DropCause : std::uint8_t { kData, kStarved, kFault };
-  void drop_packet(Packet&& pkt, DropCause cause);
-  void route_onwards(Packet&& pkt, PipelineId p, StageId st, Cycle now);
-  void egress_packet(Packet&& pkt, Cycle now);
+  void step_cell(PipelineId p, StageId st, Cycle now, WorkerCtx* ctx);
+  void process_packet(PacketRef ref, PipelineId p, StageId st, bool from_fifo,
+                      Cycle now, WorkerCtx* ctx);
+  void exec_stage_atoms(Packet& pkt, PipelineId p, StageId st, bool from_fifo,
+                        WorkerCtx* ctx);
+  void resolve_conservative_guards(Packet& pkt, StageId done_stage,
+                                   WorkerCtx* ctx);
+  void cancel_entry(Packet& pkt, std::size_t entry_idx, WorkerCtx* ctx);
+  void drop_packet(PacketRef ref, DropCause cause, WorkerCtx* ctx);
+  void route_onwards(PacketRef ref, PipelineId p, StageId st, Cycle now,
+                     WorkerCtx* ctx);
+  void egress_packet(PacketRef ref, Cycle now, WorkerCtx* ctx);
   bool work_remaining() const;
+
+  // -- idle-cycle fast-forward --
+
+  /// True when no packet exists anywhere in the switch (queues, arrival
+  /// slots, FIFOs) — the precondition for jumping the clock.
+  bool fully_drained() const;
+  /// Next cycle at which anything can happen: the next trace arrival, the
+  /// next phantom-channel delivery, and — while the access counters are
+  /// dirty or telemetry observes rebalance runs — the next remap boundary.
+  Cycle next_event_cycle(Cycle now);
+
+  // -- parallel engine --
+
+  void start_workers();
+  void stop_workers();
+  void worker_loop(std::uint32_t w, std::uint64_t seen_phase);
+  void run_worker_lanes(std::uint32_t w, Cycle now);
+  /// Apply every worker's staged effects, in worker (== lane) order.
+  void merge_worker_effects(Cycle now);
+  void apply_staged_cancel(const WorkerCtx::StagedCancel& sc, Cycle now);
+
+  // -- realistic phantom channel (slot pool + lazy-deletion min-heap) --
+
+  struct PendingPhantom {
+    SeqNo seq = kInvalidSeqNo;
+    RegId reg = 0;
+    RegIndex index = kUnresolvedIndex;
+    PipelineId pipeline = 0;
+    StageId stage = 0;
+    PipelineId lane = 0;
+    bool cancelled = false;
+    /// Nonzero while the slot is live; heap entries carry the stamp they
+    /// were pushed with, so a recycled slot invalidates them lazily.
+    std::uint64_t stamp = 0;
+  };
+  struct ChannelDue {
+    Cycle deliver = 0;
+    SeqNo seq = kInvalidSeqNo;
+    std::uint32_t slot = 0;
+    std::uint64_t stamp = 0;
+  };
+  void channel_push(Cycle deliver, const PendingPhantom& rec);
+  void channel_free_slot(std::uint32_t slot);
+  /// Delivery cycle of the earliest live in-flight phantom (drops stale
+  /// heap entries as a side effect).
+  std::optional<Cycle> channel_next_deliver();
 
   // -- fault injection & graceful degradation --
 
@@ -142,31 +274,47 @@ private:
   StageId num_stages_;
   std::uint32_t k_;
 
+  PacketArena arena_;
   std::unique_ptr<ShardedState> state_;
-  std::vector<std::vector<StageFifo>> fifos_;    // [pipeline][stage]
-  std::vector<std::vector<std::vector<Arrived>>> arrivals_; // [pipeline][stage]
-  std::vector<std::deque<Packet>> ingress_;
+  std::vector<StageFifo> fifos_; // flat [pipeline * num_stages + stage]
 
-  /// Realistic phantom channel: phantoms in flight, keyed by delivery
-  /// cycle; each carries its destination FIFO coordinates.
-  struct PendingPhantom {
-    SeqNo seq = kInvalidSeqNo;
-    RegId reg = 0;
-    RegIndex index = kUnresolvedIndex;
-    PipelineId pipeline = 0;
-    StageId stage = 0;
-    PipelineId lane = 0;
-    bool cancelled = false;
-  };
-  std::multimap<Cycle, PendingPhantom> channel_;
-  std::unordered_map<ChannelKey, std::multimap<Cycle, PendingPhantom>::iterator,
-                     ChannelKeyHash>
-      channel_index_; // (seq, pipeline, stage) -> in-flight record
+  /// Dense per-cell arrival buffers: each (pipeline, stage) cell owns a
+  /// fixed stride of k slots (a cell can receive at most one packet from
+  /// each same-stage predecessor cell per cycle, and stage 0 receives at
+  /// most one ingress packet).
+  std::vector<ArrivedRef> arrival_slots_; // [cell * k + i]
+  std::vector<std::uint32_t> arrival_count_; // per cell
+
+  std::vector<std::deque<PacketRef>> ingress_;
+
+  std::vector<PendingPhantom> channel_slots_;
+  std::vector<std::uint32_t> channel_free_;
+  std::vector<ChannelDue> channel_heap_; // min-heap by (deliver, seq)
+  std::unordered_map<ChannelKey, std::uint32_t, ChannelKeyHash>
+      channel_index_; // (seq, pipeline, stage) -> live slot
+  std::uint64_t channel_next_stamp_ = 1;
+  std::size_t channel_live_ = 0;
+  std::vector<PendingPhantom> due_scratch_; // reused by deliver_due_phantoms
 
   const Trace* trace_ = nullptr;
   std::size_t cursor_ = 0;
   SeqNo next_seq_ = 0;
   std::uint64_t live_packets_ = 0;
+  /// Access counters have been bumped since the last rebalance: a remap
+  /// boundary crossed now could move shards, so fast-forward must not
+  /// skip it. Cleared after every rebalance (which resets the counters).
+  bool counters_dirty_ = false;
+
+  // -- parallel engine state --
+  std::uint32_t workers_ = 1; // min(opts_.threads, k_), fixed per run
+  std::vector<WorkerCtx> worker_ctx_;
+  std::vector<std::pair<PipelineId, PipelineId>> lane_range_; // [lo, hi) per worker
+  std::vector<std::thread> pool_;
+  std::vector<std::exception_ptr> worker_error_;
+  std::atomic<std::uint64_t> phase_{0}; // generation counter; odd = work
+  std::atomic<std::uint32_t> pending_{0};
+  std::atomic<bool> stop_{false};
+  Cycle shared_now_ = 0;
 
   // -- fault state --
   FaultSchedule fault_sched_;
@@ -176,8 +324,9 @@ private:
   std::size_t current_pressure_ = 0;
   /// Phantoms lost on the channel: their data packets are orphans and must
   /// be dropped as faults (not as regular data drops) when they reach the
-  /// stateful stage. Erased on detection or cancellation.
-  std::unordered_set<ChannelKey, ChannelKeyHash> lost_phantoms_;
+  /// stateful stage. Erased on detection or cancellation. Partitioned by
+  /// destination lane so a parallel worker only touches its own set.
+  std::vector<std::unordered_set<ChannelKey, ChannelKeyHash>> lost_phantoms_;
   /// Most recent lane-failure cycle with no egress since; kInvalidSeqNo-like
   /// sentinel via awaiting flag. Feeds SimResult::time_to_recover.
   Cycle fail_marker_ = 0;

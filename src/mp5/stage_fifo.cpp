@@ -79,10 +79,9 @@ bool StageFifo::push_phantom(SeqNo seq, RegId reg, RegIndex index,
   return true;
 }
 
-bool StageFifo::insert_data(Packet pkt) {
-  auto it = directory_.find(pkt.seq);
+bool StageFifo::insert_data(SeqNo seq, PacketRef ref) {
+  auto it = directory_.find(seq);
   if (it == directory_.end()) return false;
-  const SeqNo seq = pkt.seq;
   if (ideal_) {
     const IndexKey key = seq_key_.at(seq);
     auto& queue = queues_.at(key);
@@ -91,7 +90,7 @@ bool StageFifo::insert_data(Packet pkt) {
       throw Error("StageFifo::insert_data: entry is not a phantom");
     }
     entry->kind = FifoEntry::Kind::kData;
-    entry->packet = std::move(pkt);
+    entry->ref = ref;
     if (&queue.front() == entry) eligible_[seq] = key;
   } else {
     auto& entry = lanes_[it->second.lane].at(it->second.vidx);
@@ -99,7 +98,7 @@ bool StageFifo::insert_data(Packet pkt) {
       throw Error("StageFifo::insert_data: entry is not a phantom");
     }
     entry.kind = FifoEntry::Kind::kData;
-    entry.packet = std::move(pkt);
+    entry.ref = ref;
   }
   directory_.erase(it);
   MP5_TELEM_INC(t_insert_);
@@ -180,13 +179,13 @@ StageFifo::PopResult StageFifo::pop() {
   return result;
 }
 
-std::vector<Packet> StageFifo::drain_all() {
-  std::vector<Packet> data;
+std::vector<PacketRef> StageFifo::drain_all() {
+  std::vector<PacketRef> data;
   if (ideal_) {
     for (auto& [key, queue] : queues_) {
       for (auto& entry : queue) {
         if (entry.kind == FifoEntry::Kind::kData) {
-          data.push_back(std::move(entry.packet));
+          data.push_back(entry.ref);
         }
       }
     }
@@ -197,7 +196,7 @@ std::vector<Packet> StageFifo::drain_all() {
     for (auto& lane : lanes_) {
       while (!lane.empty()) {
         if (lane.front().kind == FifoEntry::Kind::kData) {
-          data.push_back(std::move(lane.front().packet));
+          data.push_back(lane.front().ref);
         }
         lane.pop_front();
       }
@@ -208,15 +207,15 @@ std::vector<Packet> StageFifo::drain_all() {
   return data;
 }
 
-std::vector<Packet> StageFifo::extract_data_if(
-    const std::function<bool(const Packet&)>& pred) {
-  std::vector<Packet> out;
+std::vector<PacketRef> StageFifo::extract_data_if(
+    const std::function<bool(PacketRef)>& pred) {
+  std::vector<PacketRef> out;
   if (ideal_) {
     for (auto& [key, queue] : queues_) {
       for (auto& entry : queue) {
-        if (entry.kind == FifoEntry::Kind::kData && pred(entry.packet)) {
-          out.push_back(std::move(entry.packet));
-          entry.packet = Packet{};
+        if (entry.kind == FifoEntry::Kind::kData && pred(entry.ref)) {
+          out.push_back(entry.ref);
+          entry.ref = kNullPacketRef;
           entry.kind = FifoEntry::Kind::kCancelled;
           eligible_.erase(entry.seq);
         }
@@ -235,9 +234,9 @@ std::vector<Packet> StageFifo::extract_data_if(
       if (lane.empty()) continue;
       for (std::uint64_t v = lane.front_vidx(); lane.contains(v); ++v) {
         auto& entry = lane.at(v);
-        if (entry.kind == FifoEntry::Kind::kData && pred(entry.packet)) {
-          out.push_back(std::move(entry.packet));
-          entry.packet = Packet{};
+        if (entry.kind == FifoEntry::Kind::kData && pred(entry.ref)) {
+          out.push_back(entry.ref);
+          entry.ref = kNullPacketRef;
           entry.kind = FifoEntry::Kind::kCancelled;
         }
       }
@@ -383,7 +382,7 @@ StageFifo::PopResult StageFifo::pop_lanes() {
       return result;
     case FifoEntry::Kind::kData:
       result.kind = PopResult::Kind::kData;
-      result.packet = std::move(head.packet);
+      result.ref = head.ref;
       best->pop_front();
       --live_entries_;
       return result;
@@ -408,7 +407,7 @@ StageFifo::PopResult StageFifo::pop_ideal() {
     throw Error("StageFifo::pop_ideal: eligible set out of sync");
   }
   result.kind = PopResult::Kind::kData;
-  result.packet = std::move(queue.front().packet);
+  result.ref = queue.front().ref;
   seq_key_.erase(seq);
   queue.pop_front();
   --live_entries_;

@@ -61,10 +61,11 @@ public:
 
   bool has_phantom(SeqNo seq) const { return directory_.count(seq) != 0; }
 
-  /// Replace the packet's phantom with the packet itself. Returns false if
-  /// the phantom is absent (it was dropped at push time) — the caller must
+  /// Replace the packet's phantom with the packet itself (by arena ref;
+  /// the FIFO never dereferences packet contents). Returns false if the
+  /// phantom is absent (it was dropped at push time) — the caller must
   /// drop the data packet (§3.4 "handling packet drops").
-  bool insert_data(Packet pkt);
+  bool insert_data(SeqNo seq, PacketRef ref);
 
   /// Cancel the phantom of a conservative access whose guard evaluated
   /// false (§3.3). No-op if the phantom was dropped.
@@ -75,10 +76,10 @@ public:
       kIdle,    // FIFO empty: nothing to do
       kBlocked, // head is a phantom: wait for its data packet
       kWasted,  // head was a cancelled phantom: slot consumed reclaiming it
-      kData,    // a data packet was dequeued into `packet`
+      kData,    // a data packet was dequeued into `ref`
     };
     Kind kind = Kind::kIdle;
-    Packet packet;
+    PacketRef ref = kNullPacketRef;
   };
 
   PopResult pop();
@@ -103,14 +104,14 @@ public:
   /// Empty the FIFO completely (lane death): every queued data packet is
   /// returned to the caller for drop accounting; phantoms and cancelled
   /// entries die with the lane.
-  std::vector<Packet> drain_all();
+  std::vector<PacketRef> drain_all();
 
   /// Remove every queued data packet matching `pred`, converting its slot
   /// to a cancelled entry (reclaimed by the normal wasted-pop path, so
   /// FIFO addressing stays intact). Used to purge packets doomed by a
-  /// remote lane failure. Returns the extracted packets.
-  std::vector<Packet> extract_data_if(
-      const std::function<bool(const Packet&)>& pred);
+  /// remote lane failure. Returns the extracted packet refs.
+  std::vector<PacketRef> extract_data_if(
+      const std::function<bool(PacketRef)>& pred);
 
   /// Visit every queued entry (any kind), in no particular order.
   void for_each_entry(const std::function<void(const FifoEntry&)>& fn) const;

@@ -22,6 +22,14 @@ inline constexpr RegIndex kUnresolvedIndex =
 inline constexpr std::uint32_t kNoStage =
     std::numeric_limits<std::uint32_t>::max();
 
+/// Index of a packet slot in a PacketArena (see packet/arena.hpp). The
+/// simulator's queues and FIFO entries address packets by ref instead of
+/// holding them by value, so moving a packet between structures copies
+/// four bytes instead of two heap-backed vectors.
+using PacketRef = std::uint32_t;
+inline constexpr PacketRef kNullPacketRef =
+    std::numeric_limits<PacketRef>::max();
+
 /// How certain the address-resolution stage is that a planned state access
 /// will actually happen.
 enum class GuardStatus : std::uint8_t {
@@ -108,11 +116,28 @@ struct Packet {
     }
     return next_access < plan.size() ? &plan[next_access] : nullptr;
   }
+
+  /// Reset every logical field to its default while keeping the capacity
+  /// of `headers` and `plan` — the whole point of arena recycling is that
+  /// a recycled packet re-fills those vectors without reallocating.
+  void reset_for_reuse() {
+    seq = kInvalidSeqNo;
+    arrival_cycle = 0;
+    port = 0;
+    size_bytes = 64;
+    flow = 0;
+    ecn_marked = false;
+    headers.clear();
+    plan.clear();
+    next_access = 0;
+  }
 };
 
 /// Entry in a per-stage FIFO: either a phantom placeholder, the data packet
 /// that replaced its phantom (via the FIFO `insert` operation), or a
-/// cancelled phantom awaiting its wasted pop cycle.
+/// cancelled phantom awaiting its wasted pop cycle. Entries address their
+/// data packet through the run's PacketArena, keeping the FIFO rings dense
+/// (a 32-byte POD per entry instead of an embedded Packet).
 struct FifoEntry {
   enum class Kind : std::uint8_t { kEmpty, kPhantom, kData, kCancelled };
   Kind kind = Kind::kEmpty;
@@ -124,7 +149,7 @@ struct FifoEntry {
   RegId reg = 0;
   RegIndex index = kUnresolvedIndex;
   /// Valid when kind == kData.
-  Packet packet;
+  PacketRef ref = kNullPacketRef;
 };
 
 /// Record of a packet leaving the pipeline, used for functional-equivalence

@@ -1,0 +1,347 @@
+// Tests for the hot-path engine work: the packet arena, idle-cycle
+// fast-forward, and the opt-in parallel per-lane engine.
+//
+// The contract under test is strict bit-identity: for every seed, design
+// variant and fault plan, the parallel engine (any thread count) and the
+// fast-forward optimization must produce a SimResult indistinguishable
+// field-by-field from the classic sequential cycle-by-cycle walk.
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "baseline/presets.hpp"
+#include "packet/arena.hpp"
+#include "telemetry/telemetry.hpp"
+#include "test_util.hpp"
+#include "trace/workloads.hpp"
+
+namespace mp5::test {
+namespace {
+
+// Field-by-field SimResult comparison with per-field failure messages.
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.egressed, b.egressed);
+  EXPECT_EQ(a.dropped_phantom, b.dropped_phantom);
+  EXPECT_EQ(a.dropped_data, b.dropped_data);
+  EXPECT_EQ(a.dropped_starved, b.dropped_starved);
+  EXPECT_EQ(a.dropped_fault, b.dropped_fault);
+  EXPECT_EQ(a.ecn_marked, b.ecn_marked);
+  EXPECT_EQ(a.first_arrival, b.first_arrival);
+  EXPECT_EQ(a.last_arrival, b.last_arrival);
+  EXPECT_EQ(a.last_egress, b.last_egress);
+  EXPECT_EQ(a.cycles_run, b.cycles_run);
+  EXPECT_EQ(a.steers, b.steers);
+  EXPECT_EQ(a.wasted_cycles, b.wasted_cycles);
+  EXPECT_EQ(a.blocked_cycles, b.blocked_cycles);
+  EXPECT_EQ(a.remap_moves, b.remap_moves);
+  EXPECT_EQ(a.max_queue_depth, b.max_queue_depth);
+  EXPECT_EQ(a.pipeline_failures, b.pipeline_failures);
+  EXPECT_EQ(a.pipeline_recoveries, b.pipeline_recoveries);
+  EXPECT_EQ(a.fault_remapped_indices, b.fault_remapped_indices);
+  EXPECT_EQ(a.phantom_lost, b.phantom_lost);
+  EXPECT_EQ(a.phantom_delayed, b.phantom_delayed);
+  EXPECT_EQ(a.stalled_cycles, b.stalled_cycles);
+  EXPECT_EQ(a.time_to_recover, b.time_to_recover);
+  EXPECT_EQ(a.c1_violating_packets, b.c1_violating_packets);
+  EXPECT_EQ(a.reordered_flow_packets, b.reordered_flow_packets);
+  EXPECT_EQ(a.final_registers, b.final_registers);
+  ASSERT_EQ(a.fault_drops.size(), b.fault_drops.size());
+  for (std::size_t i = 0; i < a.fault_drops.size(); ++i) {
+    EXPECT_EQ(a.fault_drops[i].seq, b.fault_drops[i].seq);
+    EXPECT_EQ(a.fault_drops[i].state_touched, b.fault_drops[i].state_touched);
+  }
+  ASSERT_EQ(a.egress.size(), b.egress.size());
+  for (std::size_t i = 0; i < a.egress.size(); ++i) {
+    EXPECT_EQ(a.egress[i].seq, b.egress[i].seq);
+    EXPECT_EQ(a.egress[i].egress_cycle, b.egress[i].egress_cycle);
+    EXPECT_EQ(a.egress[i].flow, b.egress[i].flow);
+    EXPECT_EQ(a.egress[i].headers, b.egress[i].headers);
+  }
+}
+
+SimResult run_with(const Mp5Program& prog, const Trace& trace,
+                   SimOptions opts) {
+  opts.record_egress = true;
+  opts.track_flow_reordering = true;
+  Mp5Simulator sim(prog, opts);
+  return sim.run(trace);
+}
+
+struct Variant {
+  const char* name;
+  SimOptions (*make)(std::uint32_t, std::uint64_t);
+};
+
+const Variant kVariants[] = {
+    {"mp5", mp5_options},       {"no_d2", no_d2_options},
+    {"no_d4", no_d4_options},   {"ideal", ideal_options},
+};
+
+// --- parallel engine: bit-identity with the sequential engine ------------
+
+TEST(ParallelEngine, MatchesSequentialAcrossSeedsKsAndVariants) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  for (const std::uint32_t k : {2u, 4u, 8u}) {
+    SyntheticConfig config;
+    config.stateful_stages = 4;
+    config.reg_size = 256;
+    config.pipelines = k;
+    config.packets = 2000;
+    for (const std::uint64_t seed : {1ull, 7ull}) {
+      config.seed = seed;
+      const auto trace = make_synthetic_trace(config);
+      for (const auto& variant : kVariants) {
+        SCOPED_TRACE(std::string(variant.name) + " k=" + std::to_string(k) +
+                     " seed=" + std::to_string(seed));
+        auto opts = variant.make(k, seed);
+        const auto sequential = run_with(prog, trace, opts);
+        for (const std::uint32_t threads : {2u, 4u}) {
+          opts.threads = threads;
+          SCOPED_TRACE("threads=" + std::to_string(threads));
+          expect_identical(sequential, run_with(prog, trace, opts));
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelEngine, MatchesSequentialUnderLaneFailureAndRecovery) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 8;
+  config.packets = 3000;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(8, 1);
+  opts.faults.pipeline_faults.push_back(PipelineFault{2, 150, 600});
+  opts.faults.pipeline_faults.push_back(PipelineFault{5, 300, kNeverRecovers});
+  const auto sequential = run_with(prog, trace, opts);
+  EXPECT_GT(sequential.dropped_fault, 0u); // the plan actually bites
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    opts.threads = threads;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(sequential, run_with(prog, trace, opts));
+  }
+}
+
+TEST(ParallelEngine, MatchesSequentialUnderPhantomChannelFaults) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 4;
+  config.packets = 3000;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(4, 3);
+  opts.realistic_phantom_channel = true;
+  opts.faults.phantom_loss_rate = 0.02;
+  opts.faults.phantom_delay_rate = 0.05;
+  opts.faults.phantom_extra_delay = 12;
+  const auto sequential = run_with(prog, trace, opts);
+  EXPECT_GT(sequential.phantom_lost + sequential.phantom_delayed, 0u);
+  for (const std::uint32_t threads : {2u, 4u}) {
+    opts.threads = threads;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(sequential, run_with(prog, trace, opts));
+  }
+}
+
+TEST(ParallelEngine, MatchesSequentialUnderStallsAndPressure) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 4;
+  config.packets = 3000;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(4, 5);
+  opts.faults.stalls.push_back(StageStall{1, 2, 100, 180});
+  opts.faults.stalls.push_back(StageStall{3, 1, 400, 450});
+  opts.faults.fifo_pressure.push_back(FifoPressure{200, 260, 1});
+  const auto sequential = run_with(prog, trace, opts);
+  EXPECT_GT(sequential.stalled_cycles, 0u);
+  for (const std::uint32_t threads : {2u, 4u}) {
+    opts.threads = threads;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical(sequential, run_with(prog, trace, opts));
+  }
+}
+
+TEST(ParallelEngine, ThreadCountAboveKIsClamped) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(2, 64));
+  SyntheticConfig config;
+  config.stateful_stages = 2;
+  config.reg_size = 64;
+  config.pipelines = 2;
+  config.packets = 500;
+  const auto trace = make_synthetic_trace(config);
+  auto opts = mp5_options(2, 1);
+  const auto sequential = run_with(prog, trace, opts);
+  opts.threads = 16; // clamps to k = 2
+  expect_identical(sequential, run_with(prog, trace, opts));
+}
+
+TEST(ParallelEngine, RejectsTelemetryAndZeroThreads) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(1, 8));
+  auto opts = mp5_options(2, 1);
+  opts.threads = 0;
+  EXPECT_THROW(Mp5Simulator(prog, opts), ConfigError);
+
+  opts.threads = 2;
+  telemetry::Telemetry telem;
+  opts.telemetry = &telem;
+  EXPECT_THROW(Mp5Simulator(prog, opts), ConfigError);
+
+  opts.telemetry = nullptr;
+  opts.timeline = [](const TimelineEvent&) {};
+  EXPECT_THROW(Mp5Simulator(prog, opts), ConfigError);
+}
+
+// --- idle-cycle fast-forward ---------------------------------------------
+
+TEST(FastForward, IdenticalResultsOnSparseTrace) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(3, 128));
+  SyntheticConfig config;
+  config.stateful_stages = 3;
+  config.reg_size = 128;
+  config.pipelines = 4;
+  config.packets = 400;
+  config.load = 0.01; // ~100 idle cycles between packets
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(4, 1);
+  opts.fast_forward = false;
+  const auto slow = run_with(prog, trace, opts);
+  opts.fast_forward = true;
+  const auto fast = run_with(prog, trace, opts);
+  expect_identical(slow, fast);
+  EXPECT_GT(slow.cycles_run, 5000u); // the sparse trace really is sparse
+}
+
+TEST(FastForward, IdenticalUnderRealisticChannelAndRemap) {
+  // Phantom-channel deliveries and remap boundaries are wake-up events the
+  // fast-forward must not jump over.
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 4;
+  config.packets = 300;
+  config.load = 0.02;
+  const auto trace = make_synthetic_trace(config);
+
+  for (const auto& variant : kVariants) {
+    SCOPED_TRACE(variant.name);
+    auto opts = variant.make(4, 2);
+    opts.realistic_phantom_channel = opts.phantoms;
+    opts.fast_forward = false;
+    const auto slow = run_with(prog, trace, opts);
+    opts.fast_forward = true;
+    expect_identical(slow, run_with(prog, trace, opts));
+  }
+}
+
+TEST(FastForward, ComposesWithParallelEngine) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 8;
+  config.packets = 500;
+  config.load = 0.05;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(8, 9);
+  opts.fast_forward = false;
+  const auto slow = run_with(prog, trace, opts);
+  opts.fast_forward = true;
+  opts.threads = 4;
+  expect_identical(slow, run_with(prog, trace, opts));
+}
+
+// --- packet arena --------------------------------------------------------
+
+TEST(PacketArena, RecyclesSlotsWithoutStaleFields) {
+  PacketArena arena;
+  const PacketRef a = arena.alloc();
+  {
+    Packet& pkt = arena.get(a);
+    pkt.seq = 41;
+    pkt.arrival_cycle = 100;
+    pkt.port = 7;
+    pkt.size_bytes = 1500;
+    pkt.flow = 12345;
+    pkt.ecn_marked = true;
+    pkt.headers = {1, 2, 3};
+    pkt.plan.resize(2);
+    pkt.next_access = 1;
+  }
+  arena.release(a);
+  EXPECT_EQ(arena.live_count(), 0u);
+
+  const PacketRef b = arena.alloc();
+  EXPECT_EQ(b, a); // freelist reuse, not growth
+  const Packet& pkt = arena.get(b);
+  EXPECT_EQ(pkt.seq, kInvalidSeqNo);
+  EXPECT_EQ(pkt.arrival_cycle, 0u);
+  EXPECT_EQ(pkt.port, 0u);
+  EXPECT_EQ(pkt.size_bytes, 64u);
+  EXPECT_EQ(pkt.flow, 0u);
+  EXPECT_FALSE(pkt.ecn_marked);
+  EXPECT_TRUE(pkt.headers.empty());
+  EXPECT_TRUE(pkt.plan.empty());
+  EXPECT_EQ(pkt.next_access, 0u);
+  EXPECT_EQ(arena.slot_count(), 1u);
+  EXPECT_EQ(arena.recycled_allocs(), 1u);
+}
+
+TEST(PacketArena, ReleaseOfDeadSlotThrows) {
+  PacketArena arena;
+  const PacketRef a = arena.alloc();
+  arena.release(a);
+  EXPECT_THROW(arena.release(a), Error);
+  EXPECT_FALSE(arena.live(a));
+}
+
+TEST(PacketArena, TracksPeakLive) {
+  PacketArena arena;
+  arena.reserve(8);
+  std::vector<PacketRef> refs;
+  for (int i = 0; i < 5; ++i) refs.push_back(arena.alloc());
+  for (const auto r : refs) arena.release(r);
+  for (int i = 0; i < 3; ++i) arena.alloc();
+  EXPECT_EQ(arena.peak_live(), 5u);
+  EXPECT_EQ(arena.live_count(), 3u);
+  EXPECT_EQ(arena.total_allocs(), 8u);
+  EXPECT_EQ(arena.recycled_allocs(), 3u);
+  EXPECT_EQ(arena.slot_count(), 5u);
+}
+
+// The simulator's arena must end every run empty: each admitted packet is
+// eventually egressed or dropped, and both paths release the slot.
+TEST(PacketArena, SimulatorDrainsArenaAndRecycles) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 4;
+  config.packets = 2000;
+  const auto trace = make_synthetic_trace(config);
+  Mp5Simulator sim(prog, mp5_options(4, 1));
+  const auto result = sim.run(trace);
+  EXPECT_EQ(result.egressed + result.dropped_data + result.dropped_starved +
+                result.dropped_fault,
+            result.offered);
+  EXPECT_EQ(sim.arena().live_count(), 0u);
+  // The pool stabilizes at the peak number of in-flight packets, far below
+  // one slot per trace packet.
+  EXPECT_LT(sim.arena().slot_count(), trace.size() / 2);
+  EXPECT_GT(sim.arena().recycled_allocs(), 0u);
+}
+
+} // namespace
+} // namespace mp5::test

@@ -133,9 +133,7 @@ TEST(StageFifoFuzz, MatchesSortedModel) {
           const SeqNo seq = live_phantoms[pick];
           live_phantoms.erase(live_phantoms.begin() +
                               static_cast<std::ptrdiff_t>(pick));
-          Packet pkt;
-          pkt.seq = seq;
-          ASSERT_TRUE(fifo.insert_data(std::move(pkt)));
+          ASSERT_TRUE(fifo.insert_data(seq, static_cast<PacketRef>(seq)));
           model.find(seq)->state = 1;
           break;
         }
@@ -169,7 +167,7 @@ TEST(StageFifoFuzz, MatchesSortedModel) {
             best->pop_front();
           } else {
             ASSERT_EQ(result.kind, Kind::kData);
-            ASSERT_EQ(result.packet.seq, best->front().seq);
+            ASSERT_EQ(result.ref, static_cast<PacketRef>(best->front().seq));
             best->pop_front();
           }
           break;

@@ -19,11 +19,8 @@ namespace {
 
 using Kind = StageFifo::PopResult::Kind;
 
-Packet make_packet(SeqNo seq) {
-  Packet p;
-  p.seq = seq;
-  return p;
-}
+// The FIFO stores opaque arena references; these tests use `ref == seq`.
+PacketRef ref_for(SeqNo seq) { return static_cast<PacketRef>(seq); }
 
 // --- SimOptions validation at construction ------------------------------
 
@@ -171,19 +168,19 @@ TEST(StageFifoFaults, DrainAllReturnsDataAndEmptiesEverything) {
   ASSERT_TRUE(fifo.push_phantom(0, 0, 0, 0));
   ASSERT_TRUE(fifo.push_phantom(1, 0, 1, 1));
   ASSERT_TRUE(fifo.push_phantom(2, 0, 2, 0));
-  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
+  ASSERT_TRUE(fifo.insert_data(1, ref_for(1)));
   fifo.cancel(2);
 
   const auto data = fifo.drain_all();
   ASSERT_EQ(data.size(), 1u); // phantoms and zombies die silently
-  EXPECT_EQ(data[0].seq, 1u);
+  EXPECT_EQ(data[0], ref_for(1));
   EXPECT_EQ(fifo.size(), 0u);
   EXPECT_FALSE(fifo.has_phantom(0));
   EXPECT_EQ(fifo.pop().kind, Kind::kIdle);
   // The FIFO is reusable after a drain.
   ASSERT_TRUE(fifo.push_phantom(7, 0, 0, 0));
-  ASSERT_TRUE(fifo.insert_data(make_packet(7)));
-  EXPECT_EQ(fifo.pop().packet.seq, 7u);
+  ASSERT_TRUE(fifo.insert_data(7, ref_for(7)));
+  EXPECT_EQ(fifo.pop().ref, ref_for(7));
 }
 
 TEST(StageFifoFaults, ExtractDataIfLeavesReclaimableZombies) {
@@ -191,19 +188,19 @@ TEST(StageFifoFaults, ExtractDataIfLeavesReclaimableZombies) {
   ASSERT_TRUE(fifo.push_phantom(0, 0, 0, 0));
   ASSERT_TRUE(fifo.push_phantom(1, 0, 0, 0));
   ASSERT_TRUE(fifo.push_phantom(2, 0, 0, 0));
-  ASSERT_TRUE(fifo.insert_data(make_packet(0)));
-  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
-  ASSERT_TRUE(fifo.insert_data(make_packet(2)));
+  ASSERT_TRUE(fifo.insert_data(0, ref_for(0)));
+  ASSERT_TRUE(fifo.insert_data(1, ref_for(1)));
+  ASSERT_TRUE(fifo.insert_data(2, ref_for(2)));
 
   const auto extracted =
-      fifo.extract_data_if([](const Packet& p) { return p.seq == 1; });
+      fifo.extract_data_if([](PacketRef r) { return r == ref_for(1); });
   ASSERT_EQ(extracted.size(), 1u);
-  EXPECT_EQ(extracted[0].seq, 1u);
+  EXPECT_EQ(extracted[0], ref_for(1));
   // FIFO addressing stays intact: seq 0 pops, the extracted slot costs
   // one wasted pop, then seq 2 pops.
-  EXPECT_EQ(fifo.pop().packet.seq, 0u);
+  EXPECT_EQ(fifo.pop().ref, ref_for(0));
   EXPECT_EQ(fifo.pop().kind, Kind::kWasted);
-  EXPECT_EQ(fifo.pop().packet.seq, 2u);
+  EXPECT_EQ(fifo.pop().ref, ref_for(2));
 }
 
 TEST(StageFifoFaults, PressureClampForcesPushFailures) {
@@ -223,20 +220,20 @@ TEST(StageFifoFaults, IdealModeSupportsDrainExtractAndPressure) {
   EXPECT_FALSE(fifo.push_phantom(1, 0, 5, 0)); // same index: clamped
   ASSERT_TRUE(fifo.push_phantom(2, 0, 6, 0));  // other index: own queue
   fifo.set_pressure_capacity(0);
-  ASSERT_TRUE(fifo.insert_data(make_packet(0)));
-  ASSERT_TRUE(fifo.insert_data(make_packet(2)));
+  ASSERT_TRUE(fifo.insert_data(0, ref_for(0)));
+  ASSERT_TRUE(fifo.insert_data(2, ref_for(2)));
 
   const auto extracted =
-      fifo.extract_data_if([](const Packet& p) { return p.seq == 0; });
+      fifo.extract_data_if([](PacketRef r) { return r == ref_for(0); });
   ASSERT_EQ(extracted.size(), 1u);
-  EXPECT_EQ(fifo.pop().packet.seq, 2u);
+  EXPECT_EQ(fifo.pop().ref, ref_for(2));
   EXPECT_EQ(fifo.pop().kind, Kind::kIdle);
 
   ASSERT_TRUE(fifo.push_phantom(5, 0, 7, 0));
-  ASSERT_TRUE(fifo.insert_data(make_packet(5)));
+  ASSERT_TRUE(fifo.insert_data(5, ref_for(5)));
   const auto data = fifo.drain_all();
   ASSERT_EQ(data.size(), 1u);
-  EXPECT_EQ(data[0].seq, 5u);
+  EXPECT_EQ(data[0], ref_for(5));
   EXPECT_EQ(fifo.size(), 0u);
 }
 
@@ -244,13 +241,13 @@ TEST(StageFifoFaults, CheckInvariantsPassesOnHealthyFifo) {
   StageFifo fifo(2, 0, /*ideal=*/false);
   ASSERT_TRUE(fifo.push_phantom(0, 0, 0, 0));
   ASSERT_TRUE(fifo.push_phantom(1, 0, 1, 1));
-  ASSERT_TRUE(fifo.insert_data(make_packet(0)));
+  ASSERT_TRUE(fifo.insert_data(0, ref_for(0)));
   EXPECT_NO_THROW(fifo.check_invariants(/*now=*/10));
 
   StageFifo ideal(2, 0, /*ideal=*/true);
   ASSERT_TRUE(ideal.push_phantom(0, 0, 3, 0));
   ASSERT_TRUE(ideal.push_phantom(1, 0, 3, 0));
-  ASSERT_TRUE(ideal.insert_data(make_packet(0)));
+  ASSERT_TRUE(ideal.insert_data(0, ref_for(0)));
   EXPECT_NO_THROW(ideal.check_invariants(/*now=*/10));
 }
 

@@ -5,11 +5,9 @@
 namespace mp5 {
 namespace {
 
-Packet make_packet(SeqNo seq) {
-  Packet p;
-  p.seq = seq;
-  return p;
-}
+// The FIFO stores opaque arena references; the tests don't need a real
+// arena, so they use `ref == seq` and check the ref round-trips.
+PacketRef ref_for(SeqNo seq) { return static_cast<PacketRef>(seq); }
 
 using Kind = StageFifo::PopResult::Kind;
 
@@ -17,10 +15,10 @@ TEST(StageFifo, PhantomBlocksUntilDataInserted) {
   StageFifo fifo(2, 0, false);
   ASSERT_TRUE(fifo.push_phantom(0, 0, 5, 0));
   EXPECT_EQ(fifo.pop().kind, Kind::kBlocked);
-  ASSERT_TRUE(fifo.insert_data(make_packet(0)));
+  ASSERT_TRUE(fifo.insert_data(0, ref_for(0)));
   const auto r = fifo.pop();
   ASSERT_EQ(r.kind, Kind::kData);
-  EXPECT_EQ(r.packet.seq, 0u);
+  EXPECT_EQ(r.ref, ref_for(0));
   EXPECT_EQ(fifo.pop().kind, Kind::kIdle);
 }
 
@@ -28,12 +26,12 @@ TEST(StageFifo, PopPicksSmallestTimestampAcrossLanes) {
   StageFifo fifo(2, 0, false);
   ASSERT_TRUE(fifo.push_phantom(3, 0, 0, 1));
   ASSERT_TRUE(fifo.push_phantom(5, 0, 1, 0));
-  ASSERT_TRUE(fifo.insert_data(make_packet(5)));
+  ASSERT_TRUE(fifo.insert_data(5, ref_for(5)));
   // Lane 0's head (seq 5, data) must wait for lane 1's head (seq 3).
   EXPECT_EQ(fifo.pop().kind, Kind::kBlocked);
-  ASSERT_TRUE(fifo.insert_data(make_packet(3)));
-  EXPECT_EQ(fifo.pop().packet.seq, 3u);
-  EXPECT_EQ(fifo.pop().packet.seq, 5u);
+  ASSERT_TRUE(fifo.insert_data(3, ref_for(3)));
+  EXPECT_EQ(fifo.pop().ref, ref_for(3));
+  EXPECT_EQ(fifo.pop().ref, ref_for(5));
 }
 
 TEST(StageFifo, LaterDataBlockedBehindEarlierPhantom) {
@@ -42,11 +40,11 @@ TEST(StageFifo, LaterDataBlockedBehindEarlierPhantom) {
   StageFifo fifo(1, 0, false);
   ASSERT_TRUE(fifo.push_phantom(3, 0, 2, 0)); // D
   ASSERT_TRUE(fifo.push_phantom(4, 0, 2, 0)); // E
-  ASSERT_TRUE(fifo.insert_data(make_packet(4)));
+  ASSERT_TRUE(fifo.insert_data(4, ref_for(4)));
   EXPECT_EQ(fifo.pop().kind, Kind::kBlocked);
-  ASSERT_TRUE(fifo.insert_data(make_packet(3)));
-  EXPECT_EQ(fifo.pop().packet.seq, 3u);
-  EXPECT_EQ(fifo.pop().packet.seq, 4u);
+  ASSERT_TRUE(fifo.insert_data(3, ref_for(3)));
+  EXPECT_EQ(fifo.pop().ref, ref_for(3));
+  EXPECT_EQ(fifo.pop().ref, ref_for(4));
 }
 
 TEST(StageFifo, BoundedLaneDropsPhantom) {
@@ -56,17 +54,17 @@ TEST(StageFifo, BoundedLaneDropsPhantom) {
   EXPECT_FALSE(fifo.push_phantom(2, 0, 0, 0)); // lane full
   EXPECT_FALSE(fifo.has_phantom(2));
   // The data packet for the dropped phantom cannot be inserted.
-  EXPECT_FALSE(fifo.insert_data(make_packet(2)));
+  EXPECT_FALSE(fifo.insert_data(2, ref_for(2)));
 }
 
 TEST(StageFifo, CancelledPhantomCostsOneWastedPop) {
   StageFifo fifo(1, 0, false);
   ASSERT_TRUE(fifo.push_phantom(0, 0, 0, 0));
   ASSERT_TRUE(fifo.push_phantom(1, 0, 0, 0));
-  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
+  ASSERT_TRUE(fifo.insert_data(1, ref_for(1)));
   fifo.cancel(0);
   EXPECT_EQ(fifo.pop().kind, Kind::kWasted); // reclaiming costs a cycle
-  EXPECT_EQ(fifo.pop().packet.seq, 1u);
+  EXPECT_EQ(fifo.pop().ref, ref_for(1));
 }
 
 TEST(StageFifo, CancelAfterDropIsNoOp) {
@@ -82,7 +80,7 @@ TEST(StageFifo, HighWaterTracksPeakOccupancy) {
   for (SeqNo s = 0; s < 6; ++s) {
     ASSERT_TRUE(fifo.push_phantom(s, 0, 0, s % 2));
   }
-  for (SeqNo s = 0; s < 6; ++s) ASSERT_TRUE(fifo.insert_data(make_packet(s)));
+  for (SeqNo s = 0; s < 6; ++s) ASSERT_TRUE(fifo.insert_data(s, ref_for(s)));
   for (int i = 0; i < 6; ++i) EXPECT_EQ(fifo.pop().kind, Kind::kData);
   EXPECT_EQ(fifo.high_water(), 6u);
   EXPECT_EQ(fifo.size(), 0u);
@@ -94,10 +92,10 @@ TEST(StageFifoIdeal, PerIndexOrderingAvoidsHolBlocking) {
   // independently serviceable in the ideal design.
   ASSERT_TRUE(fifo.push_phantom(0, 0, 7, 0));
   ASSERT_TRUE(fifo.push_phantom(1, 0, 9, 1));
-  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
+  ASSERT_TRUE(fifo.insert_data(1, ref_for(1)));
   const auto r = fifo.pop();
   ASSERT_EQ(r.kind, Kind::kData);
-  EXPECT_EQ(r.packet.seq, 1u);
+  EXPECT_EQ(r.ref, ref_for(1));
   EXPECT_EQ(fifo.pop().kind, Kind::kBlocked);
 }
 
@@ -105,22 +103,22 @@ TEST(StageFifoIdeal, StillOrdersWithinAnIndex) {
   StageFifo fifo(1, 0, true);
   ASSERT_TRUE(fifo.push_phantom(0, 0, 7, 0));
   ASSERT_TRUE(fifo.push_phantom(1, 0, 7, 0));
-  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
+  ASSERT_TRUE(fifo.insert_data(1, ref_for(1)));
   EXPECT_EQ(fifo.pop().kind, Kind::kBlocked); // seq 1 behind seq 0's phantom
-  ASSERT_TRUE(fifo.insert_data(make_packet(0)));
-  EXPECT_EQ(fifo.pop().packet.seq, 0u);
-  EXPECT_EQ(fifo.pop().packet.seq, 1u);
+  ASSERT_TRUE(fifo.insert_data(0, ref_for(0)));
+  EXPECT_EQ(fifo.pop().ref, ref_for(0));
+  EXPECT_EQ(fifo.pop().ref, ref_for(1));
 }
 
 TEST(StageFifoIdeal, CancelledEntriesReclaimedForFree) {
   StageFifo fifo(1, 0, true);
   ASSERT_TRUE(fifo.push_phantom(0, 0, 7, 0));
   ASSERT_TRUE(fifo.push_phantom(1, 0, 7, 0));
-  ASSERT_TRUE(fifo.insert_data(make_packet(1)));
+  ASSERT_TRUE(fifo.insert_data(1, ref_for(1)));
   fifo.cancel(0);
   const auto r = fifo.pop(); // no kWasted in the ideal design
   ASSERT_EQ(r.kind, Kind::kData);
-  EXPECT_EQ(r.packet.seq, 1u);
+  EXPECT_EQ(r.ref, ref_for(1));
 }
 
 } // namespace

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json run against a committed baseline snapshot.
+
+Reads two "mp5-bench" documents (see src/telemetry/bench_report.hpp) and
+diffs them row by row. Rate metrics (anything named like a throughput:
+``items_per_second``, ``packets/s``, ``sim_cycles/s``) are higher-better
+and gate the exit status: a rate more than ``--threshold`` below the
+baseline is a regression and the script exits nonzero. Time metrics
+(``real_time_ns``, ``cpu_time_ns``) are printed for context only — wall
+times on shared CI runners are too noisy to gate on.
+
+Usage:
+    tools/compare_bench.py bench/baselines/BENCH_micro.json BENCH_micro.json
+    tools/compare_bench.py --update bench/baselines/BENCH_micro.json BENCH_micro.json
+
+stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def is_rate_metric(name):
+    return name.endswith("/s") or name.endswith("per_second")
+
+
+def is_time_metric(name):
+    return name.endswith("_ns")
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "mp5-bench":
+        raise SystemExit(f"{path}: not an mp5-bench document")
+    return {row["name"]: row.get("metrics", {}) for row in doc.get("rows", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed fractional rate drop before failing (default 0.10)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="overwrite the baseline with the current run and exit 0",
+    )
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.current} -> {args.baseline}")
+        return 0
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    regressions = []
+    width = max((len(n) for n in current), default=0) + 2
+    for name in sorted(current):
+        metrics = current[name]
+        base_metrics = baseline.get(name)
+        if base_metrics is None:
+            print(f"{name:<{width}} (new benchmark, no baseline)")
+            continue
+        for metric in sorted(metrics):
+            if not (is_rate_metric(metric) or is_time_metric(metric)):
+                continue
+            base = base_metrics.get(metric)
+            cur = metrics[metric]
+            if base is None or base == 0:
+                continue
+            delta = (cur - base) / base
+            gated = is_rate_metric(metric)
+            flag = ""
+            if gated and delta < -args.threshold:
+                flag = "  << REGRESSION"
+                regressions.append((name, metric, base, cur, delta))
+            print(
+                f"{name:<{width}} {metric:<18} "
+                f"{base:>14.4g} -> {cur:>14.4g}  {delta:+7.1%}"
+                f"{'' if gated else '  (informational)'}{flag}"
+            )
+
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"{name:<{width}} MISSING from current run")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} rate regression(s) beyond "
+            f"{args.threshold:.0%} threshold:"
+        )
+        for name, metric, base, cur, delta in regressions:
+            print(f"  {name} {metric}: {base:.4g} -> {cur:.4g} ({delta:+.1%})")
+        print("If intentional, refresh the snapshot with --update.")
+        return 1
+    if missing:
+        print(f"\nWARNING: {len(missing)} baseline row(s) missing from the run")
+    print("\nOK: no rate regressions beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

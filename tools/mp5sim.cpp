@@ -17,6 +17,11 @@
 //   --design mp5|ideal|no-d2|no-d4|naive|recirc    (default mp5)
 //   --pipelines K  --packets N  --seed S  --load F
 //   --fifo-capacity N  --remap N  --flow-order f1,f2
+//   --threads N             parallel per-lane engine (bit-identical to
+//                           sequential; MP5 designs only; incompatible
+//                           with --telemetry/--timeline/--trace-out)
+//   --no-fast-forward       step idle cycles one by one (identical
+//                           results; for measuring the raw cycle loop)
 //   --check-equivalence     verify vs the single-pipeline reference
 //   --save-trace file.csv   store the generated trace
 // Fault injection (MP5 designs only):
@@ -84,6 +89,8 @@ struct Args {
   double load = 1.0;
   std::size_t fifo_capacity = 0;
   std::uint32_t remap = 100;
+  std::uint32_t threads = 1;
+  bool fast_forward = true;
   std::vector<std::string> flow_order_fields;
   bool check_equivalence = false;
   std::uint64_t timeline = 0; // print the first N simulator events
@@ -146,6 +153,9 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--fifo-capacity") args.fifo_capacity = std::stoull(next());
     else if (arg == "--remap") args.remap =
         static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--threads") args.threads =
+        static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--no-fast-forward") args.fast_forward = false;
     else if (arg == "--flow-order") args.flow_order_fields = split_csv(next());
     else if (arg == "--check-equivalence") args.check_equivalence = true;
     else if (arg == "--timeline") args.timeline = std::stoull(next());
@@ -252,10 +262,10 @@ int run(int argc, char** argv) {
   SimResult result;
   std::unique_ptr<telemetry::Telemetry> telem;
   if (args.design == "recirc") {
-    if (!args.faults.empty() || args.paranoid) {
+    if (!args.faults.empty() || args.paranoid || args.threads > 1) {
       throw ConfigError(
-          "fault injection / --paranoid apply to the MP5 designs only, "
-          "not recirc");
+          "fault injection / --paranoid / --threads apply to the MP5 "
+          "designs only, not recirc");
     }
     if (want_telemetry) {
       // --json alone stays legal for recirc: the document just carries a
@@ -280,6 +290,8 @@ int run(int argc, char** argv) {
     else throw ConfigError("unknown design '" + args.design + "'");
     opts.fifo_capacity = args.fifo_capacity;
     opts.remap_period = args.remap;
+    opts.threads = args.threads;
+    opts.fast_forward = args.fast_forward;
     opts.record_egress = args.check_equivalence;
     opts.faults = args.faults;
     if (args.phantom_channel) opts.realistic_phantom_channel = true;
