@@ -5,22 +5,77 @@
 //   * bounded FIFO depth (the ASIC uses 8 entries/lane; the paper sized it
 //     from the observed max queue depth of 11) -> drop behaviour;
 //   * cost of conservative phantoms (stateful predicates) vs a resolvable
-//     rewrite of the same program.
+//     rewrite of the same program;
+//   * incremental (O(touched)) vs full-scan D2 accounting on large sparse
+//     tables (the production-scale case: a huge register array with a
+//     small Zipf working set).
+//
+// `--only-sparse` runs just the incremental-accounting section (the CI
+// bench-smoke job gates it against bench/baselines/).
+#include <chrono>
 #include <iostream>
+#include <string_view>
 
 #include "apps/programs.hpp"
 #include "bench_util.hpp"
+#include "common/zipf.hpp"
+#include "mp5/shard_map.hpp"
 
 using namespace mp5;
 using namespace mp5::bench;
 
-int main() {
+namespace {
+
+// Drive a ShardedState directly: per window, `kPerWindow` resolved+completed
+// accesses Zipf-drawn from a <=1K-index working set spread across the table,
+// then one periodic rebalance through the chosen path. Returns accesses/s.
+double drive_sparse_remap(std::size_t table_size, bool incremental,
+                          std::uint64_t& windows_out,
+                          std::uint64_t& moves_out) {
+  constexpr int kPerWindow = 256;     // accesses per remap window
+  constexpr std::uint64_t kHot = 1024; // distinct working-set indices
+  ir::RegisterSpec spec;
+  spec.name = "t";
+  spec.size = table_size;
+  ShardedState state({spec}, {true}, 4, ShardingPolicy::kDynamic, Rng(1));
+  ZipfSampler zipf(kHot, 1.1);
+  Rng rng(7);
+  const std::uint64_t stride = table_size / kHot; // decouple hot set from
+                                                  // initial lane placement
+  std::uint64_t windows = 0, accesses = 0, moves = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  while (elapsed < 0.25) {
+    for (int batch = 0; batch < 8; ++batch, ++windows) {
+      for (int a = 0; a < kPerWindow; ++a) {
+        const auto index =
+            static_cast<RegIndex>(zipf.sample(rng) * stride % table_size);
+        state.note_resolved(0, index);
+        state.note_completed(0, index);
+      }
+      accesses += kPerWindow;
+      moves += incremental ? state.rebalance() : state.rebalance_reference();
+    }
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  }
+  windows_out = windows;
+  moves_out = moves;
+  return static_cast<double>(accesses) / elapsed;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bool only_sparse =
+      argc > 1 && std::string_view(argv[1]) == "--only-sparse";
   constexpr std::uint64_t kPackets = 20000;
   constexpr int kRuns = 5;
   BenchReport report("ablation_remap");
 
-  print_header("Ablation: dynamic-sharding remap period", "");
-  {
+  if (!only_sparse) {
+    print_header("Ablation: dynamic-sharding remap period", "");
     const auto prog = compile_for_mp5(apps::make_synthetic_source(4, 512));
     TextTable table({"remap period (cycles)", "throughput (skewed)",
                      "remap moves"});
@@ -51,9 +106,9 @@ int main() {
     table.print(std::cout);
   }
 
-  print_header("Ablation: bounded FIFO depth vs drops",
-               "paper sizes 8 entries/lane from observed max depth 11");
-  {
+  if (!only_sparse) {
+    print_header("Ablation: bounded FIFO depth vs drops",
+                 "paper sizes 8 entries/lane from observed max depth 11");
     const auto prog = compile_for_mp5(apps::make_synthetic_source(4, 512));
     TextTable table({"FIFO capacity/lane", "throughput", "drop fraction",
                      "phantom drops", "data drops"});
@@ -83,9 +138,9 @@ int main() {
     table.print(std::cout);
   }
 
-  print_header("Ablation: conservative phantoms (stateful predicate)",
-               "one wasted pop cycle per cancelled phantom, §3.3");
-  {
+  if (!only_sparse) {
+    print_header("Ablation: conservative phantoms (stateful predicate)",
+                 "one wasted pop cycle per cancelled phantom, §3.3");
     const auto prog = compile_for_mp5(apps::stateful_predicate_source());
     TextTable table({"pipelines", "throughput", "wasted cycles / packet"});
     for (const std::uint32_t k : {2u, 4u, 8u}) {
@@ -113,10 +168,10 @@ int main() {
     }
     table.print(std::cout);
   }
-  print_header("Ablation: starvation guard and ECN marking (§3.4)",
-               "guard drops stateless packets for over-age stateful queues; "
-               "marking flags packets joining congested FIFOs");
-  {
+  if (!only_sparse) {
+    print_header("Ablation: starvation guard and ECN marking (§3.4)",
+                 "guard drops stateless packets for over-age stateful queues; "
+                 "marking flags packets joining congested FIFOs");
     // Mixed stateful/stateless traffic on a serial (scalar) register.
     const auto prog = compile_for_mp5(R"(
       struct Packet { int kind; int v; }
@@ -155,6 +210,38 @@ int main() {
            TextTable::num(result.normalized_throughput(), 3),
            TextTable::integer(static_cast<long long>(result.dropped_starved)),
            TextTable::integer(static_cast<long long>(result.ecn_marked))});
+    }
+    table.print(std::cout);
+  }
+
+  print_header("Ablation: incremental vs full-scan D2 accounting",
+               "large sparse tables — remap cost proportional to the "
+               "working set, not the table (DESIGN.md)");
+  {
+    TextTable table({"table size", "accounting", "windows", "accesses/s",
+                     "moves/window", "speedup"});
+    for (const std::size_t size : {std::size_t{1} << 18, std::size_t{1} << 20}) {
+      double rates[2] = {0.0, 0.0};
+      for (const bool incremental : {false, true}) {
+        std::uint64_t windows = 0, moves = 0;
+        const double rate = drive_sparse_remap(size, incremental, windows,
+                                               moves);
+        rates[incremental ? 1 : 0] = rate;
+        const std::string label = incremental ? "incremental" : "full_scan";
+        report.row("sparse_remap:" + std::to_string(size) + ":" + label)
+            .metric("table_size", static_cast<double>(size))
+            .metric("windows", static_cast<double>(windows))
+            .metric("accesses_per_second", rate)
+            .metric("moves_per_window",
+                    static_cast<double>(moves) / static_cast<double>(windows));
+        table.add_row(
+            {TextTable::integer(static_cast<long long>(size)), label,
+             TextTable::integer(static_cast<long long>(windows)),
+             TextTable::num(rate, 0),
+             TextTable::num(static_cast<double>(moves) /
+                                static_cast<double>(windows), 3),
+             incremental ? TextTable::num(rates[1] / rates[0], 1) + "x" : "-"});
+      }
     }
     table.print(std::cout);
   }

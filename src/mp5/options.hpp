@@ -90,6 +90,13 @@ struct SimOptions {
   /// the raw cycle loop.
   bool fast_forward = true;
 
+  /// Route periodic rebalances through the full-scan reference
+  /// implementation (ShardedState::rebalance_reference) instead of the
+  /// incremental O(touched) path. Validation/bench knob: the two produce
+  /// bit-identical results, so this only changes how long a remap
+  /// boundary takes.
+  bool reference_rebalance = false;
+
   /// Record per-packet egress headers (needed for equivalence checks).
   bool record_egress = false;
 

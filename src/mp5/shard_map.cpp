@@ -27,10 +27,16 @@ ShardedState::ShardedState(const std::vector<ir::RegisterSpec>& specs,
     if (spec.init.size() == 1) std::fill(arr.begin(), arr.end(), spec.init[0]);
     values_.push_back(std::move(arr));
   }
+  const bool static_policy = policy_ == ShardingPolicy::kStaticRandom ||
+                             policy_ == ShardingPolicy::kSinglePipeline ||
+                             k_ == 1;
+  resets_.resize(specs.size());
   for (std::size_t r = 0; r < specs.size(); ++r) {
+    resets_[r] = static_policy || shardable_[r];
     PerReg per;
     per.map.assign(specs[r].size, pin_pipeline());
     per.access.assign(specs[r].size, 0);
+    per.stamp.assign(specs[r].size, 0);
     per.in_flight.assign(specs[r].size, 0);
     if (shardable_[r] && policy_ != ShardingPolicy::kSinglePipeline) {
       // Initial placement: uniform random spread across pipelines. Every
@@ -40,6 +46,13 @@ ShardedState::ShardedState(const std::vector<ir::RegisterSpec>& specs,
         p = static_cast<PipelineId>(rng.next_below(k_));
       }
     }
+    per.members.resize(k_);
+    per.pos.resize(specs[r].size);
+    for (RegIndex i = 0; i < per.map.size(); ++i) {
+      per.pos[i] = static_cast<std::uint32_t>(per.members[per.map[i]].size());
+      per.members[per.map[i]].push_back(i);
+    }
+    per.lane_load.assign(k_, 0);
     regs_.push_back(std::move(per));
   }
 }
@@ -65,13 +78,24 @@ void ShardedState::set_telemetry(telemetry::Telemetry& sink) {
   t_rebalance_moves_ = &sink.counter("shard.rebalance_moves");
   t_fault_rehomed_ = &sink.counter("shard.fault_rehomed_indices");
   t_accesses_ = &sink.counter("shard.state_accesses");
+  t_touched_ = &sink.counter("shard.touched_indices");
 }
 
 void ShardedState::note_resolved(RegId reg, RegIndex index) {
   if (index == kUnresolvedIndex) return;
   auto& per = regs_[reg];
-  ++per.access[index];
+  if (per.stamp[index] == per.epoch) {
+    ++per.access[index];
+  } else {
+    // First touch this window: stamp the counter and remember the index so
+    // the next rebalance scans only the working set.
+    per.stamp[index] = per.epoch;
+    per.access[index] = 1;
+    per.touched.push_back(index);
+  }
+  per.lane_load[per.map[index]] += 1;
   ++per.in_flight[index];
+  if (resets_[reg]) window_dirty_ = true;
   MP5_TELEM_INC(t_accesses_);
 }
 
@@ -79,7 +103,9 @@ void ShardedState::note_completed(RegId reg, RegIndex index) {
   if (index == kUnresolvedIndex) return;
   auto& per = regs_[reg];
   if (per.in_flight[index] == 0) {
-    throw Error("ShardedState: in-flight counter underflow");
+    throw Error("ShardedState::note_completed: in-flight counter underflow "
+                "(reg " + std::to_string(reg) + ", index " +
+                std::to_string(index) + ")");
   }
   --per.in_flight[index];
 }
@@ -87,6 +113,39 @@ void ShardedState::note_completed(RegId reg, RegIndex index) {
 std::uint32_t ShardedState::alive_count() const {
   return static_cast<std::uint32_t>(
       std::count(alive_.begin(), alive_.end(), true));
+}
+
+void ShardedState::move_index(PerReg& per, RegIndex i, PipelineId to) {
+  const PipelineId from = per.map[i];
+  if (from == to) return;
+  auto& src = per.members[from];
+  const std::uint32_t slot = per.pos[i];
+  const RegIndex last = src.back();
+  src[slot] = last;
+  per.pos[last] = slot;
+  src.pop_back();
+  per.pos[i] = static_cast<std::uint32_t>(per.members[to].size());
+  per.members[to].push_back(i);
+  per.map[i] = to;
+}
+
+void ShardedState::end_window(PerReg& per) {
+  per.touched.clear();
+  std::fill(per.lane_load.begin(), per.lane_load.end(), 0);
+  if (++per.epoch == 0) {
+    // One O(size) stamp sweep every 2^32 windows keeps recycled epoch
+    // values from resurrecting counters stamped four billion windows ago.
+    std::fill(per.stamp.begin(), per.stamp.end(), 0);
+    per.epoch = 1;
+  }
+}
+
+void ShardedState::finish_rebalance(std::size_t moves, std::uint64_t touched) {
+  window_dirty_ = false;
+  total_moves_ += moves;
+  MP5_TELEM_INC(t_rebalance_runs_);
+  MP5_TELEM_ADD(t_rebalance_moves_, moves);
+  MP5_TELEM_ADD(t_touched_, touched);
 }
 
 std::size_t ShardedState::fail_pipeline(PipelineId pipeline) {
@@ -116,18 +175,25 @@ std::size_t ShardedState::fail_pipeline(PipelineId pipeline) {
       continue;
     }
     auto& per = regs_[r];
+    // Survivor load/count seed in O(k) from the incremental aggregates
+    // (the full-scan original recomputed both over every index).
     std::vector<std::uint64_t> load(k_, 0);
     std::vector<std::uint64_t> count(k_, 0);
-    for (std::size_t i = 0; i < per.map.size(); ++i) {
-      if (alive_[per.map[i]]) {
-        load[per.map[i]] += per.access[i];
-        ++count[per.map[i]];
-      }
+    for (PipelineId p = 0; p < k_; ++p) {
+      if (!alive_[p]) continue;
+      load[p] = per.lane_load[p];
+      count[p] = per.members[p].size();
     }
-    for (std::size_t i = 0; i < per.map.size(); ++i) {
-      if (per.map[i] != pipeline) continue;
+    // The dead lane's membership list, restored to the ascending-index
+    // order the full-map scan walked in (the list itself is swap-remove
+    // order, and each move below mutates it).
+    scratch_.assign(per.members[pipeline].begin(),
+                    per.members[pipeline].end());
+    std::sort(scratch_.begin(), scratch_.end());
+    for (const RegIndex i : scratch_) {
       if (per.in_flight[i] != 0) {
-        throw Error("ShardedState::fail_pipeline: index has packets in "
+        throw Error("ShardedState::fail_pipeline: reg " + std::to_string(r) +
+                    " index " + std::to_string(i) + " has packets in "
                     "flight (drain the lane before remapping)");
       }
       // Least-loaded survivor by windowed access count, ties broken by
@@ -147,11 +213,14 @@ std::size_t ShardedState::fail_pipeline(PipelineId pipeline) {
           best_count = count[p];
         }
       }
-      load[target] += per.access[i];
+      const std::uint32_t window_ctr = eff_access(per, i);
+      load[target] += window_ctr;
       ++count[target];
-      per.map[i] = target;
+      move_index(per, i, target);
+      per.lane_load[target] += window_ctr;
       ++moved;
     }
+    per.lane_load[pipeline] = 0;
   }
   total_moves_ += moved;
   MP5_TELEM_ADD(t_fault_rehomed_, moved);
@@ -169,35 +238,37 @@ void ShardedState::recover_pipeline(PipelineId pipeline) {
 }
 
 std::vector<std::uint64_t> ShardedState::pipeline_load(RegId reg) const {
-  std::vector<std::uint64_t> load(k_, 0);
-  const auto& per = regs_[reg];
-  for (std::size_t i = 0; i < per.map.size(); ++i) {
-    load[per.map[i]] += per.access[i];
-  }
-  return load;
+  return regs_[reg].lane_load;
 }
+
+// ---------------------------------------------------------------------------
+// Incremental periodic rebalance: O(touched), identical decisions to the
+// full-scan reference below.
+// ---------------------------------------------------------------------------
 
 std::size_t ShardedState::rebalance() {
   if (policy_ == ShardingPolicy::kStaticRandom ||
       policy_ == ShardingPolicy::kSinglePipeline || k_ == 1) {
-    // Static policies never move state, but the access counters still
-    // reset each period (they are windowed statistics).
+    // Static policies never move state, but the windowed counters still
+    // close each period (epoch bump; the full-scan original memset them).
+    std::uint64_t touched = 0;
     for (auto& per : regs_) {
-      std::fill(per.access.begin(), per.access.end(), 0);
+      touched += per.touched.size();
+      end_window(per);
     }
+    finish_rebalance(0, touched);
     return 0;
   }
   std::size_t moves = 0;
+  std::uint64_t touched = 0;
   for (RegId r = 0; r < regs_.size(); ++r) {
     if (!shardable_[r]) continue;
     moves += policy_ == ShardingPolicy::kIdealLpt ? rebalance_lpt(r)
                                                   : rebalance_one(r);
-    auto& per = regs_[r];
-    std::fill(per.access.begin(), per.access.end(), 0);
+    touched += regs_[r].touched.size();
+    end_window(regs_[r]);
   }
-  total_moves_ += moves;
-  MP5_TELEM_INC(t_rebalance_runs_);
-  MP5_TELEM_ADD(t_rebalance_moves_, moves);
+  finish_rebalance(moves, touched);
   return moves;
 }
 
@@ -206,9 +277,144 @@ std::size_t ShardedState::rebalance_one(RegId reg) {
   // the index mapped to H with the largest counter value < (cmax-cmin)/2,
   // provided its in-flight counter is zero.
   auto& per = regs_[reg];
-  const auto load = pipeline_load(reg);
   // Consider only surviving lanes: a dead lane holds no active indices
   // and must never become a move target.
+  std::int64_t hi = -1, lo = -1;
+  for (PipelineId p = 0; p < k_; ++p) {
+    if (!alive_[p]) continue;
+    if (hi < 0 || per.lane_load[p] > per.lane_load[hi]) hi = p;
+    if (lo < 0 || per.lane_load[p] < per.lane_load[lo]) lo = p;
+  }
+  if (hi < 0 || hi == lo || per.lane_load[hi] == per.lane_load[lo]) return 0;
+  const std::uint64_t threshold =
+      (per.lane_load[hi] - per.lane_load[lo]) / 2;
+  // threshold == 0 admits no candidate (every counter is >= 0).
+  if (threshold == 0) return 0;
+
+  // The reference scan walks every index ascending with a strict-greater
+  // best, i.e. the winner is the candidate with the largest counter and,
+  // among equals, the smallest index. Candidates split into two classes:
+  // touched this window (counter >= 1) and untouched (counter 0). A
+  // touched candidate always beats an untouched one, so scan the
+  // working-set list first with an explicit (counter desc, index asc)
+  // comparator.
+  std::int64_t best = -1;
+  std::uint64_t best_ctr = 0;
+  for (const RegIndex i : per.touched) {
+    if (per.map[i] != static_cast<PipelineId>(hi)) continue;
+    const std::uint32_t ctr = per.access[i]; // touched => stamp is current
+    if (ctr >= threshold) continue;
+    if (per.in_flight[i] != 0) continue;
+    if (best < 0 || ctr > best_ctr ||
+        (ctr == best_ctr && static_cast<std::int64_t>(i) < best)) {
+      best = static_cast<std::int64_t>(i);
+      best_ctr = ctr;
+    }
+  }
+  if (best < 0) {
+    // Cold fallback: with no touched candidate below the threshold the
+    // reference scan settles on the lowest untouched (counter 0) index on
+    // H with nothing in flight. This walks H's membership list —
+    // O(indices mapped to H), the one remaining super-working-set scan,
+    // and it only runs in windows that actually move a cold index.
+    for (const RegIndex i : per.members[static_cast<PipelineId>(hi)]) {
+      if (per.stamp[i] == per.epoch) continue; // touched: handled above
+      if (per.in_flight[i] != 0) continue;
+      if (best < 0 || static_cast<std::int64_t>(i) < best) {
+        best = static_cast<std::int64_t>(i);
+      }
+    }
+  }
+  if (best < 0) return 0;
+  move_index(per, static_cast<RegIndex>(best), static_cast<PipelineId>(lo));
+  return 1;
+}
+
+std::size_t ShardedState::rebalance_lpt(RegId reg) {
+  // Ideal baseline: longest-processing-time greedy re-shard — sort indexes
+  // by access count and place each on the least-loaded pipeline. Indexes
+  // with packets in flight stay put (they seed the initial loads), and
+  // indexes with zero recent accesses stay put too: re-homing them carries
+  // no load now but would herd all cold state onto one pipeline, making
+  // the *next* window's accesses collide there. Untouched indices are
+  // exactly the zero-access ones and contribute zero seed load, so the
+  // whole pass runs off the touched list.
+  auto& per = regs_[reg];
+  std::vector<std::uint64_t> load(k_, 0);
+  scratch_.clear();
+  for (const RegIndex i : per.touched) {
+    if (per.in_flight[i] != 0) {
+      load[per.map[i]] += per.access[i];
+    } else {
+      scratch_.push_back(i);
+    }
+  }
+  // (counter desc, index asc) is a total order, so sorting the touched
+  // subset yields the same sequence the reference gets from sorting an
+  // ascending-index candidate list.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [&](RegIndex a, RegIndex b) {
+              if (per.access[a] != per.access[b]) {
+                return per.access[a] > per.access[b];
+              }
+              return a < b;
+            });
+  std::size_t moves = 0;
+  for (const RegIndex i : scratch_) {
+    PipelineId target = pin_;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (PipelineId p = 0; p < k_; ++p) {
+      if (alive_[p] && load[p] < best) {
+        target = p;
+        best = load[p];
+      }
+    }
+    load[target] += per.access[i];
+    if (per.map[i] != target) {
+      move_index(per, i, target);
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+// ---------------------------------------------------------------------------
+// Full-scan reference rebalance (the pre-incremental implementation,
+// reading counters through the epoch stamps). Decision-for-decision equal
+// to the incremental path — enforced by the equivalence property suite.
+// ---------------------------------------------------------------------------
+
+std::size_t ShardedState::rebalance_reference() {
+  if (policy_ == ShardingPolicy::kStaticRandom ||
+      policy_ == ShardingPolicy::kSinglePipeline || k_ == 1) {
+    std::uint64_t touched = 0;
+    for (auto& per : regs_) {
+      touched += per.touched.size();
+      end_window(per);
+    }
+    finish_rebalance(0, touched);
+    return 0;
+  }
+  std::size_t moves = 0;
+  std::uint64_t touched = 0;
+  for (RegId r = 0; r < regs_.size(); ++r) {
+    if (!shardable_[r]) continue;
+    moves += policy_ == ShardingPolicy::kIdealLpt
+                 ? rebalance_lpt_reference(r)
+                 : rebalance_one_reference(r);
+    touched += regs_[r].touched.size();
+    end_window(regs_[r]);
+  }
+  finish_rebalance(moves, touched);
+  return moves;
+}
+
+std::size_t ShardedState::rebalance_one_reference(RegId reg) {
+  auto& per = regs_[reg];
+  std::vector<std::uint64_t> load(k_, 0);
+  for (RegIndex i = 0; i < per.map.size(); ++i) {
+    load[per.map[i]] += eff_access(per, i);
+  }
   std::int64_t hi = -1, lo = -1;
   for (PipelineId p = 0; p < k_; ++p) {
     if (!alive_[p]) continue;
@@ -224,32 +430,28 @@ std::size_t ShardedState::rebalance_one(RegId reg) {
   std::uint64_t best_ctr = 0;
   for (std::size_t i = 0; i < per.map.size(); ++i) {
     if (per.map[i] != static_cast<PipelineId>(hi)) continue;
-    if (per.access[i] >= threshold) continue;
+    const std::uint32_t ctr = eff_access(per, static_cast<RegIndex>(i));
+    if (ctr >= threshold) continue;
     if (per.in_flight[i] != 0) continue;
-    if (best < 0 || per.access[i] > best_ctr) {
+    if (best < 0 || ctr > best_ctr) {
       best = static_cast<std::int64_t>(i);
-      best_ctr = per.access[i];
+      best_ctr = ctr;
     }
   }
   if (best < 0) return 0;
-  per.map[static_cast<std::size_t>(best)] = static_cast<PipelineId>(lo);
+  move_index(per, static_cast<RegIndex>(best), static_cast<PipelineId>(lo));
   return 1;
 }
 
-std::size_t ShardedState::rebalance_lpt(RegId reg) {
-  // Ideal baseline: longest-processing-time greedy re-shard — sort indexes
-  // by access count and place each on the least-loaded pipeline. Indexes
-  // with packets in flight stay put (they seed the initial loads).
+std::size_t ShardedState::rebalance_lpt_reference(RegId reg) {
   auto& per = regs_[reg];
   std::vector<std::uint64_t> load(k_, 0);
   std::vector<std::size_t> movable;
   movable.reserve(per.map.size());
   for (std::size_t i = 0; i < per.map.size(); ++i) {
-    // Indexes with zero recent accesses stay put: re-homing them carries
-    // no load now but would herd all cold state onto one pipeline, making
-    // the *next* window's accesses collide there.
-    if (per.in_flight[i] != 0 || per.access[i] == 0) {
-      load[per.map[i]] += per.access[i];
+    const std::uint32_t ctr = eff_access(per, static_cast<RegIndex>(i));
+    if (per.in_flight[i] != 0 || ctr == 0) {
+      load[per.map[i]] += ctr;
     } else {
       movable.push_back(i);
     }
@@ -270,7 +472,7 @@ std::size_t ShardedState::rebalance_lpt(RegId reg) {
     }
     load[target] += per.access[i];
     if (per.map[i] != target) {
-      per.map[i] = target;
+      move_index(per, static_cast<RegIndex>(i), target);
       ++moves;
     }
   }

@@ -12,6 +12,23 @@
 // Because accesses are only ever performed at an index's active pipeline,
 // the simulator stores a single flat value per index; the per-pipeline
 // replicas of the paper differ only physically, not observably.
+//
+// Accounting is *incremental* (see DESIGN.md "Incremental D2 accounting"):
+// every periodic operation costs time proportional to the indices touched
+// in the current remap window, never to the table size:
+//   * windowed access counters are epoch-stamped — "resetting" them is one
+//     epoch bump per register instead of a std::fill over the array;
+//   * per-lane aggregate load and membership are maintained at access /
+//     move time, so pipeline_load() and the fail_pipeline() load seed are
+//     O(k) instead of O(indices);
+//   * a per-window touched-index list feeds the Figure 6 candidate search
+//     and the LPT baseline, preserving the naive scan's tie-breaks bit for
+//     bit (ascending index, strict-greater best);
+//   * fail_pipeline() walks the dead lane's membership list instead of the
+//     whole map.
+// The pre-optimization full-scan implementation is kept compiled in as
+// rebalance_reference(); a property suite asserts the two produce
+// identical shard maps and move counts for every seed/policy/fault plan.
 #pragma once
 
 #include <cstdint>
@@ -67,7 +84,10 @@ public:
   /// applies, and an index with packets in flight throws Error (moving it
   /// would strand live steering tags). Returns the number of indices
   /// re-homed. Dead lanes are skipped by every subsequent placement
-  /// decision (pipeline_of results, rebalancing targets).
+  /// decision (pipeline_of results, rebalancing targets). Costs
+  /// O(indices on the dead lane), not O(table size): the evacuation set
+  /// comes from the per-lane membership list and the survivor load seed
+  /// from the incremental per-lane aggregates.
   std::size_t fail_pipeline(PipelineId pipeline);
 
   /// Bring a recovered lane back into the placement pool. It rejoins
@@ -82,12 +102,36 @@ public:
   void note_completed(RegId reg, RegIndex index); // in-flight -1
 
   /// Run the periodic rebalance for every shardable register array.
-  /// Returns the number of indexes moved.
+  /// Returns the number of indexes moved. O(touched indices + k·regs) per
+  /// call — a window that touched nothing costs O(k·regs) regardless of
+  /// table size.
   std::size_t rebalance();
 
+  /// The pre-incremental full-scan rebalance: identical decisions (and
+  /// therefore identical maps, move counts and downstream SimResults),
+  /// O(table size) per call. Kept compiled in as the oracle for the
+  /// equivalence property suite and the bench_ablation_remap before/after
+  /// comparison; SimOptions::reference_rebalance routes the simulator
+  /// through it.
+  std::size_t rebalance_reference();
+
   /// Aggregate per-pipeline access-counter load for one register array
-  /// under the current mapping (exposed for tests and benches).
+  /// under the current mapping (exposed for tests and benches). O(k):
+  /// returns the incrementally maintained per-lane aggregates.
   std::vector<std::uint64_t> pipeline_load(RegId reg) const;
+
+  /// True when some access since the last window reset touched a register
+  /// whose counters the next rebalance would reset — i.e. the next remap
+  /// boundary is observable. When false, a rebalance under any policy is
+  /// a provable no-op (zero windowed loads => zero moves, nothing to
+  /// reset) and the simulator's fast-forward may skip the boundary.
+  bool window_dirty() const { return window_dirty_; }
+
+  /// Number of distinct indices of `reg` accessed in the current window
+  /// (the size of the touched list the next rebalance will scan).
+  std::size_t window_touched(RegId reg) const {
+    return regs_[reg].touched.size();
+  }
 
   std::uint64_t total_moves() const { return total_moves_; }
   const std::vector<std::vector<Value>>& storage() const { return values_; }
@@ -100,27 +144,64 @@ public:
 private:
   struct PerReg {
     std::vector<PipelineId> map;          // index -> active pipeline
-    std::vector<std::uint32_t> access;    // reset each rebalance
+    // Windowed access counters, epoch-stamped: access[i] is valid only
+    // when stamp[i] == epoch, otherwise the index's windowed count is 0.
+    // A window reset is an epoch bump, not a fill.
+    std::vector<std::uint32_t> access;
+    std::vector<std::uint32_t> stamp;
     std::vector<std::uint32_t> in_flight;
+    /// Distinct indices accessed this window, in first-touch order (the
+    /// candidate scans re-establish the naive ascending-index tie-break
+    /// with explicit comparators).
+    std::vector<RegIndex> touched;
+    /// Per-lane membership: members[p] lists the indices mapped to lane p
+    /// (swap-remove order; pos[i] is index i's slot in its lane's list).
+    std::vector<std::vector<RegIndex>> members;
+    std::vector<std::uint32_t> pos;
+    /// Per-lane windowed aggregate of access counters, maintained at
+    /// note_resolved / move time: pipeline_load() in O(k).
+    std::vector<std::uint64_t> lane_load;
+    std::uint32_t epoch = 1; // stamps start at 0 == untouched
   };
 
-  std::size_t rebalance_one(RegId reg);      // Figure 6 heuristic
-  std::size_t rebalance_lpt(RegId reg);      // ideal LPT re-shard
+  /// Windowed access count of an index (0 unless touched this window).
+  static std::uint32_t eff_access(const PerReg& per, RegIndex i) {
+    return per.stamp[i] == per.epoch ? per.access[i] : 0;
+  }
+  /// Re-home one index, keeping map / membership / pos coherent.
+  void move_index(PerReg& per, RegIndex i, PipelineId to);
+  /// Close the register's remap window: clear the touched list, zero the
+  /// per-lane aggregates, and invalidate every stamp via an epoch bump.
+  void end_window(PerReg& per);
+  /// Telemetry + dirty-flag epilogue shared by both rebalance paths.
+  void finish_rebalance(std::size_t moves, std::uint64_t touched);
+
+  std::size_t rebalance_one(RegId reg);      // Figure 6, O(touched + members[hi] on cold fallback)
+  std::size_t rebalance_lpt(RegId reg);      // ideal LPT re-shard, O(touched log touched)
+  std::size_t rebalance_one_reference(RegId reg); // Figure 6, full scan
+  std::size_t rebalance_lpt_reference(RegId reg); // LPT, full scan
 
   std::uint32_t k_;
   ShardingPolicy policy_;
   PipelineId pin_ = 0;
   std::vector<bool> alive_;
   std::vector<bool> shardable_;
+  /// resets_[r]: the periodic rebalance resets this register's window
+  /// (all registers under static policies, shardable ones under the
+  /// moving policies) — the condition for a touch to dirty the window.
+  std::vector<bool> resets_;
   std::vector<std::vector<Value>> values_;
   std::vector<PerReg> regs_;
   std::uint64_t total_moves_ = 0;
+  bool window_dirty_ = false;
+  std::vector<RegIndex> scratch_; // evacuation / movable-candidate reuse
 
   // -- telemetry hooks (registry-owned; null when telemetry is off) --
   telemetry::Counter* t_rebalance_runs_ = nullptr;
   telemetry::Counter* t_rebalance_moves_ = nullptr;
   telemetry::Counter* t_fault_rehomed_ = nullptr;
   telemetry::Counter* t_accesses_ = nullptr;
+  telemetry::Counter* t_touched_ = nullptr;
 };
 
 } // namespace mp5

@@ -261,9 +261,10 @@ SimResult Mp5Simulator::run(const Trace& trace) {
       }
       // 4. Periodic dynamic state sharding (Figure 6).
       if (opts_.remap_period != 0 && (now + 1) % opts_.remap_period == 0) {
-        const std::size_t moves = state_->rebalance();
+        const std::size_t moves = opts_.reference_rebalance
+                                      ? state_->rebalance_reference()
+                                      : state_->rebalance();
         result_.remap_moves += moves;
-        counters_dirty_ = false; // rebalance() reset the access counters
         if (moves != 0) {
           emit(TimelineEvent::Kind::kRemap, now, 0, 0, kInvalidSeqNo,
                static_cast<std::uint64_t>(moves));
@@ -337,11 +338,12 @@ Cycle Mp5Simulator::next_event_cycle(Cycle now) {
   if (const auto deliver = channel_next_deliver(); deliver.has_value()) {
     target = std::min(target, *deliver);
   }
-  // Remap boundaries are observable while the access counters are dirty
-  // (the rebalance could move shards) or telemetry counts rebalance runs;
-  // with clean counters and no telemetry the rebalance is a provable no-op
-  // (zero loads => zero moves) and the boundary can be skipped.
-  if (opts_.remap_period != 0 && (counters_dirty_ || telem_ != nullptr)) {
+  // Remap boundaries are observable while the shard map's window is dirty
+  // (the rebalance could move shards or reset live counters) or telemetry
+  // counts rebalance runs; with a clean window and no telemetry the
+  // rebalance is a provable no-op (zero loads => zero moves, nothing to
+  // reset) and the boundary can be skipped.
+  if (opts_.remap_period != 0 && (state_->window_dirty() || telem_ != nullptr)) {
     const Cycle period = opts_.remap_period;
     const Cycle boundary = ((now + period) / period) * period - 1;
     target = std::min(target, boundary);
@@ -823,7 +825,6 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
       acc.guard_negate = desc.guard_negate;
     }
     state_->note_resolved(desc.reg, acc.index);
-    counters_dirty_ = true; // the next remap boundary is now observable
     pkt.plan.push_back(acc);
   }
 

@@ -201,7 +201,7 @@ private:
   /// slots, FIFOs) — the precondition for jumping the clock.
   bool fully_drained() const;
   /// Next cycle at which anything can happen: the next trace arrival, the
-  /// next phantom-channel delivery, and — while the access counters are
+  /// next phantom-channel delivery, and — while the shard map's window is
   /// dirty or telemetry observes rebalance runs — the next remap boundary.
   Cycle next_event_cycle(Cycle now);
 
@@ -300,10 +300,8 @@ private:
   std::size_t cursor_ = 0;
   SeqNo next_seq_ = 0;
   std::uint64_t live_packets_ = 0;
-  /// Access counters have been bumped since the last rebalance: a remap
-  /// boundary crossed now could move shards, so fast-forward must not
-  /// skip it. Cleared after every rebalance (which resets the counters).
-  bool counters_dirty_ = false;
+  // (Remap-boundary observability lives in ShardedState::window_dirty()
+  // now — the shard map knows which registers the next rebalance resets.)
 
   // -- parallel engine state --
   std::uint32_t workers_ = 1; // min(opts_.threads, k_), fixed per run

@@ -263,6 +263,86 @@ TEST(FastForward, ComposesWithParallelEngine) {
   expect_identical(slow, run_with(prog, trace, opts));
 }
 
+// --- incremental D2 accounting -------------------------------------------
+
+TEST(IncrementalSharding, SimResultMatchesReferenceRebalance) {
+  // The incremental O(touched) rebalance must be decision-for-decision
+  // identical to the full-scan reference, so routing the simulator through
+  // either path yields the same SimResult, field by field.
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  for (const std::uint32_t k : {2u, 4u}) {
+    SyntheticConfig config;
+    config.stateful_stages = 4;
+    config.reg_size = 256;
+    config.pipelines = k;
+    config.packets = 2000;
+    for (const std::uint64_t seed : {1ull, 7ull}) {
+      config.seed = seed;
+      const auto trace = make_synthetic_trace(config);
+      for (const auto& variant : kVariants) {
+        SCOPED_TRACE(std::string(variant.name) + " k=" + std::to_string(k) +
+                     " seed=" + std::to_string(seed));
+        auto opts = variant.make(k, seed);
+        opts.reference_rebalance = true;
+        const auto reference = run_with(prog, trace, opts);
+        opts.reference_rebalance = false;
+        expect_identical(reference, run_with(prog, trace, opts));
+      }
+    }
+  }
+}
+
+TEST(IncrementalSharding, SimResultMatchesReferenceUnderFaultPlan) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 8;
+  config.packets = 3000;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(8, 1);
+  opts.faults.pipeline_faults.push_back(PipelineFault{2, 150, 600});
+  opts.faults.pipeline_faults.push_back(PipelineFault{5, 300, kNeverRecovers});
+  opts.reference_rebalance = true;
+  const auto reference = run_with(prog, trace, opts);
+  EXPECT_GT(reference.fault_remapped_indices, 0u); // the plan actually bites
+  opts.reference_rebalance = false;
+  expect_identical(reference, run_with(prog, trace, opts));
+}
+
+TEST(FastForward, SkipsEmptyWindowRemapBoundariesBitIdentically) {
+  // A sparse trace leaves many remap windows with an empty touched list.
+  // window_dirty() lets fast-forward skip those boundaries entirely — the
+  // results must match the cycle-by-cycle walk AND the full-scan reference
+  // path (which steps every boundary) bit for bit.
+  const auto prog = compile_mp5(apps::make_synthetic_source(3, 128));
+  SyntheticConfig config;
+  config.stateful_stages = 3;
+  config.reg_size = 128;
+  config.pipelines = 4;
+  config.packets = 300;
+  config.load = 0.002; // ~500 idle cycles between packets: whole remap
+                       // periods pass with nothing touched
+  const auto trace = make_synthetic_trace(config);
+
+  for (const auto& variant : kVariants) {
+    SCOPED_TRACE(variant.name);
+    auto opts = variant.make(4, 2);
+    opts.fast_forward = false;
+    opts.reference_rebalance = true;
+    const auto slow_reference = run_with(prog, trace, opts);
+    // The trace spans several remap periods, so empty-window boundaries
+    // really occur between the sparse arrivals.
+    EXPECT_GT(slow_reference.cycles_run, 10 * opts.remap_period);
+    opts.reference_rebalance = false;
+    const auto slow = run_with(prog, trace, opts);
+    expect_identical(slow_reference, slow);
+    opts.fast_forward = true;
+    expect_identical(slow, run_with(prog, trace, opts));
+  }
+}
+
 // --- packet arena --------------------------------------------------------
 
 TEST(PacketArena, RecyclesSlotsWithoutStaleFields) {

@@ -278,6 +278,35 @@ TEST(TelemetrySim, CountersMatchSimResult) {
             result.egressed);
 }
 
+TEST(TelemetrySim, RebalanceRunsCountedUniformlyAcrossPolicies) {
+  // shard.rebalance_runs counts every crossed remap boundary under every
+  // policy — the static policies (kStaticRandom, kSinglePipeline) close
+  // their counter windows at the same cadence as the moving policies and
+  // used to under-report by never bumping the counter.
+  const auto prog = synthetic_program();
+  const auto trace = synthetic_trace(5);
+  SimOptions (*const presets[])(std::uint32_t, std::uint64_t) = {
+      mp5_options, no_d2_options, naive_options, ideal_options};
+  for (const auto make : presets) {
+    Telemetry telem;
+    SimOptions opts = make(4, 5);
+    opts.telemetry = &telem;
+    Mp5Simulator sim(prog, opts);
+    const auto result = sim.run(trace);
+    const auto counters = telem.counter_snapshot();
+    // One run per boundary: boundaries lie at cycles period-1, 2*period-1,
+    // ... strictly below cycles_run.
+    ASSERT_NE(opts.remap_period, 0u);
+    const std::uint64_t expected = result.cycles_run / opts.remap_period;
+    EXPECT_EQ(counters.at("shard.rebalance_runs"), expected);
+    EXPECT_GT(expected, 0u);
+    // The windowed working set is recorded for every policy too.
+    EXPECT_GT(counters.at("shard.touched_indices"), 0u);
+    EXPECT_LE(counters.at("shard.touched_indices"),
+              counters.at("shard.state_accesses"));
+  }
+}
+
 TEST(TelemetrySim, DeterministicAcrossSameSeedRuns) {
   const auto prog = synthetic_program();
   const auto trace = synthetic_trace(7);
