@@ -28,6 +28,12 @@ std::vector<std::vector<Value>> Pvsm::initial_registers() const {
   std::vector<std::vector<Value>> out;
   out.reserve(registers.size());
   for (const auto& spec : registers) {
+    // Same diagnostic as the parser and sema: a size-0 array would make
+    // every floor_mod(idx, size) index reduction divide by zero.
+    if (spec.size == 0) {
+      throw SemanticError("register '" + spec.name +
+                          "' must have positive size");
+    }
     std::vector<Value> arr(spec.size, 0);
     for (std::size_t i = 0; i < spec.init.size() && i < spec.size; ++i) {
       arr[i] = spec.init[i];

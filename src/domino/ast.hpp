@@ -80,7 +80,10 @@ struct Ast {
   std::vector<StmtPtr> body;
 };
 
-/// Deep structural clone (used by tests and the AST interpreter harness).
+/// Deep structural clones (used by tests, table desugaring, and the
+/// differential fuzzer's delta-debugging shrinker).
 ExprPtr clone(const Expr& e);
+StmtPtr clone(const Stmt& s);
+Ast clone(const Ast& ast);
 
 } // namespace mp5::domino

@@ -2,10 +2,12 @@
 
 #include "common/error.hpp"
 #include "common/hashing.hpp"
+#include "domino/sema.hpp"
 
 namespace mp5::domino {
 
-AstInterp::AstInterp(const Ast& ast) : ast_(&ast) {
+AstInterp::AstInterp(const Ast& ast, bool validate) : ast_(&ast) {
+  if (validate) check_semantics(ast);
   for (std::size_t i = 0; i < ast.registers.size(); ++i) {
     reg_index_[ast.registers[i].name] = i;
   }
@@ -36,7 +38,14 @@ Value AstInterp::eval(const Expr& e,
       if (r == reg_index_.end()) {
         throw SemanticError("undeclared identifier '" + e.name + "'");
       }
-      return regs_[r->second][0];
+      const auto& arr = regs_[r->second];
+      if (arr.size() > 1) {
+        // Backstop for unvalidated programs; sema rejects this up front.
+        throw SemanticError("register array '" + e.name + "' (size " +
+                            std::to_string(arr.size()) +
+                            ") cannot be accessed without an index");
+      }
+      return arr[0];
     }
     case Expr::Kind::kReg: {
       auto r = reg_index_.find(e.name);
@@ -45,7 +54,7 @@ Value AstInterp::eval(const Expr& e,
       }
       const auto& arr = regs_[r->second];
       const Value idx =
-          floor_mod(eval(*e.index, env), static_cast<Value>(arr.size()));
+          reduce_index(eval(*e.index, env), static_cast<Value>(arr.size()));
       return arr[static_cast<std::size_t>(idx)];
     }
     case Expr::Kind::kUnary:
@@ -87,9 +96,18 @@ Value* AstInterp::lvalue_reg(const Expr& e,
   auto& arr = regs_[r->second];
   Value idx = 0;
   if (e.kind == Expr::Kind::kReg) {
-    idx = floor_mod(eval(*e.index, env), static_cast<Value>(arr.size()));
+    idx = reduce_index(eval(*e.index, env), static_cast<Value>(arr.size()));
+  } else if (arr.size() > 1) {
+    // Backstop for unvalidated programs; sema rejects this up front.
+    throw SemanticError("register array '" + e.name + "' (size " +
+                        std::to_string(arr.size()) +
+                        ") cannot be accessed without an index");
   }
   return &arr[static_cast<std::size_t>(idx)];
+}
+
+Value AstInterp::reduce_index(Value raw, Value size) const {
+  return floor_mod(raw, size);
 }
 
 void AstInterp::exec(const Stmt& stmt,

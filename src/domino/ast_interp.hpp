@@ -23,7 +23,13 @@ namespace mp5::domino {
 
 class AstInterp {
 public:
-  explicit AstInterp(const Ast& ast);
+  /// By default the program is semantically validated up front
+  /// (check_semantics), so the interpreter rejects exactly what the
+  /// compiler rejects. Pass validate = false to skip that and exercise
+  /// the defensive runtime backstops (bad builtins and bare array reads
+  /// then throw SemanticError mid-run instead).
+  explicit AstInterp(const Ast& ast, bool validate = true);
+  virtual ~AstInterp() = default;
 
   /// Process one packet; missing fields default to 0. Returns the final
   /// value of every declared field.
@@ -31,6 +37,13 @@ public:
       const std::unordered_map<std::string, Value>& fields);
 
   const std::vector<std::vector<Value>>& registers() const { return regs_; }
+
+protected:
+  /// Reduce a raw index expression value to an array slot in [0, size).
+  /// Virtual as a fault-injection seam: the differential fuzzer's
+  /// self-test subclasses this with a deliberately wrong reduction to
+  /// prove the divergence pipeline catches and shrinks it.
+  virtual Value reduce_index(Value raw, Value size) const;
 
 private:
   Value eval(const Expr& e,

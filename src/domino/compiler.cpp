@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "domino/optimize.hpp"
 #include "domino/parser.hpp"
+#include "domino/sema.hpp"
 
 namespace mp5::domino {
 namespace {
@@ -23,6 +24,7 @@ banzai::MachineSpec with_reserved(const banzai::MachineSpec& machine,
 CompileResult compile(const Ast& ast, const banzai::MachineSpec& machine,
                       std::uint32_t reserve_stages) {
   const banzai::MachineSpec target = with_reserved(machine, reserve_stages);
+  check_semantics(ast);
   LoweredProgram lowered = lower(ast);
   optimize(lowered);
 

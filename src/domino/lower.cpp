@@ -113,6 +113,15 @@ private:
     return it->second;
   }
 
+  void reject_bare_array(RegId reg) const {
+    const auto& spec = out_.registers[reg];
+    if (spec.size > 1) {
+      throw SemanticError("register array '" + spec.name + "' (size " +
+                          std::to_string(spec.size) +
+                          ") cannot be accessed without an index");
+    }
+  }
+
   Operand lower_expr(const Expr& e, const Guard& guard) {
     switch (e.kind) {
       case Expr::Kind::kIntLit:
@@ -133,8 +142,11 @@ private:
         if (auto c = consts_.find(e.name); c != consts_.end()) {
           return Operand::make_const(c->second);
         }
-        // Scalar register read.
-        return emit_reg_read(reg_of(e.name), Operand::make_const(0), guard);
+        // Scalar register read (sema rejects bare reads of real arrays;
+        // re-checked here for callers that lower unvalidated ASTs).
+        const RegId reg = reg_of(e.name);
+        reject_bare_array(reg);
+        return emit_reg_read(reg, Operand::make_const(0), guard);
       }
       case Expr::Kind::kReg: {
         const Operand idx = lower_expr(*e.index, guard);
@@ -295,6 +307,7 @@ private:
         throw SemanticError("cannot assign to constant '" + lhs.name + "'");
       }
       reg = reg_of(lhs.name);
+      reject_bare_array(reg);
     } else {
       throw SemanticError("bad assignment target");
     }

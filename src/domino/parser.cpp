@@ -165,22 +165,7 @@ private:
     tables_[table.name] = std::move(table);
   }
 
-  static StmtPtr clone_stmt(const Stmt& stmt) {
-    auto out = std::make_unique<Stmt>();
-    out->kind = stmt.kind;
-    out->line = stmt.line;
-    out->col = stmt.col;
-    if (stmt.lhs) out->lhs = clone(*stmt.lhs);
-    if (stmt.rhs) out->rhs = clone(*stmt.rhs);
-    if (stmt.cond) out->cond = clone(*stmt.cond);
-    for (const auto& child : stmt.then_body) {
-      out->then_body.push_back(clone_stmt(*child));
-    }
-    for (const auto& child : stmt.else_body) {
-      out->else_body.push_back(clone_stmt(*child));
-    }
-    return out;
-  }
+  static StmtPtr clone_stmt(const Stmt& stmt) { return clone(stmt); }
 
   /// apply <table>; -> if (key == m1) {a1} else if (key == m2) {a2} ...
   StmtPtr desugar_apply(const TableDecl& table, int line, int col) {
@@ -548,6 +533,30 @@ ExprPtr clone(const Expr& e) {
   if (e.b) out->b = clone(*e.b);
   if (e.c) out->c = clone(*e.c);
   for (const auto& arg : e.args) out->args.push_back(clone(*arg));
+  return out;
+}
+
+StmtPtr clone(const Stmt& s) {
+  auto out = std::make_unique<Stmt>();
+  out->kind = s.kind;
+  out->line = s.line;
+  out->col = s.col;
+  if (s.lhs) out->lhs = clone(*s.lhs);
+  if (s.rhs) out->rhs = clone(*s.rhs);
+  if (s.cond) out->cond = clone(*s.cond);
+  for (const auto& child : s.then_body) out->then_body.push_back(clone(*child));
+  for (const auto& child : s.else_body) out->else_body.push_back(clone(*child));
+  return out;
+}
+
+Ast clone(const Ast& ast) {
+  Ast out;
+  out.func_name = ast.func_name;
+  out.packet_param = ast.packet_param;
+  out.fields = ast.fields;
+  out.registers = ast.registers;
+  out.constants = ast.constants;
+  for (const auto& stmt : ast.body) out.body.push_back(clone(*stmt));
   return out;
 }
 

@@ -1,0 +1,180 @@
+#include "domino/sema.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace mp5::domino {
+namespace {
+
+class Sema {
+public:
+  explicit Sema(const Ast& ast) : ast_(&ast) {
+    for (const auto& [name, value] : ast.constants) {
+      declare(name);
+      consts_.insert(name);
+    }
+    for (const auto& spec : ast.registers) {
+      declare(spec.name);
+      if (spec.size == 0) {
+        throw SemanticError("register '" + spec.name +
+                            "' must have positive size");
+      }
+      if (spec.init.size() > spec.size) {
+        throw SemanticError("register '" + spec.name +
+                            "' initializer is longer than the array");
+      }
+      reg_size_[spec.name] = spec.size;
+    }
+    for (const auto& field : ast.fields) fields_.insert(field);
+  }
+
+  void run() {
+    for (const auto& stmt : ast_->body) check_stmt(*stmt);
+  }
+
+private:
+  void declare(const std::string& name) {
+    if (!declared_.insert(name).second) {
+      throw SemanticError("duplicate declaration of '" + name + "'");
+    }
+  }
+
+  std::size_t reg_size_of(const std::string& name) const {
+    auto it = reg_size_.find(name);
+    if (it == reg_size_.end()) {
+      throw SemanticError("undeclared register '" + name + "'");
+    }
+    return it->second;
+  }
+
+  void check_field(const Expr& e) const {
+    if (!e.args.empty() && e.args[0]->name != ast_->packet_param) {
+      throw SemanticError("unknown struct value '" + e.args[0]->name +
+                          "' (expected packet parameter '" +
+                          ast_->packet_param + "')");
+    }
+    if (!fields_.count(e.name)) {
+      throw SemanticError("undeclared packet field '" + e.name + "'");
+    }
+  }
+
+  void check_expr(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit:
+        return;
+      case Expr::Kind::kField:
+        check_field(e);
+        return;
+      case Expr::Kind::kIdent: {
+        if (consts_.count(e.name)) return;
+        const std::size_t size = reg_size_of(e.name);
+        if (size > 1) {
+          throw SemanticError("register array '" + e.name + "' (size " +
+                              std::to_string(size) +
+                              ") cannot be accessed without an index");
+        }
+        return;
+      }
+      case Expr::Kind::kReg:
+        reg_size_of(e.name);
+        check_expr(*e.index);
+        return;
+      case Expr::Kind::kUnary:
+        check_expr(*e.a);
+        return;
+      case Expr::Kind::kBinary:
+        check_expr(*e.a);
+        check_expr(*e.b);
+        return;
+      case Expr::Kind::kTernary:
+        check_expr(*e.a);
+        check_expr(*e.b);
+        check_expr(*e.c);
+        return;
+      case Expr::Kind::kCall:
+        check_call(e);
+        return;
+    }
+    throw Error("check_expr: bad expression kind");
+  }
+
+  // Mirrors the lowerer's builtin handling so `mp5c` and the interpreter
+  // reject bad calls up front with identical messages.
+  void check_call(const Expr& e) const {
+    std::size_t arity = 0;
+    if (e.name == "min" || e.name == "max") {
+      if (e.args.size() != 2) {
+        throw SemanticError(e.name + " expects 2 arguments");
+      }
+      arity = 2;
+    } else if (e.name == "hash2") {
+      arity = 2;
+    } else if (e.name == "hash3") {
+      arity = 3;
+    } else if (e.name == "hash5") {
+      arity = 5;
+    } else {
+      throw SemanticError("unknown builtin '" + e.name + "'");
+    }
+    if (e.args.size() != arity) {
+      throw SemanticError(e.name + " expects " + std::to_string(arity) +
+                          " arguments, got " + std::to_string(e.args.size()));
+    }
+    for (const auto& arg : e.args) check_expr(*arg);
+  }
+
+  void check_assign_target(const Expr& lhs) const {
+    switch (lhs.kind) {
+      case Expr::Kind::kField:
+        check_field(lhs);
+        return;
+      case Expr::Kind::kReg:
+        reg_size_of(lhs.name);
+        check_expr(*lhs.index);
+        return;
+      case Expr::Kind::kIdent: {
+        if (consts_.count(lhs.name)) {
+          throw SemanticError("cannot assign to constant '" + lhs.name + "'");
+        }
+        const std::size_t size = reg_size_of(lhs.name);
+        if (size > 1) {
+          throw SemanticError("register array '" + lhs.name + "' (size " +
+                              std::to_string(size) +
+                              ") cannot be accessed without an index");
+        }
+        return;
+      }
+      default:
+        throw SemanticError("bad assignment target");
+    }
+  }
+
+  void check_stmt(const Stmt& stmt) const {
+    switch (stmt.kind) {
+      case Stmt::Kind::kAssign:
+        check_assign_target(*stmt.lhs);
+        check_expr(*stmt.rhs);
+        return;
+      case Stmt::Kind::kIf:
+        check_expr(*stmt.cond);
+        for (const auto& s : stmt.then_body) check_stmt(*s);
+        for (const auto& s : stmt.else_body) check_stmt(*s);
+        return;
+    }
+  }
+
+  const Ast* ast_;
+  std::unordered_set<std::string> declared_;
+  std::unordered_set<std::string> consts_;
+  std::unordered_set<std::string> fields_;
+  std::unordered_map<std::string, std::size_t> reg_size_;
+};
+
+} // namespace
+
+void check_semantics(const Ast& ast) { Sema(ast).run(); }
+
+} // namespace mp5::domino

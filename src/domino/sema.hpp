@@ -1,0 +1,30 @@
+// Standalone semantic checker for parsed Domino programs.
+//
+// The parser only validates what it can see locally (duplicate
+// declarations, malformed initializers); everything name- and
+// arity-related used to be discovered as a side effect of lowering or —
+// worse — at interpretation time. check_semantics() concentrates those
+// rules so that `compile()` and the AST interpreter reject the same
+// programs with the same diagnostics before any code runs:
+//   * packet-field reads/writes must name declared fields of the packet
+//     parameter;
+//   * bare identifiers must be constants or *scalar* registers — an
+//     unindexed read or write of a register array with size > 1 is an
+//     error (it used to silently touch element 0);
+//   * register declarations must have positive size (so the runtime's
+//     `floor_mod(idx, size)` index reduction can never divide by zero)
+//     and initializers no longer than the array;
+//   * builtin calls (hash2/hash3/hash5/min/max) must name a known builtin
+//     with the right arity;
+//   * assignment targets must be packet fields or registers, never
+//     constants.
+// Throws SemanticError with the same wording as the parser and lowerer.
+#pragma once
+
+#include "domino/ast.hpp"
+
+namespace mp5::domino {
+
+void check_semantics(const Ast& ast);
+
+} // namespace mp5::domino

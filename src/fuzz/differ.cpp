@@ -1,0 +1,309 @@
+#include "fuzz/differ.hpp"
+
+#include <exception>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "banzai/single_pipeline.hpp"
+#include "common/error.hpp"
+#include "common/hashing.hpp"
+#include "domino/ast_interp.hpp"
+#include "domino/compiler.hpp"
+#include "domino/parser.hpp"
+#include "metrics/equivalence.hpp"
+#include "mp5/simulator.hpp"
+#include "mp5/transform.hpp"
+
+namespace mp5::fuzz {
+namespace {
+
+/// Decorrelates the trace stream from the program stream per seed.
+constexpr std::uint64_t kTraceSalt = 0x7ea15eedULL;
+constexpr std::uint64_t kMutationSalt = 0x5ca1ab1eULL;
+
+/// The deliberately broken oracle for the fuzzer's self-test: every array
+/// index lands one slot off. Any program that distinguishes array slots
+/// then diverges from the compiled reference, and the divergence pipeline
+/// must catch and shrink it (ISSUE acceptance criterion).
+class OffByOneOracle final : public domino::AstInterp {
+public:
+  using AstInterp::AstInterp;
+
+protected:
+  Value reduce_index(Value raw, Value size) const override {
+    return size <= 0 ? 0 : (floor_mod(raw, size) + 1) % size;
+  }
+};
+
+struct Compiled {
+  Mp5Program prog;
+  banzai::ReferenceResult reference;
+};
+
+Compiled prepare(const domino::Ast& ast, const Trace& trace) {
+  Compiled out;
+  out.prog = transform(domino::compile(ast, {}, /*reserve_stages=*/1).pvsm);
+  banzai::ReferenceSwitch ref(out.prog.pvsm);
+  out.reference = ref.run(to_header_batch(trace, out.prog.pvsm.num_slots()));
+  return out;
+}
+
+} // namespace
+
+std::string to_string(ShardingPolicy policy) {
+  switch (policy) {
+    case ShardingPolicy::kDynamic: return "dynamic";
+    case ShardingPolicy::kStaticRandom: return "static-random";
+    case ShardingPolicy::kSinglePipeline: return "single-pipeline";
+    case ShardingPolicy::kIdealLpt: return "ideal-lpt";
+  }
+  throw Error("to_string: bad sharding policy");
+}
+
+ShardingPolicy sharding_from_string(const std::string& name) {
+  if (name == "dynamic") return ShardingPolicy::kDynamic;
+  if (name == "static-random") return ShardingPolicy::kStaticRandom;
+  if (name == "single-pipeline") return ShardingPolicy::kSinglePipeline;
+  if (name == "ideal-lpt") return ShardingPolicy::kIdealLpt;
+  throw ConfigError("unknown sharding policy '" + name + "'");
+}
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kOracleDivergence: return "oracle-divergence";
+    case FailureKind::kSimDivergence: return "sim-divergence";
+    case FailureKind::kCrash: return "crash";
+  }
+  throw Error("to_string: bad failure kind");
+}
+
+std::string SimConfig::name() const {
+  std::ostringstream os;
+  os << "k" << pipelines << "-" << fuzz::to_string(sharding) << "-t" << threads
+     << (fast_forward ? "-ff" : "-noff")
+     << (reference_rebalance ? "-ref" : "-incr");
+  return os.str();
+}
+
+SimOptions SimConfig::to_options() const {
+  SimOptions opts;
+  opts.pipelines = pipelines;
+  opts.sharding = sharding;
+  opts.threads = threads;
+  opts.fast_forward = fast_forward;
+  opts.reference_rebalance = reference_rebalance;
+  opts.remap_period = remap_period;
+  opts.fifo_capacity = fifo_capacity;
+  opts.seed = seed;
+  opts.record_egress = true;
+  // Every fuzz run doubles as a watchdog run: invariant violations are
+  // failures, not silent corruption.
+  opts.paranoid_checks = true;
+  return opts;
+}
+
+std::vector<SimConfig> full_config_matrix() {
+  std::vector<SimConfig> matrix;
+  for (const std::uint32_t k : {2u, 4u, 8u}) {
+    for (const ShardingPolicy policy :
+         {ShardingPolicy::kDynamic, ShardingPolicy::kStaticRandom,
+          ShardingPolicy::kIdealLpt}) {
+      for (const std::uint32_t threads : {1u, 4u}) {
+        for (const bool ff : {true, false}) {
+          for (const bool ref_rebalance : {false, true}) {
+            SimConfig cfg;
+            cfg.pipelines = k;
+            cfg.sharding = policy;
+            cfg.threads = threads;
+            cfg.fast_forward = ff;
+            cfg.reference_rebalance = ref_rebalance;
+            matrix.push_back(cfg);
+          }
+        }
+      }
+    }
+  }
+  return matrix;
+}
+
+std::vector<SimConfig> quick_config_matrix() {
+  std::vector<SimConfig> matrix;
+  SimConfig cfg; // k4 dynamic t1 ff incremental
+  matrix.push_back(cfg);
+  cfg.pipelines = 2;
+  cfg.sharding = ShardingPolicy::kStaticRandom;
+  matrix.push_back(cfg);
+  cfg = SimConfig{};
+  cfg.pipelines = 8;
+  cfg.sharding = ShardingPolicy::kIdealLpt;
+  cfg.fast_forward = false;
+  matrix.push_back(cfg);
+  cfg = SimConfig{};
+  cfg.threads = 4;
+  cfg.reference_rebalance = true;
+  matrix.push_back(cfg);
+  return matrix;
+}
+
+Differ::Differ(DifferOptions opts) : opts_(std::move(opts)) {}
+
+Failure Differ::check_oracle(const domino::Ast& ast,
+                             const Trace& trace) const {
+  const Compiled compiled = prepare(ast, trace);
+  std::unique_ptr<domino::AstInterp> oracle;
+  if (opts_.inject_floor_mod_bug) {
+    oracle = std::make_unique<OffByOneOracle>(ast);
+  } else {
+    oracle = std::make_unique<domino::AstInterp>(ast);
+  }
+
+  Failure failure;
+  failure.kind = FailureKind::kOracleDivergence;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    std::unordered_map<std::string, Value> fields;
+    for (std::size_t f = 0; f < ast.fields.size(); ++f) {
+      fields[ast.fields[f]] =
+          f < trace[i].fields.size() ? trace[i].fields[f] : 0;
+    }
+    const auto out = oracle->process(fields);
+    for (const auto& name : ast.fields) {
+      const auto slot =
+          static_cast<std::size_t>(compiled.prog.pvsm.slot_of(name));
+      const Value want = out.at(name);
+      const Value got = compiled.reference.egress_headers[i][slot];
+      if (want != got) {
+        std::ostringstream os;
+        os << "packet " << i << " field '" << name << "': oracle " << want
+           << ", reference " << got;
+        failure.detail = os.str();
+        return failure;
+      }
+    }
+  }
+  const auto& oracle_regs = oracle->registers();
+  const auto& ref_regs = compiled.reference.final_registers;
+  for (std::size_t r = 0; r < oracle_regs.size() && r < ref_regs.size(); ++r) {
+    for (std::size_t i = 0; i < oracle_regs[r].size(); ++i) {
+      if (oracle_regs[r][i] != ref_regs[r][i]) {
+        std::ostringstream os;
+        os << "register " << ast.registers[r].name << "[" << i << "]: oracle "
+           << oracle_regs[r][i] << ", reference " << ref_regs[r][i];
+        failure.detail = os.str();
+        return failure;
+      }
+    }
+  }
+  return Failure{};
+}
+
+namespace {
+
+Failure check_cell(const Compiled& compiled, const Trace& trace,
+                   const SimConfig& config) {
+  Failure failure;
+  failure.config = config;
+  try {
+    Mp5Simulator sim(compiled.prog, config.to_options());
+    const SimResult result = sim.run(trace);
+    if (result.egressed != result.offered) {
+      failure.kind = FailureKind::kSimDivergence;
+      failure.detail = "lossless config dropped packets: offered " +
+                       std::to_string(result.offered) + ", egressed " +
+                       std::to_string(result.egressed);
+      return failure;
+    }
+    const EquivalenceReport report =
+        check_equivalence(compiled.prog.pvsm, compiled.reference, result);
+    if (!report.equivalent()) {
+      failure.kind = FailureKind::kSimDivergence;
+      failure.detail = report.first_difference;
+      return failure;
+    }
+  } catch (const std::exception& e) {
+    failure.kind = FailureKind::kCrash;
+    failure.detail = e.what();
+    return failure;
+  }
+  return Failure{};
+}
+
+} // namespace
+
+Failure Differ::check(const domino::Ast& ast, const Trace& trace) const {
+  if (Failure f = check_oracle(ast, trace)) return f;
+  const Compiled compiled = prepare(ast, trace);
+  for (const SimConfig& config : opts_.matrix) {
+    if (Failure f = check_cell(compiled, trace, config)) return f;
+  }
+  return Failure{};
+}
+
+Failure Differ::check_config(const domino::Ast& ast, const Trace& trace,
+                             const SimConfig& config) const {
+  return check_cell(prepare(ast, trace), trace, config);
+}
+
+FailurePredicate Differ::make_predicate(const Failure& failure) const {
+  const Failure target = failure;
+  const bool inject = opts_.inject_floor_mod_bug;
+  return [this, target, inject](const domino::Ast& ast,
+                                const Trace& trace) -> bool {
+    try {
+      if (target.kind == FailureKind::kOracleDivergence) {
+        DifferOptions sub;
+        sub.inject_floor_mod_bug = inject;
+        return Differ(sub).check_oracle(ast, trace).kind == target.kind;
+      }
+      return check_config(ast, trace, target.config).kind == target.kind;
+    } catch (const std::exception&) {
+      // Candidate no longer compiles (or otherwise fails before the
+      // executors run): not a reproduction.
+      return false;
+    }
+  };
+}
+
+SeedOutcome Differ::run_seed(std::uint64_t seed) const {
+  SeedOutcome out;
+  out.seed = seed;
+  ProgramGen gen(seed, opts_.gen);
+  out.source = gen.generate();
+  out.program = domino::parse(out.source);
+  try {
+    // Probe compilability once so legitimately rejected programs (cyclic
+    // state dependencies, machine overflow) are counted as skips.
+    (void)domino::compile(out.program, {}, /*reserve_stages=*/1);
+  } catch (const SemanticError&) {
+    return out;
+  } catch (const ResourceError&) {
+    return out;
+  }
+  out.compiled = true;
+
+  out.trace = generate_trace(seed ^ kTraceSalt, out.program.fields.size(),
+                             opts_.trace_gen);
+  Rng mutation_rng(seed ^ kMutationSalt);
+  for (std::uint32_t m = 0; m < opts_.trace_mutations; ++m) {
+    mutate_trace(out.trace, mutation_rng, out.program.fields.size(),
+                 opts_.trace_gen);
+  }
+  sort_by_arrival(out.trace);
+
+  if (Failure f = check_oracle(out.program, out.trace)) {
+    out.failure = std::move(f);
+    return out;
+  }
+  const Compiled compiled = prepare(out.program, out.trace);
+  for (const SimConfig& config : opts_.matrix) {
+    ++out.configs_checked;
+    if (Failure f = check_cell(compiled, out.trace, config)) {
+      out.failure = std::move(f);
+      return out;
+    }
+  }
+  return out;
+}
+
+} // namespace mp5::fuzz

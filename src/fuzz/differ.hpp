@@ -1,0 +1,123 @@
+// Differential-fuzzing driver: for each seed, generate a program and a
+// trace, then run three executors and cross-check them —
+//   1. the AstInterp oracle (direct source semantics),
+//   2. the banzai::SinglePipeline reference (compiled PVSM, §2.2), and
+//   3. the MP5 simulator across a configuration matrix
+//      (k ∈ {2,4,8} × sharding policy × engine threads × fast-forward
+//       on/off × reference_rebalance on/off)
+// via check_equivalence. Every run is lossless (unbounded FIFOs) with the
+// paranoid invariant watchdog armed, so a failure is a divergence, a drop
+// in a lossless config, or a crash/invariant violation — exactly the
+// Theorem 1 obligations (§2.2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "domino/ast.hpp"
+#include "fuzz/program_gen.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/trace_gen.hpp"
+#include "mp5/options.hpp"
+#include "trace/trace.hpp"
+
+namespace mp5::fuzz {
+
+/// One cell of the simulator configuration matrix.
+struct SimConfig {
+  std::uint32_t pipelines = 4;
+  ShardingPolicy sharding = ShardingPolicy::kDynamic;
+  /// Engine threads; 1 = sequential engine, >1 = parallel lane engine.
+  std::uint32_t threads = 1;
+  bool fast_forward = true;
+  bool reference_rebalance = false;
+  std::uint32_t remap_period = 32;
+  std::size_t fifo_capacity = 0; // 0 = unbounded (lossless)
+  std::uint64_t seed = 1;
+
+  /// Stable human-readable id, e.g. "k4-dynamic-t1-ff-incr".
+  std::string name() const;
+  SimOptions to_options() const;
+};
+
+std::string to_string(ShardingPolicy policy);
+/// Inverse of to_string; throws ConfigError on unknown names.
+ShardingPolicy sharding_from_string(const std::string& name);
+
+/// The full ISSUE matrix: 3 k-values x 3 sharding policies x 2 thread
+/// counts x fast-forward on/off x reference/incremental rebalance.
+std::vector<SimConfig> full_config_matrix();
+/// A small subset for smoke tests (one config per distinguishing axis).
+std::vector<SimConfig> quick_config_matrix();
+
+enum class FailureKind {
+  kNone,
+  kOracleDivergence, // AstInterp vs single-pipeline reference
+  kSimDivergence,    // MP5 simulator vs single-pipeline reference
+  kCrash,            // exception / invariant violation while simulating
+};
+
+const char* to_string(FailureKind kind);
+
+struct Failure {
+  FailureKind kind = FailureKind::kNone;
+  /// Failing matrix cell (empty for oracle divergences).
+  SimConfig config;
+  std::string detail;
+  explicit operator bool() const { return kind != FailureKind::kNone; }
+};
+
+struct SeedOutcome {
+  std::uint64_t seed = 0;
+  /// False when the generated program was legitimately rejected by the
+  /// compiler (cyclic state dependencies etc.) and the seed was skipped.
+  bool compiled = false;
+  std::size_t configs_checked = 0;
+  std::string source;
+  domino::Ast program;
+  Trace trace;
+  Failure failure;
+};
+
+struct DifferOptions {
+  std::vector<SimConfig> matrix = full_config_matrix();
+  ProgramGen::Options gen;
+  TraceGenOptions trace_gen;
+  /// Extra seeded trace mutations applied after generation (0-3).
+  std::uint32_t trace_mutations = 2;
+  /// Fault-injection self-test: run the oracle with an off-by-one in its
+  /// floor_mod index reduction. The fuzzer must then catch and shrink the
+  /// resulting divergence — proving the detection pipeline works.
+  bool inject_floor_mod_bug = false;
+};
+
+class Differ {
+public:
+  explicit Differ(DifferOptions opts = {});
+
+  /// Generate program + trace for one seed and cross-check everything.
+  SeedOutcome run_seed(std::uint64_t seed) const;
+
+  /// Cross-check one (program, trace) pair against the whole matrix.
+  /// Stops at the first failure.
+  Failure check(const domino::Ast& ast, const Trace& trace) const;
+
+  /// Check a single matrix cell (used by reproducer replay).
+  Failure check_config(const domino::Ast& ast, const Trace& trace,
+                       const SimConfig& config) const;
+
+  /// Shrink predicate reproducing `failure`: oracle divergences re-run
+  /// only the oracle-vs-reference comparison; simulator divergences and
+  /// crashes re-run only the failing matrix cell. Deterministic.
+  FailurePredicate make_predicate(const Failure& failure) const;
+
+  const DifferOptions& options() const { return opts_; }
+
+private:
+  Failure check_oracle(const domino::Ast& ast, const Trace& trace) const;
+
+  DifferOptions opts_;
+};
+
+} // namespace mp5::fuzz

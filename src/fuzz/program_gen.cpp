@@ -1,0 +1,135 @@
+#include "fuzz/program_gen.hpp"
+
+#include <iterator>
+#include <sstream>
+
+namespace mp5::fuzz {
+
+ProgramGen::ProgramGen(std::uint64_t seed, const Options& opts)
+    : opts_(opts), rng_(seed) {}
+
+std::string ProgramGen::generate() {
+  num_fields_ =
+      static_cast<int>(rng_.next_in(opts_.min_fields, opts_.max_fields));
+  num_regs_ = static_cast<int>(rng_.next_in(opts_.min_regs, opts_.max_regs));
+  std::ostringstream os;
+  os << "struct Packet {";
+  for (int f = 0; f < num_fields_; ++f) os << " int f" << f << ";";
+  os << " };\n";
+  for (int r = 0; r < num_regs_; ++r) {
+    reg_size_[r] = static_cast<int>(rng_.next_in(1, opts_.max_reg_size));
+    if (reg_size_[r] == 1) {
+      os << "int r" << r << " = " << rng_.next_in(0, 9) << ";\n";
+      reg_index_[r].clear();
+    } else {
+      os << "int r" << r << "[" << reg_size_[r] << "] = {"
+         << rng_.next_in(0, 9) << "};\n";
+      // Fixed per-register index expression (single memory port per
+      // atom); with the wide grammar the shape varies per register.
+      const std::string f0 = "p.f" + std::to_string(r % num_fields_);
+      const std::string size = std::to_string(reg_size_[r]);
+      switch (opts_.wide ? rng_.next_below(3) : 0u) {
+        case 0:
+          reg_index_[r] = f0 + " % " + size;
+          break;
+        case 1:
+          reg_index_[r] = "(" + f0 + " + " +
+                          std::to_string(rng_.next_in(1, reg_size_[r])) +
+                          ") % " + size;
+          break;
+        default:
+          reg_index_[r] =
+              "hash2(" + f0 + ", p.f" +
+              std::to_string(rng_.next_below(
+                  static_cast<std::uint64_t>(num_fields_))) +
+              ") % " + size;
+          break;
+      }
+    }
+  }
+  os << "void prog(struct Packet p) {\n";
+  const int stmts =
+      static_cast<int>(rng_.next_in(opts_.min_stmts, opts_.max_stmts));
+  for (int i = 0; i < stmts; ++i) os << stmt(1);
+  os << "}\n";
+  return os.str();
+}
+
+std::string ProgramGen::reg_ref(int r) {
+  if (reg_size_[r] == 1) return "r" + std::to_string(r);
+  return "r" + std::to_string(r) + "[" + reg_index_[r] + "]";
+}
+
+std::string ProgramGen::expr(int depth) {
+  const std::uint64_t cases = opts_.wide ? 9 : 7;
+  const auto pick = rng_.next_below(depth >= 3 ? 3 : cases);
+  switch (pick) {
+    case 0:
+      return std::to_string(rng_.next_in(0, 15));
+    case 1:
+      return "p.f" + std::to_string(rng_.next_below(
+                         static_cast<std::uint64_t>(num_fields_)));
+    case 2:
+      return reg_ref(static_cast<int>(
+          rng_.next_below(static_cast<std::uint64_t>(num_regs_))));
+    case 3: {
+      static const char* kNarrowOps[] = {"+", "-", "*",  "&", "|",
+                                         "^", "<", "==", ">>"};
+      static const char* kWideOps[] = {"+",  "-", "*",  "&",  "|", "^", "<",
+                                       "==", ">>", "<=", ">", "!="};
+      const auto* ops = opts_.wide ? kWideOps : kNarrowOps;
+      const auto n = opts_.wide ? std::size(kWideOps) : std::size(kNarrowOps);
+      const auto op = ops[rng_.next_below(n)];
+      return "(" + expr(depth + 1) + " " + op + " " + expr(depth + 1) + ")";
+    }
+    case 4:
+      return "(" + expr(depth + 1) + " ? " + expr(depth + 1) + " : " +
+             expr(depth + 1) + ")";
+    case 5:
+      return "hash2(" + expr(depth + 1) + ", " + expr(depth + 1) + ")";
+    case 6:
+      return "(" + expr(depth + 1) + " % " +
+             std::to_string(rng_.next_in(1, 16)) + ")";
+    case 7:
+      return std::string(rng_.chance(0.5) ? "min" : "max") + "(" +
+             expr(depth + 1) + ", " + expr(depth + 1) + ")";
+    default:
+      return "hash3(" + expr(depth + 1) + ", " + expr(depth + 1) + ", " +
+             expr(depth + 1) + ")";
+  }
+}
+
+std::string ProgramGen::stmt(int depth) {
+  const bool allow_if = depth < opts_.max_if_depth;
+  const auto pick = rng_.next_below(allow_if ? 4 : 3);
+  std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (pick) {
+    case 0:
+      return pad + "p.f" +
+             std::to_string(rng_.next_below(
+                 static_cast<std::uint64_t>(num_fields_))) +
+             " = " + expr(1) + ";\n";
+    case 1:
+    case 2:
+      return pad +
+             reg_ref(static_cast<int>(
+                 rng_.next_below(static_cast<std::uint64_t>(num_regs_)))) +
+             " = " + expr(1) + ";\n";
+    default: {
+      std::string out = pad + "if (" + expr(1) + ") {\n";
+      const int n = static_cast<int>(rng_.next_in(1, 2));
+      for (int i = 0; i < n; ++i) out += stmt(depth + 1);
+      out += pad + "}";
+      if (rng_.chance(0.5)) {
+        out += " else {\n";
+        const int m = static_cast<int>(rng_.next_in(1, 2));
+        for (int i = 0; i < m; ++i) out += stmt(depth + 1);
+        out += pad + "}";
+      }
+      out += "\n";
+      return out;
+    }
+  }
+}
+
+} // namespace mp5::fuzz

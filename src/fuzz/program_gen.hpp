@@ -1,0 +1,62 @@
+// Seeded random Domino-program generator for differential fuzzing and
+// property tests (promoted from tests/program_gen.hpp).
+//
+// Generated programs use each register with one fixed index expression (a
+// Banzai single-memory-port requirement), but — unlike the original test
+// helper — the index *shape* varies per register: plain `p.f % size`,
+// offset `(p.f + c) % size`, or hashed `hash2(p.f, p.g) % size`. The
+// expression grammar additionally covers ternaries, nested ifs, and the
+// hash2/hash3/min/max builtins.
+//
+// Cyclic state dependencies can still arise and are rejected by the
+// compiler — callers skip those seeds (the fuzz driver counts them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace mp5::fuzz {
+
+class ProgramGen {
+public:
+  struct Options {
+    int min_fields = 2;
+    int max_fields = 4;
+    int min_regs = 1;
+    int max_regs = 3;
+    int max_reg_size = 8;
+    int min_stmts = 3;
+    int max_stmts = 8;
+    /// Maximum statement nesting (ifs inside ifs).
+    int max_if_depth = 3;
+    /// Enable the widened grammar: hash3/min/max calls, <=/>/!=
+    /// comparisons, and varied per-register index shapes. Off reproduces
+    /// the original narrow test-helper grammar distribution.
+    bool wide = true;
+  };
+
+  explicit ProgramGen(std::uint64_t seed, const Options& opts);
+  explicit ProgramGen(std::uint64_t seed) : ProgramGen(seed, Options()) {}
+
+  /// Generate one program. Each call advances the seeded stream.
+  std::string generate();
+
+  /// Number of packet fields of the most recently generated program.
+  int num_fields() const { return num_fields_; }
+
+private:
+  std::string reg_ref(int r);
+  std::string expr(int depth);
+  std::string stmt(int depth);
+
+  Options opts_;
+  Rng rng_;
+  int num_fields_ = 0;
+  int num_regs_ = 0;
+  int reg_size_[8] = {};
+  std::string reg_index_[8]; // fixed per-register index expression
+};
+
+} // namespace mp5::fuzz

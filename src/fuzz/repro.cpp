@@ -1,0 +1,234 @@
+#include "fuzz/repro.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "domino/parser.hpp"
+#include "telemetry/json_writer.hpp"
+#include "trace/trace_io.hpp"
+
+namespace mp5::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+FailureKind kind_from_string(const std::string& name) {
+  if (name == "pass" || name == "none") return FailureKind::kNone;
+  if (name == "oracle-divergence") return FailureKind::kOracleDivergence;
+  if (name == "sim-divergence") return FailureKind::kSimDivergence;
+  if (name == "crash") return FailureKind::kCrash;
+  throw ConfigError("reproducer: unknown expect kind '" + name + "'");
+}
+
+std::string stem_of(const std::string& json_path) {
+  constexpr std::string_view kSuffix = ".json";
+  if (json_path.size() <= kSuffix.size() ||
+      json_path.compare(json_path.size() - kSuffix.size(), kSuffix.size(),
+                        kSuffix) != 0) {
+    throw ConfigError("reproducer path must end in .json: " + json_path);
+  }
+  return json_path.substr(0, json_path.size() - kSuffix.size());
+}
+
+// --- targeted JSON key scanning -----------------------------------------
+// The metadata schema is flat (one nested "config" object, no arrays), so
+// instead of a full JSON parser we scan for `"key":` and read the scalar
+// that follows. The config object is carved out of the text first so its
+// "seed" cannot shadow the top-level "seed".
+
+std::size_t find_key(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) {
+    throw ConfigError("reproducer: missing key '" + key + "'");
+  }
+  pos += needle.size();
+  while (pos < text.size() &&
+         (std::isspace(static_cast<unsigned char>(text[pos])) ||
+          text[pos] == ':')) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::string scan_string(const std::string& text, const std::string& key) {
+  std::size_t pos = find_key(text, key);
+  if (pos >= text.size() || text[pos] != '"') {
+    throw ConfigError("reproducer: key '" + key + "' is not a string");
+  }
+  ++pos;
+  std::string out;
+  while (pos < text.size() && text[pos] != '"') {
+    char c = text[pos++];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (pos >= text.size()) break;
+    const char esc = text[pos++];
+    switch (esc) {
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        unsigned code = 0;
+        for (int i = 0; i < 4 && pos < text.size(); ++i) {
+          code = code * 16 +
+                 static_cast<unsigned>(
+                     std::stoi(std::string(1, text[pos++]), nullptr, 16));
+        }
+        out.push_back(static_cast<char>(code & 0x7f));
+        break;
+      }
+      default: out.push_back(esc); break;
+    }
+  }
+  return out;
+}
+
+std::int64_t scan_int(const std::string& text, const std::string& key) {
+  const std::size_t pos = find_key(text, key);
+  try {
+    return std::stoll(text.substr(pos, 24));
+  } catch (const std::exception&) {
+    throw ConfigError("reproducer: key '" + key + "' is not an integer");
+  }
+}
+
+bool scan_bool(const std::string& text, const std::string& key) {
+  const std::size_t pos = find_key(text, key);
+  if (text.compare(pos, 4, "true") == 0) return true;
+  if (text.compare(pos, 5, "false") == 0) return false;
+  throw ConfigError("reproducer: key '" + key + "' is not a boolean");
+}
+
+/// Splits `text` into (config-object substring, everything else).
+std::pair<std::string, std::string> split_config(const std::string& text) {
+  const std::size_t key = text.find("\"config\"");
+  if (key == std::string::npos) {
+    throw ConfigError("reproducer: missing key 'config'");
+  }
+  const std::size_t open = text.find('{', key);
+  const std::size_t close = text.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) {
+    throw ConfigError("reproducer: malformed 'config' object");
+  }
+  return {text.substr(open, close - open + 1),
+          text.substr(0, key) + text.substr(close + 1)};
+}
+
+} // namespace
+
+void save_reproducer(const Reproducer& repro, const std::string& json_path) {
+  const std::string stem = stem_of(json_path);
+  const std::string dom_path = stem + ".dom";
+  const std::string trace_path = stem + ".trace.csv";
+
+  {
+    std::ofstream dom(dom_path);
+    if (!dom) throw Error("cannot write " + dom_path);
+    dom << repro.program_source;
+  }
+  save_trace_file(repro.trace, trace_path);
+
+  std::ofstream out(json_path);
+  if (!out) throw Error("cannot write " + json_path);
+  telemetry::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "mp5-fuzz-repro");
+  w.kv("schema_version", 1);
+  w.kv("expect", repro.kind == FailureKind::kNone ? "pass"
+                                                  : to_string(repro.kind));
+  w.kv("seed", repro.seed);
+  w.kv("inject_floor_mod_bug", repro.inject_floor_mod_bug);
+  w.kv("detail", repro.detail);
+  // Side files are referenced by basename: a reproducer directory can be
+  // moved wholesale.
+  w.kv("program", fs::path(dom_path).filename().string());
+  w.kv("trace", fs::path(trace_path).filename().string());
+  w.key("config").begin_object();
+  w.kv("pipelines", repro.config.pipelines);
+  w.kv("sharding", to_string(repro.config.sharding));
+  w.kv("threads", repro.config.threads);
+  w.kv("fast_forward", repro.config.fast_forward);
+  w.kv("reference_rebalance", repro.config.reference_rebalance);
+  w.kv("remap_period", repro.config.remap_period);
+  w.kv("fifo_capacity", static_cast<std::uint64_t>(repro.config.fifo_capacity));
+  w.kv("seed", repro.config.seed);
+  w.end_object();
+  w.end_object();
+  out << "\n";
+  if (!out) throw Error("failed writing " + json_path);
+}
+
+Reproducer load_reproducer(const std::string& json_path) {
+  std::ifstream in(json_path);
+  if (!in) throw Error("cannot read " + json_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  if (scan_string(text, "schema") != "mp5-fuzz-repro") {
+    throw ConfigError("reproducer: bad schema in " + json_path);
+  }
+  if (scan_int(text, "schema_version") != 1) {
+    throw ConfigError("reproducer: unsupported version in " + json_path);
+  }
+
+  const auto [config_text, top_text] = split_config(text);
+
+  Reproducer repro;
+  repro.kind = kind_from_string(scan_string(top_text, "expect"));
+  repro.seed = static_cast<std::uint64_t>(scan_int(top_text, "seed"));
+  repro.inject_floor_mod_bug = scan_bool(top_text, "inject_floor_mod_bug");
+  repro.detail = scan_string(top_text, "detail");
+
+  repro.config.pipelines =
+      static_cast<std::uint32_t>(scan_int(config_text, "pipelines"));
+  repro.config.sharding =
+      sharding_from_string(scan_string(config_text, "sharding"));
+  repro.config.threads =
+      static_cast<std::uint32_t>(scan_int(config_text, "threads"));
+  repro.config.fast_forward = scan_bool(config_text, "fast_forward");
+  repro.config.reference_rebalance =
+      scan_bool(config_text, "reference_rebalance");
+  repro.config.remap_period =
+      static_cast<std::uint32_t>(scan_int(config_text, "remap_period"));
+  repro.config.fifo_capacity =
+      static_cast<std::size_t>(scan_int(config_text, "fifo_capacity"));
+  repro.config.seed = static_cast<std::uint64_t>(scan_int(config_text, "seed"));
+
+  const fs::path dir = fs::path(json_path).parent_path();
+  const fs::path dom_path = dir / scan_string(top_text, "program");
+  const fs::path trace_path = dir / scan_string(top_text, "trace");
+
+  std::ifstream dom(dom_path);
+  if (!dom) throw Error("cannot read " + dom_path.string());
+  std::ostringstream dom_buf;
+  dom_buf << dom.rdbuf();
+  repro.program_source = dom_buf.str();
+  repro.trace = load_trace_file(trace_path.string());
+  return repro;
+}
+
+Failure replay(const Reproducer& repro) {
+  const domino::Ast ast = domino::parse(repro.program_source);
+  DifferOptions opts;
+  opts.inject_floor_mod_bug = repro.inject_floor_mod_bug;
+  if (repro.kind == FailureKind::kOracleDivergence) {
+    opts.matrix.clear(); // check() then runs the oracle comparison only
+    return Differ(std::move(opts)).check(ast, repro.trace);
+  }
+  if (repro.kind == FailureKind::kNone) {
+    opts.matrix = quick_config_matrix();
+    return Differ(std::move(opts)).check(ast, repro.trace);
+  }
+  return Differ(std::move(opts)).check_config(ast, repro.trace, repro.config);
+}
+
+} // namespace mp5::fuzz

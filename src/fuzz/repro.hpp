@@ -1,0 +1,50 @@
+// Self-contained reproducers for differential-fuzzing failures.
+//
+// A reproducer is three side-by-side files sharing one stem:
+//   <stem>.json      — metadata: schema "mp5-fuzz-repro" v1, the seed, the
+//                      expected outcome ("pass" or a FailureKind), the
+//                      failing SimConfig, and pointers to the side files
+//   <stem>.dom       — the (shrunk) Domino program
+//   <stem>.trace.csv — the (shrunk) packet trace
+// Committed reproducers live under tests/corpus/ and are replayed by
+// test_fuzz_replay; `mp5fuzz --replay <stem>.json` replays one by hand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.hpp"
+#include "trace/trace.hpp"
+
+namespace mp5::fuzz {
+
+struct Reproducer {
+  /// Expected outcome when replayed. kNone means "expect: pass" — the
+  /// corpus entry is a regression witness for a *fixed* bug.
+  FailureKind kind = FailureKind::kNone;
+  /// Failing matrix cell; ignored for kNone/kOracleDivergence entries.
+  SimConfig config;
+  std::uint64_t seed = 0;
+  /// Replay with the off-by-one oracle fault injected (self-test entries).
+  bool inject_floor_mod_bug = false;
+  /// Human triage note (original failure detail).
+  std::string detail;
+  std::string program_source;
+  Trace trace;
+};
+
+/// Writes <stem>.json, <stem>.dom and <stem>.trace.csv, where <stem> is
+/// `json_path` minus its ".json" suffix. Throws Error on I/O failure.
+void save_reproducer(const Reproducer& repro, const std::string& json_path);
+
+/// Loads the metadata and both side files back. Throws Error /
+/// ConfigError on missing files or malformed metadata.
+Reproducer load_reproducer(const std::string& json_path);
+
+/// Replays a reproducer: runs the scoped check (oracle-only for oracle
+/// divergences, the stored config cell otherwise, the full quick matrix
+/// plus oracle for expect-pass entries) and returns the observed failure.
+/// The caller compares `.kind` against `repro.kind`.
+Failure replay(const Reproducer& repro);
+
+} // namespace mp5::fuzz

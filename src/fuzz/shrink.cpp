@@ -1,0 +1,497 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "fuzz/trace_gen.hpp"
+
+namespace mp5::fuzz {
+namespace {
+
+using domino::Ast;
+using domino::clone;
+using domino::Expr;
+using domino::ExprPtr;
+using domino::Stmt;
+using domino::StmtPtr;
+
+ExprPtr make_int(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kIntLit;
+  e->int_value = v;
+  return e;
+}
+
+// ---- statement addressing (pre-order over nested bodies) -----------------
+
+std::size_t count_stmts(const std::vector<StmtPtr>& body) {
+  std::size_t n = 0;
+  for (const auto& stmt : body) {
+    ++n;
+    n += count_stmts(stmt->then_body);
+    n += count_stmts(stmt->else_body);
+  }
+  return n;
+}
+
+/// Position of a statement inside its owning body list.
+struct StmtLoc {
+  std::vector<StmtPtr>* body = nullptr;
+  std::size_t pos = 0;
+};
+
+/// Locate the statement with pre-order index `idx` (a statement counts
+/// before the statements nested inside it). Returns true when found.
+bool locate_stmt(std::vector<StmtPtr>& body, std::size_t& idx, StmtLoc& out) {
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (idx == 0) {
+      out = {&body, i};
+      return true;
+    }
+    --idx;
+    if (locate_stmt(body[i]->then_body, idx, out)) return true;
+    if (locate_stmt(body[i]->else_body, idx, out)) return true;
+  }
+  return false;
+}
+
+/// Delete the statement with pre-order index `idx` (with everything
+/// nested inside it). Returns true when found.
+bool delete_stmt(std::vector<StmtPtr>& body, std::size_t idx) {
+  StmtLoc loc;
+  if (!locate_stmt(body, idx, loc)) return false;
+  loc.body->erase(loc.body->begin() + static_cast<std::ptrdiff_t>(loc.pos));
+  return true;
+}
+
+/// Replace the if-statement with pre-order index `idx` by one of its
+/// branch bodies spliced in place. Returns false when the indexed
+/// statement is not an if.
+bool flatten_if(std::vector<StmtPtr>& body, std::size_t idx, bool use_else) {
+  StmtLoc loc;
+  if (!locate_stmt(body, idx, loc)) return false;
+  StmtPtr& stmt = (*loc.body)[loc.pos];
+  if (stmt->kind != Stmt::Kind::kIf) return false;
+  std::vector<StmtPtr> branch =
+      use_else ? std::move(stmt->else_body) : std::move(stmt->then_body);
+  loc.body->erase(loc.body->begin() + static_cast<std::ptrdiff_t>(loc.pos));
+  loc.body->insert(loc.body->begin() + static_cast<std::ptrdiff_t>(loc.pos),
+                   std::make_move_iterator(branch.begin()),
+                   std::make_move_iterator(branch.end()));
+  return true;
+}
+
+// ---- expression addressing ----------------------------------------------
+
+/// Collect every mutable expression slot in evaluation position: rhs and
+/// register-index expressions of assignments, if conditions, and all of
+/// their descendants. Packet-field nodes are leaves (their args[] records
+/// the struct value name, not an evaluated operand).
+void collect_expr(std::vector<ExprPtr*>& out, ExprPtr& e) {
+  out.push_back(&e);
+  switch (e->kind) {
+    case Expr::Kind::kReg:
+      collect_expr(out, e->index);
+      break;
+    case Expr::Kind::kUnary:
+      collect_expr(out, e->a);
+      break;
+    case Expr::Kind::kBinary:
+      collect_expr(out, e->a);
+      collect_expr(out, e->b);
+      break;
+    case Expr::Kind::kTernary:
+      collect_expr(out, e->a);
+      collect_expr(out, e->b);
+      collect_expr(out, e->c);
+      break;
+    case Expr::Kind::kCall:
+      for (auto& arg : e->args) collect_expr(out, arg);
+      break;
+    default:
+      break;
+  }
+}
+
+void collect_sites(std::vector<ExprPtr*>& out, std::vector<StmtPtr>& body) {
+  for (auto& stmt : body) {
+    switch (stmt->kind) {
+      case Stmt::Kind::kAssign:
+        if (stmt->lhs->kind == Expr::Kind::kReg) {
+          collect_expr(out, stmt->lhs->index);
+        }
+        collect_expr(out, stmt->rhs);
+        break;
+      case Stmt::Kind::kIf:
+        collect_expr(out, stmt->cond);
+        collect_sites(out, stmt->then_body);
+        collect_sites(out, stmt->else_body);
+        break;
+    }
+  }
+}
+
+/// Candidate replacements for one expression site, tried in order:
+/// 0 -> literal 0, 1 -> literal 1, >= 2 -> hoist the (variant-2)-th child.
+/// Returns false when the variant does not apply to this node.
+bool apply_expr_variant(ExprPtr& slot, std::size_t variant) {
+  Expr& e = *slot;
+  if (variant == 0) {
+    if (e.kind == Expr::Kind::kIntLit && e.int_value == 0) return false;
+    slot = make_int(0);
+    return true;
+  }
+  if (variant == 1) {
+    if (e.kind == Expr::Kind::kIntLit) return false; // 0/1 already minimal
+    slot = make_int(1);
+    return true;
+  }
+  std::vector<ExprPtr*> children;
+  switch (e.kind) {
+    case Expr::Kind::kUnary:
+      children = {&e.a};
+      break;
+    case Expr::Kind::kBinary:
+      children = {&e.a, &e.b};
+      break;
+    case Expr::Kind::kTernary:
+      children = {&e.b, &e.c}; // hoisting the condition rarely simplifies
+      break;
+    case Expr::Kind::kCall:
+      for (auto& arg : e.args) children.push_back(&arg);
+      break;
+    default:
+      return false;
+  }
+  const std::size_t child = variant - 2;
+  if (child >= children.size()) return false;
+  ExprPtr hoisted = std::move(*children[child]);
+  slot = std::move(hoisted);
+  return true;
+}
+
+constexpr std::size_t kMaxExprVariants = 2 + 5; // 0, 1, up to 5 children
+
+// ---- name-usage analysis -------------------------------------------------
+
+void used_names_expr(const Expr& e, std::unordered_set<std::string>& idents,
+                     std::unordered_set<std::string>& fields) {
+  switch (e.kind) {
+    case Expr::Kind::kField:
+      fields.insert(e.name);
+      return;
+    case Expr::Kind::kIdent:
+      idents.insert(e.name);
+      return;
+    case Expr::Kind::kReg:
+      idents.insert(e.name);
+      used_names_expr(*e.index, idents, fields);
+      return;
+    case Expr::Kind::kUnary:
+      used_names_expr(*e.a, idents, fields);
+      return;
+    case Expr::Kind::kBinary:
+      used_names_expr(*e.a, idents, fields);
+      used_names_expr(*e.b, idents, fields);
+      return;
+    case Expr::Kind::kTernary:
+      used_names_expr(*e.a, idents, fields);
+      used_names_expr(*e.b, idents, fields);
+      used_names_expr(*e.c, idents, fields);
+      return;
+    case Expr::Kind::kCall:
+      for (const auto& arg : e.args) used_names_expr(*arg, idents, fields);
+      return;
+    default:
+      return;
+  }
+}
+
+void used_names(const std::vector<StmtPtr>& body,
+                std::unordered_set<std::string>& idents,
+                std::unordered_set<std::string>& fields) {
+  for (const auto& stmt : body) {
+    switch (stmt->kind) {
+      case Stmt::Kind::kAssign:
+        used_names_expr(*stmt->lhs, idents, fields);
+        used_names_expr(*stmt->rhs, idents, fields);
+        break;
+      case Stmt::Kind::kIf:
+        used_names_expr(*stmt->cond, idents, fields);
+        used_names(stmt->then_body, idents, fields);
+        used_names(stmt->else_body, idents, fields);
+        break;
+    }
+  }
+}
+
+// ---- the shrinker --------------------------------------------------------
+
+class Shrinker {
+public:
+  Shrinker(const Ast& program, const Trace& trace,
+           const FailurePredicate& fails, const ShrinkOptions& opts)
+      : fails_(fails), opts_(opts), cur_(clone(program)), trace_(trace) {}
+
+  ShrinkResult run() {
+    ShrinkResult out;
+    if (!test(cur_, trace_)) {
+      out.program = std::move(cur_);
+      out.trace = std::move(trace_);
+      out.evals = evals_;
+      return out;
+    }
+    out.reproduced = true;
+    for (std::size_t round = 0; round < opts_.max_rounds; ++round) {
+      bool changed = false;
+      changed |= pass_delete_stmts();
+      changed |= pass_flatten_ifs();
+      changed |= pass_simplify_exprs();
+      changed |= pass_shrink_registers();
+      changed |= pass_prune_decls();
+      changed |= pass_ddmin_trace();
+      changed |= pass_canonicalize_fields();
+      changed |= pass_normalize_metadata();
+      out.rounds = round + 1;
+      if (!changed) break;
+    }
+    out.program = std::move(cur_);
+    out.trace = std::move(trace_);
+    out.evals = evals_;
+    return out;
+  }
+
+private:
+  bool test(const Ast& ast, const Trace& trace) {
+    if (evals_ >= opts_.max_evals) return false;
+    ++evals_;
+    return fails_(ast, trace);
+  }
+
+  bool accept(Ast cand) {
+    if (!test(cand, trace_)) return false;
+    cur_ = std::move(cand);
+    return true;
+  }
+
+  // Greedy statement deletion: keep retrying index i after a successful
+  // deletion (the next statement shifted into it), stop at one statement.
+  bool pass_delete_stmts() {
+    bool changed = false;
+    std::size_t i = 0;
+    while (count_stmts(cur_.body) > 1 && i < count_stmts(cur_.body)) {
+      Ast cand = clone(cur_);
+      delete_stmt(cand.body, i);
+      if (count_stmts(cand.body) == 0) {
+        ++i; // deleting this one would empty the program
+        continue;
+      }
+      if (accept(std::move(cand))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool pass_flatten_ifs() {
+    bool changed = false;
+    std::size_t i = 0;
+    while (i < count_stmts(cur_.body)) {
+      bool accepted = false;
+      for (const bool use_else : {false, true}) {
+        Ast cand = clone(cur_);
+        if (!flatten_if(cand.body, i, use_else)) continue;
+        if (count_stmts(cand.body) == 0) continue;
+        if (accept(std::move(cand))) {
+          accepted = true;
+          changed = true;
+          break;
+        }
+      }
+      if (!accepted) ++i;
+    }
+    return changed;
+  }
+
+  bool pass_simplify_exprs() {
+    bool changed = false;
+    std::size_t site = 0;
+    for (;;) {
+      std::vector<ExprPtr*> sites;
+      collect_sites(sites, cur_.body);
+      if (site >= sites.size()) break;
+      bool accepted = false;
+      for (std::size_t variant = 0; variant < kMaxExprVariants; ++variant) {
+        Ast cand = clone(cur_);
+        std::vector<ExprPtr*> cand_sites;
+        collect_sites(cand_sites, cand.body);
+        if (!apply_expr_variant(*cand_sites[site], variant)) continue;
+        if (accept(std::move(cand))) {
+          accepted = true;
+          changed = true;
+          break; // re-enumerate: the site now holds the replacement
+        }
+      }
+      if (!accepted) ++site;
+    }
+    return changed;
+  }
+
+  // Try to shrink each register array to a scalar (then the whole array
+  // access machinery drops out of the compiled program).
+  bool pass_shrink_registers() {
+    bool changed = false;
+    for (std::size_t r = 0; r < cur_.registers.size(); ++r) {
+      if (cur_.registers[r].size <= 1) continue;
+      for (const std::size_t size : {std::size_t{1}, std::size_t{2}}) {
+        if (cur_.registers[r].size <= size) continue;
+        Ast cand = clone(cur_);
+        cand.registers[r].size = size;
+        if (cand.registers[r].init.size() > size) {
+          cand.registers[r].init.resize(size);
+        }
+        if (accept(std::move(cand))) {
+          changed = true;
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+
+  // Remove declarations (registers, constants, packet fields) the body no
+  // longer references. Dropping field f also drops column f from every
+  // trace packet, so the candidate must be tested with the edited trace.
+  bool pass_prune_decls() {
+    bool changed = false;
+    std::unordered_set<std::string> idents, fields;
+    used_names(cur_.body, idents, fields);
+
+    for (std::size_t r = cur_.registers.size(); r-- > 0;) {
+      if (idents.count(cur_.registers[r].name)) continue;
+      Ast cand = clone(cur_);
+      cand.registers.erase(cand.registers.begin() +
+                           static_cast<std::ptrdiff_t>(r));
+      if (accept(std::move(cand))) changed = true;
+    }
+    for (std::size_t c = cur_.constants.size(); c-- > 0;) {
+      if (idents.count(cur_.constants[c].first)) continue;
+      Ast cand = clone(cur_);
+      cand.constants.erase(cand.constants.begin() +
+                           static_cast<std::ptrdiff_t>(c));
+      if (accept(std::move(cand))) changed = true;
+    }
+    for (std::size_t f = cur_.fields.size(); f-- > 0;) {
+      if (fields.count(cur_.fields[f])) continue;
+      Ast cand = clone(cur_);
+      cand.fields.erase(cand.fields.begin() + static_cast<std::ptrdiff_t>(f));
+      Trace trimmed = trace_;
+      for (auto& item : trimmed) {
+        if (f < item.fields.size()) {
+          item.fields.erase(item.fields.begin() +
+                            static_cast<std::ptrdiff_t>(f));
+        }
+      }
+      if (test(cand, trimmed)) {
+        cur_ = std::move(cand);
+        trace_ = std::move(trimmed);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool accept_trace(Trace cand) {
+    if (!test(cur_, cand)) return false;
+    trace_ = std::move(cand);
+    return true;
+  }
+
+  // Classic ddmin over packets, never going below one packet.
+  bool pass_ddmin_trace() {
+    bool changed = false;
+    std::size_t n = 2;
+    while (trace_.size() >= 2) {
+      const std::size_t chunk = (trace_.size() + n - 1) / n;
+      bool removed = false;
+      for (std::size_t start = 0; start < trace_.size(); start += chunk) {
+        Trace cand;
+        cand.reserve(trace_.size());
+        for (std::size_t i = 0; i < trace_.size(); ++i) {
+          if (i < start || i >= start + chunk) cand.push_back(trace_[i]);
+        }
+        if (cand.empty()) continue;
+        if (accept_trace(std::move(cand))) {
+          removed = true;
+          changed = true;
+          n = std::max<std::size_t>(2, n - 1);
+          break;
+        }
+      }
+      if (!removed) {
+        if (chunk == 1) break;
+        n = std::min(n * 2, trace_.size());
+      }
+    }
+    return changed;
+  }
+
+  // Push every field value toward 0 (then 1 as a fallback).
+  bool pass_canonicalize_fields() {
+    bool changed = false;
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      for (std::size_t f = 0; f < trace_[i].fields.size(); ++f) {
+        const Value v = trace_[i].fields[f];
+        for (const Value target : {Value{0}, Value{1}}) {
+          if (v == target) break;
+          Trace cand = trace_;
+          cand[i].fields[f] = target;
+          if (accept_trace(std::move(cand))) {
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+  // One candidate normalizing all packet metadata: canonical line-rate
+  // pacing, sequential ports, zero flow ids, minimum-size packets.
+  bool pass_normalize_metadata() {
+    Trace cand = trace_;
+    for (auto& item : cand) {
+      item.flow = 0;
+      item.size_bytes = 64;
+    }
+    repace(cand, 4, 1.0);
+    bool same = cand.size() == trace_.size();
+    for (std::size_t i = 0; same && i < cand.size(); ++i) {
+      same = cand[i].arrival_time == trace_[i].arrival_time &&
+             cand[i].port == trace_[i].port && cand[i].flow == trace_[i].flow &&
+             cand[i].size_bytes == trace_[i].size_bytes;
+    }
+    if (same) return false;
+    return accept_trace(std::move(cand));
+  }
+
+  const FailurePredicate& fails_;
+  ShrinkOptions opts_;
+  Ast cur_;
+  Trace trace_;
+  std::size_t evals_ = 0;
+};
+
+} // namespace
+
+ShrinkResult shrink(const Ast& program, const Trace& trace,
+                    const FailurePredicate& fails, const ShrinkOptions& opts) {
+  return Shrinker(program, trace, fails, opts).run();
+}
+
+std::size_t count_stmts(const Ast& ast) { return count_stmts(ast.body); }
+
+} // namespace mp5::fuzz

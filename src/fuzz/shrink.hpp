@@ -1,0 +1,56 @@
+// Delta-debugging shrinker for differential-fuzzing failures.
+//
+// Given a (program, trace) pair and a failure predicate that reproduces
+// the divergence/crash, shrink() greedily minimizes first the program —
+// statement deletion, if-flattening, expression replacement with
+// {0, 1, subexpression}, register-size reduction, unused-declaration and
+// unused-field pruning — then the trace — ddmin packet-chunk removal,
+// field canonicalization toward 0/1, metadata (flow/port/arrival)
+// normalization — iterating to a fixpoint while the predicate keeps
+// holding. Every pass walks candidates in a fixed order and no randomness
+// is involved, so shrinking is deterministic: the same inputs and
+// predicate always produce the same minimized reproducer.
+//
+// Floors: the result always keeps at least one statement and one packet,
+// even under an always-true predicate.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "domino/ast.hpp"
+#include "trace/trace.hpp"
+
+namespace mp5::fuzz {
+
+/// Returns true when the failure still reproduces on (program, trace).
+/// Must be a pure function of its arguments for shrinking to converge.
+using FailurePredicate =
+    std::function<bool(const domino::Ast&, const Trace&)>;
+
+struct ShrinkOptions {
+  /// Hard cap on predicate evaluations; once exceeded every further
+  /// candidate is rejected, so passes wind down deterministically.
+  std::size_t max_evals = 50000;
+  /// Cap on full program+trace fixpoint rounds.
+  std::size_t max_rounds = 12;
+};
+
+struct ShrinkResult {
+  domino::Ast program;
+  Trace trace;
+  std::size_t evals = 0;  // predicate evaluations spent
+  std::size_t rounds = 0; // fixpoint rounds run
+  /// False when the predicate did not hold on the *input* pair; the
+  /// inputs are then returned unshrunk.
+  bool reproduced = false;
+};
+
+ShrinkResult shrink(const domino::Ast& program, const Trace& trace,
+                    const FailurePredicate& fails,
+                    const ShrinkOptions& opts = {});
+
+/// Total statement count, including statements nested inside ifs.
+std::size_t count_stmts(const domino::Ast& ast);
+
+} // namespace mp5::fuzz

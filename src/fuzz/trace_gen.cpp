@@ -1,0 +1,98 @@
+#include "fuzz/trace_gen.hpp"
+
+#include <algorithm>
+
+namespace mp5::fuzz {
+namespace {
+
+/// Field-value domain for one trace, drawn once per generation.
+struct ValueProfile {
+  Value lo = 0;
+  Value hi = 15;
+};
+
+ValueProfile draw_profile(Rng& rng, double negative_chance) {
+  static constexpr Value kBounds[] = {2, 4, 16, 64, 1024, 1 << 20};
+  ValueProfile p;
+  p.hi = kBounds[rng.next_below(std::size(kBounds))] - 1;
+  if (rng.chance(negative_chance)) p.lo = -(p.hi + 1);
+  return p;
+}
+
+} // namespace
+
+Trace generate_trace(std::uint64_t seed, std::size_t num_fields,
+                     const TraceGenOptions& opts) {
+  Rng rng(seed);
+  const auto packets = static_cast<std::size_t>(
+      rng.next_in(static_cast<std::int64_t>(opts.min_packets),
+                  static_cast<std::int64_t>(opts.max_packets)));
+  const ValueProfile profile = draw_profile(rng, opts.negative_chance);
+  const std::uint64_t flows = static_cast<std::uint64_t>(rng.next_in(1, 8));
+  const bool gappy = rng.chance(opts.gap_chance);
+
+  Trace trace;
+  trace.reserve(packets);
+  LineRateClock clock(opts.pipelines, opts.load);
+  double gap = 0.0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    TraceItem item;
+    if (gappy && rng.chance(0.1)) gap += static_cast<double>(rng.next_in(1, 200));
+    item.arrival_time = clock.next(64) + gap;
+    item.port = static_cast<std::uint32_t>(i % 64);
+    item.size_bytes = 64;
+    item.flow = rng.next_below(flows);
+    item.fields.resize(num_fields);
+    for (auto& v : item.fields) v = rng.next_in(profile.lo, profile.hi);
+    trace.push_back(std::move(item));
+  }
+  return trace;
+}
+
+void mutate_trace(Trace& trace, Rng& rng, std::size_t num_fields,
+                  const TraceGenOptions& opts) {
+  if (trace.empty()) return;
+  const auto pick = rng.next_below(5);
+  const std::size_t i = rng.next_below(trace.size());
+  switch (pick) {
+    case 0: // remove a packet
+      if (trace.size() > 1) trace.erase(trace.begin() + i);
+      break;
+    case 1: { // duplicate a packet's payload as a new arrival
+      TraceItem dup = trace[i];
+      trace.insert(trace.begin() + rng.next_below(trace.size() + 1),
+                   std::move(dup));
+      break;
+    }
+    case 2: { // tweak one field value
+      if (num_fields == 0) break;
+      Value& v = trace[i].fields[rng.next_below(num_fields)];
+      switch (rng.next_below(3)) {
+        case 0: v += rng.chance(0.5) ? 1 : -1; break;
+        case 1: v = 0; break;
+        default: v = rng.next_in(-8, 1 << 20); break;
+      }
+      break;
+    }
+    case 3: { // swap two packets' payloads
+      const std::size_t j = rng.next_below(trace.size());
+      std::swap(trace[i].fields, trace[j].fields);
+      std::swap(trace[i].flow, trace[j].flow);
+      break;
+    }
+    default: // zero a packet's payload
+      std::fill(trace[i].fields.begin(), trace[i].fields.end(), Value{0});
+      break;
+  }
+  repace(trace, opts.pipelines, opts.load);
+}
+
+void repace(Trace& trace, std::uint32_t pipelines, double load) {
+  LineRateClock clock(pipelines, load);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].arrival_time = clock.next(trace[i].size_bytes);
+    trace[i].port = static_cast<std::uint32_t>(i % 64);
+  }
+}
+
+} // namespace mp5::fuzz

@@ -1,0 +1,43 @@
+// Seeded packet-trace generator and mutator for the differential fuzzer.
+//
+// Traces are generated against a *value profile* drawn per trace (small
+// field domains collide register indices and stress ordering; large and
+// negative domains stress arithmetic), paced back to back at line rate
+// with optional idle gaps (which exercise the simulator's fast-forward
+// path and remap boundaries).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "trace/trace.hpp"
+
+namespace mp5::fuzz {
+
+struct TraceGenOptions {
+  std::size_t min_packets = 8;
+  std::size_t max_packets = 96;
+  /// Pacing: arrivals are clocked at line rate for this many pipelines.
+  std::uint32_t pipelines = 4;
+  double load = 1.0;
+  /// Probability that the trace draws negative field values too.
+  double negative_chance = 0.25;
+  /// Probability that idle gaps are inserted between some arrivals.
+  double gap_chance = 0.3;
+};
+
+/// Generate a seeded trace whose packets carry `num_fields` field values.
+Trace generate_trace(std::uint64_t seed, std::size_t num_fields,
+                     const TraceGenOptions& opts = {});
+
+/// Apply one random structural or value mutation (remove / duplicate a
+/// packet, tweak / zero / swap field values) and re-pace arrivals.
+void mutate_trace(Trace& trace, Rng& rng, std::size_t num_fields,
+                  const TraceGenOptions& opts = {});
+
+/// Rewrite arrival times back to back at line rate (canonical pacing),
+/// preserving packet order. Used after structural mutations and by the
+/// shrinker's trace canonicalization.
+void repace(Trace& trace, std::uint32_t pipelines, double load = 1.0);
+
+} // namespace mp5::fuzz

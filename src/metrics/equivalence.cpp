@@ -38,10 +38,41 @@ EquivalenceReport check_equivalence(const ir::Pvsm& program,
   }
 
   // Packet state: compare declared header fields per packet, by seq.
+  //
+  // A lossless run must produce exactly one egress record per reference
+  // packet, so malformed egress streams are packet-state violations in
+  // their own right: a bare count mismatch, duplicate records for one
+  // seq, and records whose seq is outside the reference range are each
+  // flagged. (Earlier versions silently let the last duplicate win and
+  // dropped out-of-range records, hiding double-egress bugs.)
+  if (result.egress.size() != reference.egress_headers.size()) {
+    report.packets_equal = false;
+    note("egress count: reference " +
+         std::to_string(reference.egress_headers.size()) + " packets, got " +
+         std::to_string(result.egress.size()));
+  }
   std::vector<const EgressRecord*> by_seq(reference.egress_headers.size(),
                                           nullptr);
+  std::vector<std::uint32_t> records_per_seq(reference.egress_headers.size(),
+                                             0);
   for (const auto& rec : result.egress) {
-    if (rec.seq < by_seq.size()) by_seq[rec.seq] = &rec;
+    if (rec.seq >= by_seq.size()) {
+      report.packets_equal = false;
+      ++report.packet_mismatches;
+      note("egress record with out-of-range seq " + std::to_string(rec.seq) +
+           " (reference has " +
+           std::to_string(reference.egress_headers.size()) + " packets)");
+      continue;
+    }
+    // Field comparison uses the first record; every extra is a mismatch.
+    if (records_per_seq[rec.seq]++ == 0) {
+      by_seq[rec.seq] = &rec;
+    } else {
+      report.packets_equal = false;
+      ++report.packet_mismatches;
+      note("packet " + std::to_string(rec.seq) + " egressed " +
+           std::to_string(records_per_seq[rec.seq]) + " times");
+    }
   }
   for (SeqNo seq = 0; seq < reference.egress_headers.size(); ++seq) {
     const EgressRecord* rec = by_seq[seq];

@@ -8,7 +8,7 @@
 #include "common/error.hpp"
 #include "domino/ast_interp.hpp"
 #include "domino/parser.hpp"
-#include "program_gen.hpp"
+#include "fuzz/program_gen.hpp"
 #include "test_util.hpp"
 
 namespace mp5::test {
@@ -23,7 +23,7 @@ struct CompiledRandomProgram {
 /// Generate a random program that actually compiles (skipping seeds whose
 /// programs are legitimately rejected, e.g. cyclic state dependencies).
 bool try_generate(std::uint64_t seed, CompiledRandomProgram& out) {
-  ProgramGen gen(seed);
+  fuzz::ProgramGen gen(seed);
   out.source = gen.generate();
   try {
     out.ast = domino::parse(out.source);

@@ -1,0 +1,50 @@
+// Replays every committed reproducer under tests/corpus/ and checks the
+// observed outcome against each entry's "expect" field. Divergences fixed
+// in the past stay fixed; self-test entries keep diverging.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/repro.hpp"
+
+#ifndef MP5_CORPUS_DIR
+#error "MP5_CORPUS_DIR must point at the committed reproducer corpus"
+#endif
+
+namespace mp5::test {
+namespace {
+
+std::vector<std::string> corpus_entries() {
+  std::vector<std::string> entries;
+  for (const auto& item :
+       std::filesystem::directory_iterator(MP5_CORPUS_DIR)) {
+    if (item.path().extension() == ".json") {
+      entries.push_back(item.path().string());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+TEST(FuzzReplay, CorpusIsNotEmpty) {
+  EXPECT_GE(corpus_entries().size(), 1u)
+      << "no reproducers committed under " << MP5_CORPUS_DIR;
+}
+
+TEST(FuzzReplay, EveryCorpusEntryMatchesItsExpectedOutcome) {
+  for (const std::string& path : corpus_entries()) {
+    SCOPED_TRACE(path);
+    fuzz::Reproducer repro;
+    ASSERT_NO_THROW(repro = fuzz::load_reproducer(path));
+    const fuzz::Failure observed = fuzz::replay(repro);
+    EXPECT_EQ(observed.kind, repro.kind)
+        << "expected " << fuzz::to_string(repro.kind) << ", observed "
+        << fuzz::to_string(observed.kind) << ": " << observed.detail;
+  }
+}
+
+} // namespace
+} // namespace mp5::test

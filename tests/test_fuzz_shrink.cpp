@@ -1,0 +1,196 @@
+// Delta-debugging shrinker: floors, determinism, and the end-to-end
+// fault-injection self-test (an off-by-one planted in the oracle's index
+// reduction must be caught by the differ and shrunk to a tiny
+// reproducer).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "domino/parser.hpp"
+#include "fuzz/ast_printer.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/repro.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace mp5::test {
+namespace {
+
+using fuzz::Differ;
+using fuzz::DifferOptions;
+using fuzz::Failure;
+using fuzz::FailureKind;
+using fuzz::SeedOutcome;
+using fuzz::ShrinkResult;
+
+domino::Ast sample_program() {
+  return domino::parse(R"(
+    struct Packet { int a; int b; };
+    int tally[4] = {0};
+    int last = 0;
+    void prog(struct Packet p) {
+      if (p.a > 3) {
+        tally[p.b % 4] = tally[p.b % 4] + 1;
+        p.b = p.b + last;
+      } else {
+        p.a = p.a * 2;
+      }
+      last = p.a;
+    }
+  )");
+}
+
+Trace sample_trace(std::size_t packets) {
+  Trace trace;
+  for (std::size_t i = 0; i < packets; ++i) {
+    TraceItem item;
+    item.arrival_time = static_cast<double>(i) / 4.0;
+    item.port = static_cast<std::uint32_t>(i % 64);
+    item.flow = i % 3;
+    item.fields = {static_cast<Value>(i * 7 % 11),
+                   static_cast<Value>(i * 13 % 5)};
+    trace.push_back(item);
+  }
+  return trace;
+}
+
+TEST(Shrink, AlwaysTruePredicateHitsFloors) {
+  // Even a predicate that accepts everything must leave one statement and
+  // one packet: the floors keep reproducers non-degenerate.
+  const auto always = [](const domino::Ast&, const Trace&) { return true; };
+  const ShrinkResult result =
+      fuzz::shrink(sample_program(), sample_trace(16), always);
+  EXPECT_TRUE(result.reproduced);
+  EXPECT_EQ(fuzz::count_stmts(result.program), 1u);
+  EXPECT_EQ(result.trace.size(), 1u);
+}
+
+TEST(Shrink, FailingInputReturnedUnshrunk) {
+  const auto never = [](const domino::Ast&, const Trace&) { return false; };
+  const auto program = sample_program();
+  const ShrinkResult result = fuzz::shrink(program, sample_trace(4), never);
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(fuzz::to_source(result.program), fuzz::to_source(program));
+  EXPECT_EQ(result.trace.size(), 4u);
+}
+
+/// First seed whose generated program compiles and diverges under the
+/// injected off-by-one oracle fault.
+SeedOutcome first_injected_failure(const Differ& differ) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    SeedOutcome outcome = differ.run_seed(seed);
+    if (outcome.failure) return outcome;
+  }
+  ADD_FAILURE() << "no injected divergence in 200 seeds";
+  return {};
+}
+
+DifferOptions injected_options() {
+  DifferOptions opts;
+  opts.matrix = fuzz::quick_config_matrix();
+  opts.inject_floor_mod_bug = true;
+  return opts;
+}
+
+TEST(Shrink, InjectedFloorModBugShrinksToTinyReproducer) {
+  const Differ differ(injected_options());
+  const SeedOutcome outcome = first_injected_failure(differ);
+  ASSERT_TRUE(outcome.failure);
+  EXPECT_EQ(outcome.failure.kind, FailureKind::kOracleDivergence);
+
+  const auto start = std::chrono::steady_clock::now();
+  const ShrinkResult shrunk =
+      fuzz::shrink(outcome.program, outcome.trace,
+                   differ.make_predicate(outcome.failure));
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ASSERT_TRUE(shrunk.reproduced);
+  // ISSUE acceptance: <= 3 statements, well under 60 s.
+  EXPECT_LE(fuzz::count_stmts(shrunk.program), 3u);
+  EXPECT_LE(shrunk.trace.size(), 2u);
+  EXPECT_LT(secs, 60.0);
+}
+
+TEST(Shrink, ShrinkingIsDeterministic) {
+  const Differ differ(injected_options());
+  const SeedOutcome outcome = first_injected_failure(differ);
+  ASSERT_TRUE(outcome.failure);
+
+  const auto pred = differ.make_predicate(outcome.failure);
+  const ShrinkResult a = fuzz::shrink(outcome.program, outcome.trace, pred);
+  const ShrinkResult b = fuzz::shrink(outcome.program, outcome.trace, pred);
+  ASSERT_TRUE(a.reproduced);
+  ASSERT_TRUE(b.reproduced);
+  EXPECT_EQ(fuzz::to_source(a.program), fuzz::to_source(b.program));
+  EXPECT_EQ(a.evals, b.evals);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].arrival_time, b.trace[i].arrival_time);
+    EXPECT_EQ(a.trace[i].fields, b.trace[i].fields);
+  }
+}
+
+TEST(Repro, RoundTripAndReplay) {
+  const Differ differ(injected_options());
+  const SeedOutcome outcome = first_injected_failure(differ);
+  ASSERT_TRUE(outcome.failure);
+  const ShrinkResult shrunk =
+      fuzz::shrink(outcome.program, outcome.trace,
+                   differ.make_predicate(outcome.failure));
+  ASSERT_TRUE(shrunk.reproduced);
+
+  fuzz::Reproducer repro;
+  repro.kind = outcome.failure.kind;
+  repro.config = outcome.failure.config;
+  repro.seed = outcome.seed;
+  repro.inject_floor_mod_bug = true;
+  repro.detail = outcome.failure.detail;
+  repro.program_source = fuzz::to_source(shrunk.program);
+  repro.trace = shrunk.trace;
+
+  const auto dir = std::filesystem::temp_directory_path() / "mp5-repro-test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "case.json").string();
+  fuzz::save_reproducer(repro, path);
+
+  const fuzz::Reproducer loaded = fuzz::load_reproducer(path);
+  EXPECT_EQ(loaded.kind, repro.kind);
+  EXPECT_EQ(loaded.seed, repro.seed);
+  EXPECT_EQ(loaded.inject_floor_mod_bug, true);
+  EXPECT_EQ(loaded.detail, repro.detail);
+  EXPECT_EQ(loaded.program_source, repro.program_source);
+  ASSERT_EQ(loaded.trace.size(), repro.trace.size());
+  for (std::size_t i = 0; i < loaded.trace.size(); ++i) {
+    EXPECT_EQ(loaded.trace[i].fields, repro.trace[i].fields);
+    EXPECT_EQ(loaded.trace[i].port, repro.trace[i].port);
+  }
+  EXPECT_EQ(loaded.config.name(), repro.config.name());
+
+  // The reloaded reproducer must still reproduce the expected outcome.
+  const Failure observed = fuzz::replay(loaded);
+  EXPECT_EQ(observed.kind, repro.kind);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Differ, CleanOracleFindsNoFailuresOnQuickMatrix) {
+  DifferOptions opts;
+  opts.matrix = fuzz::quick_config_matrix();
+  const Differ differ(opts);
+  int compiled = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const SeedOutcome outcome = differ.run_seed(seed);
+    if (!outcome.compiled) continue;
+    ++compiled;
+    EXPECT_FALSE(outcome.failure)
+        << "seed " << seed << ": " << fuzz::to_string(outcome.failure.kind)
+        << " — " << outcome.failure.detail;
+  }
+  EXPECT_GT(compiled, 0);
+}
+
+} // namespace
+} // namespace mp5::test

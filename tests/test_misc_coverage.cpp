@@ -89,6 +89,44 @@ TEST(EquivalenceChecker, DetectsPacketMismatchAndMissingPackets) {
   result.egress.erase(result.egress.begin() + 3);
   auto missing = check_equivalence(prog.pvsm, reference, result);
   EXPECT_FALSE(missing.packets_equal);
+  EXPECT_NE(missing.first_difference.find("egress count"), std::string::npos);
+}
+
+TEST(EquivalenceChecker, DetectsDuplicateEgress) {
+  const auto prog = compile_mp5(apps::sequencer_example_source());
+  Rng rng(7);
+  const auto trace = trace_from_fields(random_fields(30, 1, 4, rng), 2);
+  const auto reference = run_reference(prog, trace);
+  SimOptions opts = mp5_options(2, 7);
+  opts.record_egress = true;
+  Mp5Simulator sim(prog, opts);
+  auto result = sim.run(trace);
+  // A packet leaving the switch twice used to be silently collapsed by
+  // the seq-keyed map; it must break packet-state equivalence.
+  result.egress.push_back(result.egress[4]);
+  const auto report = check_equivalence(prog.pvsm, reference, result);
+  EXPECT_FALSE(report.packets_equal);
+  EXPECT_GE(report.packet_mismatches, 1u);
+  EXPECT_NE(report.first_difference.find("egress count"), std::string::npos);
+}
+
+TEST(EquivalenceChecker, DetectsOutOfRangeSeq) {
+  const auto prog = compile_mp5(apps::sequencer_example_source());
+  Rng rng(9);
+  const auto trace = trace_from_fields(random_fields(30, 1, 4, rng), 2);
+  const auto reference = run_reference(prog, trace);
+  SimOptions opts = mp5_options(2, 9);
+  opts.record_egress = true;
+  Mp5Simulator sim(prog, opts);
+  auto result = sim.run(trace);
+  // A seq beyond the reference stream used to index out of bounds; now it
+  // is reported as a divergence.
+  result.egress[2].seq = 1000000;
+  const auto report = check_equivalence(prog.pvsm, reference, result);
+  EXPECT_FALSE(report.packets_equal);
+  EXPECT_GE(report.packet_mismatches, 1u);
+  EXPECT_NE(report.first_difference.find("out-of-range seq"),
+            std::string::npos);
 }
 
 TEST(Timeline, KindNamesAreStable) {

@@ -7,7 +7,7 @@
 #include "banzai/single_pipeline.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "program_gen.hpp"
+#include "fuzz/program_gen.hpp"
 
 namespace mp5::domino {
 namespace {
@@ -123,7 +123,7 @@ TEST(Optimize, DifferentialOnRandomPrograms) {
   // Optimized-and-compiled behaviour must match the AST interpreter.
   int tested = 0;
   for (std::uint64_t seed = 2000; tested < 40 && seed < 2400; ++seed) {
-    test::ProgramGen gen(seed);
+    fuzz::ProgramGen gen(seed);
     const std::string src = gen.generate();
     Ast ast;
     LoweredProgram lowered;

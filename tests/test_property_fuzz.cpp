@@ -16,7 +16,7 @@
 #include "domino/compiler.hpp"
 #include "domino/parser.hpp"
 #include "mp5/stage_fifo.hpp"
-#include "program_gen.hpp"
+#include "fuzz/program_gen.hpp"
 
 namespace mp5 {
 namespace {
@@ -185,7 +185,7 @@ TEST(StageFifoFuzz, MatchesSortedModel) {
 TEST(ParserFuzz, MutatedProgramsNeverCrash) {
   int parsed = 0, rejected = 0;
   for (std::uint64_t seed = 1; seed <= 150; ++seed) {
-    test::ProgramGen gen(seed);
+    fuzz::ProgramGen gen(seed);
     std::string source = gen.generate();
     Rng rng(seed * 31);
     // Mutate: delete, duplicate, or swap random characters.

@@ -1,0 +1,200 @@
+// mp5fuzz — differential fuzzer for the MP5 simulator.
+//
+// For each seed: generate a Domino program and a packet trace, then run
+// three executors — the AstInterp oracle, the banzai single-pipeline
+// reference, and the MP5 simulator across a configuration matrix — and
+// cross-check them. On divergence or crash the failing (program, trace)
+// pair is shrunk by delta debugging and written to the corpus directory
+// as a self-contained reproducer (.json + .dom + .trace.csv).
+//
+// Usage:
+//   mp5fuzz --seeds 500                       full-matrix campaign
+//   mp5fuzz --budget-s 60 --fail-on-divergence   CI smoke (time-boxed)
+//   mp5fuzz --replay corpus/seed42-sim-divergence.json
+//   mp5fuzz --inject-floor-mod-bug --seeds 50  detection self-test
+//
+// Options:
+//   --seeds N            number of seeds to try (default 500; 0 = until
+//                        the budget expires)
+//   --seed-start S       first seed (default 1)
+//   --budget-s T         wall-clock budget in seconds (default: none)
+//   --matrix full|quick  simulator config matrix (default full: 72 cells)
+//   --packets N          max packets per generated trace (default 96)
+//   --trace-mutations N  seeded mutations per trace (default 2)
+//   --corpus DIR         reproducer output directory (default fuzz-corpus)
+//   --no-shrink          save failures unshrunk
+//   --fail-on-divergence exit 2 when any failure was found
+//   --inject-floor-mod-bug  self-test: off-by-one fault in the oracle's
+//                        index reduction; the fuzzer must catch it
+//   --replay FILE.json   replay one reproducer; exit 0 iff the observed
+//                        outcome matches its "expect" field
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "fuzz/ast_printer.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/repro.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace {
+
+using namespace mp5;
+using namespace mp5::fuzz;
+
+struct Args {
+  std::uint64_t seeds = 500;
+  std::uint64_t seed_start = 1;
+  double budget_s = 0; // 0 = no budget
+  std::string matrix = "full";
+  std::size_t packets = 96;
+  std::uint32_t trace_mutations = 2;
+  std::string corpus = "fuzz-corpus";
+  bool shrink_failures = true;
+  bool fail_on_divergence = false;
+  bool inject_floor_mod_bug = false;
+  std::string replay_file;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError(arg + " needs an argument");
+      return argv[++i];
+    };
+    if (arg == "--seeds") args.seeds = std::stoull(next());
+    else if (arg == "--seed-start") args.seed_start = std::stoull(next());
+    else if (arg == "--budget-s") args.budget_s = std::stod(next());
+    else if (arg == "--matrix") args.matrix = next();
+    else if (arg == "--packets") args.packets = std::stoull(next());
+    else if (arg == "--trace-mutations")
+      args.trace_mutations = static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--corpus") args.corpus = next();
+    else if (arg == "--no-shrink") args.shrink_failures = false;
+    else if (arg == "--fail-on-divergence") args.fail_on_divergence = true;
+    else if (arg == "--inject-floor-mod-bug")
+      args.inject_floor_mod_bug = true;
+    else if (arg == "--replay") args.replay_file = next();
+    else throw ConfigError("unknown option '" + arg + "'");
+  }
+  if (args.matrix != "full" && args.matrix != "quick") {
+    throw ConfigError("--matrix expects full|quick, got '" + args.matrix +
+                      "'");
+  }
+  if (args.packets < 1) throw ConfigError("--packets must be >= 1");
+  if (args.seeds == 0 && args.budget_s <= 0) {
+    throw ConfigError("--seeds 0 needs a --budget-s limit");
+  }
+  return args;
+}
+
+int replay_one(const std::string& path) {
+  const Reproducer repro = load_reproducer(path);
+  const Failure observed = replay(repro);
+  const char* expected =
+      repro.kind == FailureKind::kNone ? "pass" : to_string(repro.kind);
+  std::cout << "replay " << path << "\n  expect: " << expected
+            << "\n  observed: " << to_string(observed.kind);
+  if (observed) std::cout << " (" << observed.detail << ")";
+  std::cout << "\n";
+  if (observed.kind == repro.kind) {
+    std::cout << "  OK\n";
+    return 0;
+  }
+  std::cout << "  MISMATCH\n";
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.replay_file.empty()) return replay_one(args.replay_file);
+
+  DifferOptions opts;
+  opts.matrix =
+      args.matrix == "quick" ? quick_config_matrix() : full_config_matrix();
+  opts.trace_gen.max_packets = args.packets;
+  if (opts.trace_gen.min_packets > args.packets) {
+    opts.trace_gen.min_packets = args.packets;
+  }
+  opts.trace_mutations = args.trace_mutations;
+  opts.inject_floor_mod_bug = args.inject_floor_mod_bug;
+  const Differ differ(opts);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_s = [&]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  std::uint64_t tried = 0, compiled = 0, failures = 0;
+  std::uint64_t configs_checked = 0;
+  for (std::uint64_t seed = args.seed_start;
+       args.seeds == 0 || seed < args.seed_start + args.seeds; ++seed) {
+    if (args.budget_s > 0 && elapsed_s() >= args.budget_s) break;
+    ++tried;
+    const SeedOutcome outcome = differ.run_seed(seed);
+    if (!outcome.compiled) continue; // legitimately rejected program
+    ++compiled;
+    configs_checked += outcome.configs_checked;
+    if (!outcome.failure) continue;
+
+    ++failures;
+    std::cout << "seed " << seed << ": "
+              << to_string(outcome.failure.kind);
+    if (outcome.failure.kind != FailureKind::kOracleDivergence) {
+      std::cout << " [" << outcome.failure.config.name() << "]";
+    }
+    std::cout << "\n  " << outcome.failure.detail << "\n";
+
+    Reproducer repro;
+    repro.kind = outcome.failure.kind;
+    repro.config = outcome.failure.config;
+    repro.seed = seed;
+    repro.inject_floor_mod_bug = args.inject_floor_mod_bug;
+    repro.detail = outcome.failure.detail;
+    domino::Ast program = clone(outcome.program);
+    Trace trace = outcome.trace;
+    if (args.shrink_failures) {
+      const ShrinkResult shrunk = shrink(
+          program, trace, differ.make_predicate(outcome.failure));
+      if (shrunk.reproduced) {
+        program = clone(shrunk.program);
+        trace = shrunk.trace;
+        std::cout << "  shrunk to " << count_stmts(program)
+                  << " statement(s), " << trace.size() << " packet(s) ("
+                  << shrunk.evals << " evals)\n";
+      } else {
+        std::cout << "  shrink failed to reproduce; saving unshrunk\n";
+      }
+    }
+    repro.program_source = to_source(program);
+    repro.trace = trace;
+    std::filesystem::create_directories(args.corpus);
+    const std::string path = args.corpus + "/seed" + std::to_string(seed) +
+                             "-" + to_string(repro.kind) + ".json";
+    save_reproducer(repro, path);
+    std::cout << "  reproducer: " << path << "\n";
+  }
+
+  std::cout << "mp5fuzz: " << tried << " seeds (" << compiled
+            << " compiled), " << configs_checked << " config runs, "
+            << failures << " failure(s) in " << elapsed_s() << "s\n";
+  if (failures > 0 && args.fail_on_divergence) return 2;
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "mp5fuzz: " << e.what() << "\n";
+    return 1;
+  }
+}

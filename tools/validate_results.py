@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Validate MP5 machine-readable artifacts (stdlib only).
 
-Checks any mix of the three JSON schemas this repo emits:
+Checks any mix of the four JSON schemas this repo emits:
 
   mp5-results       mp5sim --json            (schema_version 1)
   mp5-chrome-trace  mp5sim --trace-out       (schema_version 1)
   mp5-bench         bench_* BENCH_<name>.json (schema_version 1)
+  mp5-fuzz-repro    mp5fuzz reproducers       (schema_version 1)
 
 Usage:  validate_results.py FILE [FILE...]
 
@@ -22,6 +23,7 @@ SUPPORTED_VERSIONS = {
     "mp5-results": 1,
     "mp5-chrome-trace": 1,
     "mp5-bench": 1,
+    "mp5-fuzz-repro": 1,
 }
 
 
@@ -207,6 +209,39 @@ def validate_bench(doc, where):
                 fail(f"{rwhere}.labels: '{key}' is not a string")
 
 
+FUZZ_EXPECT = {"pass", "oracle-divergence", "sim-divergence", "crash"}
+FUZZ_SHARDING = {"dynamic", "static-random", "single-pipeline", "ideal-lpt"}
+
+
+def validate_repro(doc, where):
+    check_version(doc, "mp5-fuzz-repro", where)
+    expect = require(doc, "expect", str, where)
+    if expect not in FUZZ_EXPECT:
+        fail(f"{where}: expect '{expect}' not in {sorted(FUZZ_EXPECT)}")
+    require(doc, "seed", int, where)
+    require(doc, "inject_floor_mod_bug", bool, where)
+    require(doc, "detail", str, where)
+    program = require(doc, "program", str, where)
+    if not program.endswith(".dom"):
+        fail(f"{where}: program '{program}' must end in .dom")
+    trace = require(doc, "trace", str, where)
+    if not trace.endswith(".trace.csv"):
+        fail(f"{where}: trace '{trace}' must end in .trace.csv")
+    config = require(doc, "config", dict, where)
+    cwhere = f"{where}.config"
+    for key in ("pipelines", "threads", "remap_period"):
+        if require(config, key, int, cwhere) < 1:
+            fail(f"{cwhere}: {key} must be >= 1")
+    sharding = require(config, "sharding", str, cwhere)
+    if sharding not in FUZZ_SHARDING:
+        fail(f"{cwhere}: sharding '{sharding}' not in {sorted(FUZZ_SHARDING)}")
+    require(config, "fast_forward", bool, cwhere)
+    require(config, "reference_rebalance", bool, cwhere)
+    if require(config, "fifo_capacity", int, cwhere) < 0:
+        fail(f"{cwhere}: fifo_capacity must be >= 0")
+    require(config, "seed", int, cwhere)
+
+
 def validate_file(path):
     with open(path, "r", encoding="utf-8") as fp:
         doc = json.load(fp)
@@ -221,6 +256,8 @@ def validate_file(path):
             validate_results(doc, path)
         elif schema == "mp5-bench":
             validate_bench(doc, path)
+        elif schema == "mp5-fuzz-repro":
+            validate_repro(doc, path)
         else:
             fail(f"{path}: unknown schema '{schema}'")
     return schema
