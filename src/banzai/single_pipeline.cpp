@@ -1,5 +1,7 @@
 #include "banzai/single_pipeline.hpp"
 
+#include <stdexcept>
+
 namespace mp5::banzai {
 
 void AccessLog::record(RegId reg, RegIndex index, SeqNo seq) {
@@ -27,10 +29,26 @@ std::vector<Value> ReferenceSwitch::process(std::vector<Value> headers) {
   obs.log = &log_;
   obs.current_seq = next_seq_++;
   obs.seen = false;
+  ir::AccessObserver* observer = log_accesses_ ? &obs : nullptr;
   for (const auto& stage : program_->stages) {
-    ir::exec_stage(stage, headers, regs_, program_->registers, &obs);
+    ir::exec_stage(stage, headers, regs_, program_->registers, observer);
   }
   return headers;
+}
+
+void ReferenceSwitch::restore_registers(std::vector<std::vector<Value>> regs) {
+  const auto& shape = regs_.storage();
+  if (regs.size() != shape.size()) {
+    throw std::invalid_argument(
+        "ReferenceSwitch::restore_registers: register count mismatch");
+  }
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    if (regs[r].size() != shape[r].size()) {
+      throw std::invalid_argument(
+          "ReferenceSwitch::restore_registers: register size mismatch");
+    }
+  }
+  regs_ = ir::FlatRegFile(std::move(regs));
 }
 
 ReferenceResult ReferenceSwitch::run(

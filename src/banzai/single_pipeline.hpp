@@ -54,6 +54,15 @@ public:
   }
   const AccessLog& accesses() const { return log_; }
 
+  /// Checkpoint support (rolling verifier): overwrite the register state
+  /// with a previously captured snapshot. Shapes must match the program.
+  void restore_registers(std::vector<std::vector<Value>> regs);
+
+  /// The access log grows with every state-touching packet — fine for batch
+  /// checks, unbounded for a 10^9-packet soak. Rolling verification turns it
+  /// off (it never consults the log).
+  void set_access_logging(bool enabled) { log_accesses_ = enabled; }
+
 private:
   struct Observer final : ir::AccessObserver {
     void on_state_access(RegId reg, RegIndex index, bool is_write) override;
@@ -68,6 +77,7 @@ private:
   ir::FlatRegFile regs_;
   AccessLog log_;
   SeqNo next_seq_ = 0;
+  bool log_accesses_ = true;
 };
 
 } // namespace mp5::banzai

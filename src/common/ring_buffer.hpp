@@ -92,6 +92,22 @@ public:
     while (!empty()) pop_front();
   }
 
+  /// Virtual index of the next entry to be popped (== the vidx the next
+  /// push returns when empty). Exposed for checkpoint serialization.
+  std::uint64_t base_vidx() const noexcept { return head_vidx_; }
+
+  /// Checkpoint restore: reset the virtual-index origin and high-water
+  /// mark on an *empty* ring, so subsequent push() calls reproduce the
+  /// exact virtual indexes of the checkpointed run (entry vidx =
+  /// head_vidx + position; the physical layout is unobservable).
+  void restore_base(std::uint64_t head_vidx, std::size_t high_water) {
+    if (!empty()) {
+      throw Error("RingFifo::restore_base: ring is not empty");
+    }
+    head_vidx_ = head_vidx;
+    high_water_ = high_water;
+  }
+
 private:
   static constexpr std::size_t kInitialUnboundedSlots = 16;
 

@@ -5,6 +5,7 @@
 // every experiment in the paper reproduction is exactly repeatable.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -55,6 +56,15 @@ public:
 
   /// Derive an independent child stream (for per-component determinism).
   Rng fork();
+
+  /// Raw generator state, for checkpoint/restore. A restored stream
+  /// continues exactly where the saved one left off.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
 private:
   std::uint64_t s_[4] = {};

@@ -1,5 +1,6 @@
 #include "fuzz/differ.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <memory>
 #include <sstream>
@@ -12,8 +13,10 @@
 #include "domino/compiler.hpp"
 #include "domino/parser.hpp"
 #include "metrics/equivalence.hpp"
+#include "metrics/sim_result.hpp"
 #include "mp5/simulator.hpp"
 #include "mp5/transform.hpp"
+#include "trace/trace_source.hpp"
 
 namespace mp5::fuzz {
 namespace {
@@ -74,6 +77,7 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kNone: return "none";
     case FailureKind::kOracleDivergence: return "oracle-divergence";
     case FailureKind::kSimDivergence: return "sim-divergence";
+    case FailureKind::kCheckpointDivergence: return "checkpoint-divergence";
     case FailureKind::kCrash: return "crash";
   }
   throw Error("to_string: bad failure kind");
@@ -84,6 +88,7 @@ std::string SimConfig::name() const {
   os << "k" << pipelines << "-" << fuzz::to_string(sharding) << "-t" << threads
      << (fast_forward ? "-ff" : "-noff")
      << (reference_rebalance ? "-ref" : "-incr");
+  if (checkpoint_restore) os << "-ckpt";
   return os.str();
 }
 
@@ -200,6 +205,48 @@ Failure Differ::check_oracle(const domino::Ast& ast,
 
 namespace {
 
+/// The checkpoint/restore column: re-run the cell checkpointing roughly
+/// mid-run, restore the captured blob into a fresh simulator, and demand
+/// a SimResult field-identical to the uninterrupted run's.
+Failure check_checkpoint_cell(const Compiled& compiled, const Trace& trace,
+                              const SimConfig& config,
+                              const SimResult& baseline) {
+  Failure failure;
+  failure.config = config;
+  SimOptions ckpt_opts = config.to_options();
+  ckpt_opts.checkpoint_interval =
+      std::max<std::uint64_t>(1, baseline.cycles_run / 2);
+  std::string blob;
+  Cycle ckpt_cycle = 0;
+  bool captured = false;
+  ckpt_opts.checkpoint_sink = [&](Cycle cycle, std::string&& b) {
+    if (!captured) {
+      blob = std::move(b);
+      ckpt_cycle = cycle;
+      captured = true;
+    }
+  };
+  Mp5Simulator ckpt_sim(compiled.prog, ckpt_opts);
+  const SimResult with_ckpt = ckpt_sim.run(trace);
+  std::string why;
+  if (!same_results(baseline, with_ckpt, &why)) {
+    failure.kind = FailureKind::kCheckpointDivergence;
+    failure.detail = "checkpointing run diverged from the plain run: " + why;
+    return failure;
+  }
+  if (!captured) return Failure{}; // run finished before the first boundary
+  Mp5Simulator restored(compiled.prog, config.to_options());
+  VectorTraceSource source(trace);
+  const SimResult after = restored.resume(source, blob);
+  if (!same_results(baseline, after, &why)) {
+    failure.kind = FailureKind::kCheckpointDivergence;
+    failure.detail =
+        "restore at cycle " + std::to_string(ckpt_cycle) + " diverged: " + why;
+    return failure;
+  }
+  return Failure{};
+}
+
 Failure check_cell(const Compiled& compiled, const Trace& trace,
                    const SimConfig& config) {
   Failure failure;
@@ -221,6 +268,11 @@ Failure check_cell(const Compiled& compiled, const Trace& trace,
       failure.detail = report.first_difference;
       return failure;
     }
+    if (config.checkpoint_restore) {
+      if (Failure f = check_checkpoint_cell(compiled, trace, config, result)) {
+        return f;
+      }
+    }
   } catch (const std::exception& e) {
     failure.kind = FailureKind::kCrash;
     failure.detail = e.what();
@@ -234,7 +286,8 @@ Failure check_cell(const Compiled& compiled, const Trace& trace,
 Failure Differ::check(const domino::Ast& ast, const Trace& trace) const {
   if (Failure f = check_oracle(ast, trace)) return f;
   const Compiled compiled = prepare(ast, trace);
-  for (const SimConfig& config : opts_.matrix) {
+  for (SimConfig config : opts_.matrix) {
+    config.checkpoint_restore |= opts_.checkpoint_restore;
     if (Failure f = check_cell(compiled, trace, config)) return f;
   }
   return Failure{};
@@ -296,7 +349,8 @@ SeedOutcome Differ::run_seed(std::uint64_t seed) const {
     return out;
   }
   const Compiled compiled = prepare(out.program, out.trace);
-  for (const SimConfig& config : opts_.matrix) {
+  for (SimConfig config : opts_.matrix) {
+    config.checkpoint_restore |= opts_.checkpoint_restore;
     ++out.configs_checked;
     if (Failure f = check_cell(compiled, out.trace, config)) {
       out.failure = std::move(f);

@@ -36,6 +36,12 @@ struct SimConfig {
   std::size_t fifo_capacity = 0; // 0 = unbounded (lossless)
   std::uint64_t seed = 1;
 
+  /// Checkpoint/restore column: after the plain run passes, re-run the
+  /// cell with a mid-run checkpoint, restore it into a fresh simulator,
+  /// and require the finished SimResult to be field-identical to the
+  /// uninterrupted run (the mp5-checkpoint v1 bit-identity contract).
+  bool checkpoint_restore = false;
+
   /// Stable human-readable id, e.g. "k4-dynamic-t1-ff-incr".
   std::string name() const;
   SimOptions to_options() const;
@@ -53,9 +59,10 @@ std::vector<SimConfig> quick_config_matrix();
 
 enum class FailureKind {
   kNone,
-  kOracleDivergence, // AstInterp vs single-pipeline reference
-  kSimDivergence,    // MP5 simulator vs single-pipeline reference
-  kCrash,            // exception / invariant violation while simulating
+  kOracleDivergence,     // AstInterp vs single-pipeline reference
+  kSimDivergence,        // MP5 simulator vs single-pipeline reference
+  kCheckpointDivergence, // restore-from-checkpoint broke bit-identity
+  kCrash,                // exception / invariant violation while simulating
 };
 
 const char* to_string(FailureKind kind);
@@ -90,6 +97,10 @@ struct DifferOptions {
   /// floor_mod index reduction. The fuzzer must then catch and shrink the
   /// resulting divergence — proving the detection pipeline works.
   bool inject_floor_mod_bug = false;
+  /// Turn on SimConfig::checkpoint_restore for every matrix cell
+  /// (mp5fuzz --checkpoint): each cell additionally proves
+  /// checkpoint → restore → identical SimResult.
+  bool checkpoint_restore = false;
 };
 
 class Differ {

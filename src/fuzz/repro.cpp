@@ -19,6 +19,7 @@ FailureKind kind_from_string(const std::string& name) {
   if (name == "pass" || name == "none") return FailureKind::kNone;
   if (name == "oracle-divergence") return FailureKind::kOracleDivergence;
   if (name == "sim-divergence") return FailureKind::kSimDivergence;
+  if (name == "checkpoint-divergence") return FailureKind::kCheckpointDivergence;
   if (name == "crash") return FailureKind::kCrash;
   throw ConfigError("reproducer: unknown expect kind '" + name + "'");
 }
@@ -107,6 +108,15 @@ bool scan_bool(const std::string& text, const std::string& key) {
   throw ConfigError("reproducer: key '" + key + "' is not a boolean");
 }
 
+/// Absence-tolerant scan_bool for keys added after schema_version 1
+/// shipped: corpus files written before the key existed read as
+/// `fallback` instead of failing to load.
+bool scan_bool_or(const std::string& text, const std::string& key,
+                  bool fallback) {
+  if (text.find("\"" + key + "\"") == std::string::npos) return fallback;
+  return scan_bool(text, key);
+}
+
 /// Splits `text` into (config-object substring, everything else).
 std::pair<std::string, std::string> split_config(const std::string& text) {
   const std::size_t key = text.find("\"config\"");
@@ -160,6 +170,7 @@ void save_reproducer(const Reproducer& repro, const std::string& json_path) {
   w.kv("remap_period", repro.config.remap_period);
   w.kv("fifo_capacity", static_cast<std::uint64_t>(repro.config.fifo_capacity));
   w.kv("seed", repro.config.seed);
+  w.kv("checkpoint_restore", repro.config.checkpoint_restore);
   w.end_object();
   w.end_object();
   out << "\n";
@@ -202,6 +213,8 @@ Reproducer load_reproducer(const std::string& json_path) {
   repro.config.fifo_capacity =
       static_cast<std::size_t>(scan_int(config_text, "fifo_capacity"));
   repro.config.seed = static_cast<std::uint64_t>(scan_int(config_text, "seed"));
+  repro.config.checkpoint_restore =
+      scan_bool_or(config_text, "checkpoint_restore", false);
 
   const fs::path dir = fs::path(json_path).parent_path();
   const fs::path dom_path = dir / scan_string(top_text, "program");

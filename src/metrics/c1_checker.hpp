@@ -32,6 +32,9 @@
 
 namespace mp5 {
 
+class ByteReader;
+class ByteWriter;
+
 /// Per-worker accumulator for the parallel engine: everything a state
 /// access mutates besides its own (reg, index) cell of the dense table.
 struct C1Scratch {
@@ -53,6 +56,12 @@ public:
 
   /// Merge a worker's accumulator into the run totals.
   void absorb(const C1Scratch& scratch);
+
+  /// Checkpoint serialization (unordered containers written sorted for a
+  /// byte-stable payload). load() requires the same storage mode and,
+  /// in dense mode, the same register shapes as at save time.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
   std::uint64_t violating_packets() const { return violators_.size(); }
   std::uint64_t total_accesses() const { return accesses_; }

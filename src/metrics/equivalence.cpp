@@ -5,51 +5,99 @@
 
 namespace mp5 {
 
-EquivalenceReport check_equivalence(const ir::Pvsm& program,
-                                    const banzai::ReferenceResult& reference,
-                                    const SimResult& result) {
-  EquivalenceReport report;
-  auto note = [&](const std::string& msg) {
-    if (report.first_difference.empty()) report.first_difference = msg;
-  };
+void EquivalenceVerifier::note(const std::string& msg) {
+  if (report_.first_difference.empty()) report_.first_difference = msg;
+}
 
-  // Register state. The simulated final_registers may carry extra hidden
-  // arrays (e.g. the flow-order dummy register); compare the declared ones.
-  for (std::size_t r = 0; r < reference.final_registers.size(); ++r) {
-    if (r >= result.final_registers.size()) {
-      report.registers_equal = false;
-      ++report.register_mismatches;
-      note("register array '" + program.registers[r].name + "' missing");
+void EquivalenceVerifier::compare_packet(
+    SeqNo seq, const std::vector<Value>& reference_headers,
+    const std::vector<Value>& got_headers) {
+  bool mismatch = false;
+  for (const auto& [name, slot] : program_->declared_slot) {
+    const auto s = static_cast<std::size_t>(slot);
+    const Value want =
+        s < reference_headers.size() ? reference_headers[s] : 0;
+    const Value got = s < got_headers.size() ? got_headers[s] : 0;
+    if (want != got) {
+      mismatch = true;
+      std::ostringstream os;
+      os << "packet " << seq << " field '" << name << "': reference " << want
+         << ", got " << got;
+      note(os.str());
+    }
+  }
+  if (mismatch) {
+    report_.packets_equal = false;
+    ++report_.packet_mismatches;
+  }
+}
+
+void EquivalenceVerifier::flag_duplicate(SeqNo seq, std::uint64_t times) {
+  report_.packets_equal = false;
+  ++report_.packet_mismatches;
+  note("packet " + std::to_string(seq) + " egressed " +
+       std::to_string(times) + " times");
+}
+
+void EquivalenceVerifier::flag_out_of_range(SeqNo seq,
+                                            std::uint64_t reference_count) {
+  report_.packets_equal = false;
+  ++report_.packet_mismatches;
+  note("egress record with out-of-range seq " + std::to_string(seq) +
+       " (reference has " + std::to_string(reference_count) + " packets)");
+}
+
+void EquivalenceVerifier::flag_never_egressed(SeqNo seq) {
+  report_.packets_equal = false;
+  ++report_.packet_mismatches;
+  note("packet " + std::to_string(seq) + " never egressed");
+}
+
+void EquivalenceVerifier::flag_count_mismatch(std::uint64_t reference_count,
+                                              std::uint64_t got_count) {
+  report_.packets_equal = false;
+  note("egress count: reference " + std::to_string(reference_count) +
+       " packets, got " + std::to_string(got_count));
+}
+
+void EquivalenceVerifier::compare_registers(
+    const std::vector<std::vector<Value>>& reference,
+    const std::vector<std::vector<Value>>& got) {
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    if (r >= got.size()) {
+      report_.registers_equal = false;
+      ++report_.register_mismatches;
+      note("register array '" + program_->registers[r].name + "' missing");
       continue;
     }
-    const auto& want = reference.final_registers[r];
-    const auto& got = result.final_registers[r];
+    const auto& want = reference[r];
+    const auto& have = got[r];
     for (std::size_t i = 0; i < want.size(); ++i) {
-      if (i >= got.size() || want[i] != got[i]) {
-        report.registers_equal = false;
-        ++report.register_mismatches;
+      if (i >= have.size() || want[i] != have[i]) {
+        report_.registers_equal = false;
+        ++report_.register_mismatches;
         std::ostringstream os;
-        os << "register " << program.registers[r].name << "[" << i
+        os << "register " << program_->registers[r].name << "[" << i
            << "]: reference " << want[i] << ", got "
-           << (i < got.size() ? std::to_string(got[i]) : "<missing>");
+           << (i < have.size() ? std::to_string(have[i]) : "<missing>");
         note(os.str());
       }
     }
   }
+}
+
+EquivalenceReport check_equivalence(const ir::Pvsm& program,
+                                    const banzai::ReferenceResult& reference,
+                                    const SimResult& result) {
+  EquivalenceVerifier verifier(program);
+
+  verifier.compare_registers(reference.final_registers,
+                             result.final_registers);
 
   // Packet state: compare declared header fields per packet, by seq.
-  //
-  // A lossless run must produce exactly one egress record per reference
-  // packet, so malformed egress streams are packet-state violations in
-  // their own right: a bare count mismatch, duplicate records for one
-  // seq, and records whose seq is outside the reference range are each
-  // flagged. (Earlier versions silently let the last duplicate win and
-  // dropped out-of-range records, hiding double-egress bugs.)
   if (result.egress.size() != reference.egress_headers.size()) {
-    report.packets_equal = false;
-    note("egress count: reference " +
-         std::to_string(reference.egress_headers.size()) + " packets, got " +
-         std::to_string(result.egress.size()));
+    verifier.flag_count_mismatch(reference.egress_headers.size(),
+                                 result.egress.size());
   }
   std::vector<const EgressRecord*> by_seq(reference.egress_headers.size(),
                                           nullptr);
@@ -57,50 +105,26 @@ EquivalenceReport check_equivalence(const ir::Pvsm& program,
                                              0);
   for (const auto& rec : result.egress) {
     if (rec.seq >= by_seq.size()) {
-      report.packets_equal = false;
-      ++report.packet_mismatches;
-      note("egress record with out-of-range seq " + std::to_string(rec.seq) +
-           " (reference has " +
-           std::to_string(reference.egress_headers.size()) + " packets)");
+      verifier.flag_out_of_range(rec.seq, reference.egress_headers.size());
       continue;
     }
     // Field comparison uses the first record; every extra is a mismatch.
     if (records_per_seq[rec.seq]++ == 0) {
       by_seq[rec.seq] = &rec;
     } else {
-      report.packets_equal = false;
-      ++report.packet_mismatches;
-      note("packet " + std::to_string(rec.seq) + " egressed " +
-           std::to_string(records_per_seq[rec.seq]) + " times");
+      verifier.flag_duplicate(rec.seq, records_per_seq[rec.seq]);
     }
   }
   for (SeqNo seq = 0; seq < reference.egress_headers.size(); ++seq) {
     const EgressRecord* rec = by_seq[seq];
     if (rec == nullptr) {
-      report.packets_equal = false;
-      ++report.packet_mismatches;
-      note("packet " + std::to_string(seq) + " never egressed");
+      verifier.flag_never_egressed(seq);
       continue;
     }
-    bool mismatch = false;
-    for (const auto& [name, slot] : program.declared_slot) {
-      const auto s = static_cast<std::size_t>(slot);
-      const Value want = reference.egress_headers[seq][s];
-      const Value got = s < rec->headers.size() ? rec->headers[s] : 0;
-      if (want != got) {
-        mismatch = true;
-        std::ostringstream os;
-        os << "packet " << seq << " field '" << name << "': reference "
-           << want << ", got " << got;
-        note(os.str());
-      }
-    }
-    if (mismatch) {
-      report.packets_equal = false;
-      ++report.packet_mismatches;
-    }
+    verifier.compare_packet(seq, reference.egress_headers[seq],
+                            rec->headers);
   }
-  return report;
+  return verifier.report();
 }
 
 } // namespace mp5

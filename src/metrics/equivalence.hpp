@@ -7,6 +7,10 @@
 //   * packet state: every packet leaves with identical header contents.
 // Only declared packet fields are compared — compiler temporaries are
 // scratch metadata, not packet state.
+//
+// Two checkers share the comparison core below: the batch check_equivalence
+// (whole SimResult vs whole ReferenceResult) and the rolling verifier in
+// src/soak/ (per-egress incremental compare over a bounded window).
 #pragma once
 
 #include <string>
@@ -26,6 +30,47 @@ struct EquivalenceReport {
   std::string first_difference; // human-readable, empty when equivalent
 
   bool equivalent() const { return registers_equal && packets_equal; }
+};
+
+/// Shared comparison core: per-packet declared-field compares, register
+/// compares, and the malformed-egress-stream diagnostics (duplicate seqs,
+/// out-of-range seqs, never-egressed packets). Accumulates an
+/// EquivalenceReport; callers own the iteration strategy (batch vs rolling).
+class EquivalenceVerifier {
+public:
+  explicit EquivalenceVerifier(const ir::Pvsm& program)
+      : program_(&program) {}
+
+  /// Compare one egressed packet's declared fields against the reference's
+  /// final headers for the same seq (missing trailing slots read 0).
+  void compare_packet(SeqNo seq, const std::vector<Value>& reference_headers,
+                      const std::vector<Value>& got_headers);
+
+  /// A lossless run must produce exactly one egress record per reference
+  /// packet; these flag the three malformed-stream shapes. (Earlier
+  /// versions silently let the last duplicate win and dropped out-of-range
+  /// records, hiding double-egress bugs.)
+  void flag_duplicate(SeqNo seq, std::uint64_t times);
+  void flag_out_of_range(SeqNo seq, std::uint64_t reference_count);
+  void flag_never_egressed(SeqNo seq);
+  void flag_count_mismatch(std::uint64_t reference_count,
+                           std::uint64_t got_count);
+
+  /// Compare declared register arrays (the simulated set may carry extra
+  /// hidden arrays, e.g. the flow-order dummy register).
+  void compare_registers(const std::vector<std::vector<Value>>& reference,
+                         const std::vector<std::vector<Value>>& got);
+
+  /// Record a free-form first difference (used by the rolling verifier for
+  /// window/truncation diagnostics).
+  void note(const std::string& msg);
+
+  EquivalenceReport& report() { return report_; }
+  const EquivalenceReport& report() const { return report_; }
+
+private:
+  const ir::Pvsm* program_;
+  EquivalenceReport report_;
 };
 
 /// Compare a simulator run against the single-pipeline reference run of the

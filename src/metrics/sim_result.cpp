@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/serialize.hpp"
+
 namespace mp5 {
 
 double SimResult::input_rate() const {
@@ -20,6 +22,164 @@ double SimResult::normalized_throughput() const {
   const double delivered_rate =
       static_cast<double>(egressed) / static_cast<double>(drain);
   return std::min(1.0, delivered_rate / input_rate());
+}
+
+void SimResult::save(ByteWriter& w) const {
+  w.u64(offered);
+  w.u64(egressed);
+  w.u64(dropped_phantom);
+  w.u64(dropped_data);
+  w.u64(dropped_starved);
+  w.u64(dropped_fault);
+  w.u64(ecn_marked);
+  w.u64(first_arrival);
+  w.u64(last_arrival);
+  w.u64(last_egress);
+  w.u64(cycles_run);
+  w.u64(steers);
+  w.u64(wasted_cycles);
+  w.u64(blocked_cycles);
+  w.u64(remap_moves);
+  w.u64(recirculations);
+  w.u64(max_queue_depth);
+  w.u64(pipeline_failures);
+  w.u64(pipeline_recoveries);
+  w.u64(fault_remapped_indices);
+  w.u64(phantom_lost);
+  w.u64(phantom_delayed);
+  w.u64(stalled_cycles);
+  w.u64(time_to_recover);
+  w.u64(fault_drops.size());
+  for (const FaultDrop& d : fault_drops) {
+    w.u64(d.seq);
+    w.boolean(d.state_touched);
+  }
+  w.u64(c1_violating_packets);
+  w.u64(reordered_flow_packets);
+  w.u64(final_registers.size());
+  for (const auto& regs : final_registers) {
+    w.u64(regs.size());
+    for (const Value v : regs) w.i64(v);
+  }
+  w.u64(egress.size());
+  for (const EgressRecord& rec : egress) {
+    w.u64(rec.seq);
+    w.u64(rec.egress_cycle);
+    w.u64(rec.flow);
+    w.u64(rec.headers.size());
+    for (const Value v : rec.headers) w.i64(v);
+  }
+}
+
+void SimResult::load(ByteReader& r) {
+  offered = r.u64();
+  egressed = r.u64();
+  dropped_phantom = r.u64();
+  dropped_data = r.u64();
+  dropped_starved = r.u64();
+  dropped_fault = r.u64();
+  ecn_marked = r.u64();
+  first_arrival = r.u64();
+  last_arrival = r.u64();
+  last_egress = r.u64();
+  cycles_run = r.u64();
+  steers = r.u64();
+  wasted_cycles = r.u64();
+  blocked_cycles = r.u64();
+  remap_moves = r.u64();
+  recirculations = r.u64();
+  max_queue_depth = static_cast<std::size_t>(r.u64());
+  pipeline_failures = r.u64();
+  pipeline_recoveries = r.u64();
+  fault_remapped_indices = r.u64();
+  phantom_lost = r.u64();
+  phantom_delayed = r.u64();
+  stalled_cycles = r.u64();
+  time_to_recover = r.u64();
+  fault_drops.resize(static_cast<std::size_t>(r.count(9)));
+  for (FaultDrop& d : fault_drops) {
+    d.seq = r.u64();
+    d.state_touched = r.boolean();
+  }
+  c1_violating_packets = r.u64();
+  reordered_flow_packets = r.u64();
+  final_registers.resize(static_cast<std::size_t>(r.count(8)));
+  for (auto& regs : final_registers) {
+    regs.resize(static_cast<std::size_t>(r.count(8)));
+    for (Value& v : regs) v = r.i64();
+  }
+  egress.resize(static_cast<std::size_t>(r.count(32)));
+  for (EgressRecord& rec : egress) {
+    rec.seq = r.u64();
+    rec.egress_cycle = r.u64();
+    rec.flow = r.u64();
+    rec.headers.resize(static_cast<std::size_t>(r.count(8)));
+    for (Value& v : rec.headers) v = r.i64();
+  }
+}
+
+namespace {
+
+bool differ(std::string* why, const char* field) {
+  if (why != nullptr) *why = std::string("field '") + field + "' differs";
+  return false;
+}
+
+} // namespace
+
+bool same_results(const SimResult& a, const SimResult& b, std::string* why) {
+#define MP5_SAME(field) \
+  if (a.field != b.field) return differ(why, #field)
+  MP5_SAME(offered);
+  MP5_SAME(egressed);
+  MP5_SAME(dropped_phantom);
+  MP5_SAME(dropped_data);
+  MP5_SAME(dropped_starved);
+  MP5_SAME(dropped_fault);
+  MP5_SAME(ecn_marked);
+  MP5_SAME(first_arrival);
+  MP5_SAME(last_arrival);
+  MP5_SAME(last_egress);
+  MP5_SAME(cycles_run);
+  MP5_SAME(steers);
+  MP5_SAME(wasted_cycles);
+  MP5_SAME(blocked_cycles);
+  MP5_SAME(remap_moves);
+  MP5_SAME(recirculations);
+  MP5_SAME(max_queue_depth);
+  MP5_SAME(pipeline_failures);
+  MP5_SAME(pipeline_recoveries);
+  MP5_SAME(fault_remapped_indices);
+  MP5_SAME(phantom_lost);
+  MP5_SAME(phantom_delayed);
+  MP5_SAME(stalled_cycles);
+  MP5_SAME(time_to_recover);
+  MP5_SAME(c1_violating_packets);
+  MP5_SAME(reordered_flow_packets);
+  MP5_SAME(final_registers);
+#undef MP5_SAME
+  if (a.fault_drops.size() != b.fault_drops.size()) {
+    return differ(why, "fault_drops.size");
+  }
+  for (std::size_t i = 0; i < a.fault_drops.size(); ++i) {
+    if (a.fault_drops[i].seq != b.fault_drops[i].seq ||
+        a.fault_drops[i].state_touched != b.fault_drops[i].state_touched) {
+      return differ(why, "fault_drops");
+    }
+  }
+  if (a.egress.size() != b.egress.size()) return differ(why, "egress.size");
+  for (std::size_t i = 0; i < a.egress.size(); ++i) {
+    const EgressRecord& x = a.egress[i];
+    const EgressRecord& y = b.egress[i];
+    if (x.seq != y.seq || x.egress_cycle != y.egress_cycle ||
+        x.flow != y.flow || x.headers != y.headers) {
+      if (why != nullptr) {
+        *why = "egress record for seq " + std::to_string(x.seq) + " differs";
+      }
+      return false;
+    }
+  }
+  return true;
 }
 
 } // namespace mp5

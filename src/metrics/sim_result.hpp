@@ -2,12 +2,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "packet/packet.hpp"
 
 namespace mp5 {
+
+class ByteReader;
+class ByteWriter;
 
 struct SimResult {
   // --- packet accounting ---
@@ -84,6 +88,19 @@ struct SimResult {
                         : static_cast<double>(offered - egressed) /
                               static_cast<double>(offered);
   }
+
+  /// Checkpoint serialization. The egress and fault-drop logs are written
+  /// in their current (possibly unsorted mid-run) order — the run loop
+  /// appends to them until the final sort, so restoring them in any other
+  /// order would break bit-identity of the finished result.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 };
+
+/// Field-by-field equality of two results — the checkpoint/restore
+/// bit-identity contract. On mismatch returns false and, when `why` is
+/// non-null, names the first differing field.
+bool same_results(const SimResult& a, const SimResult& b,
+                  std::string* why = nullptr);
 
 } // namespace mp5

@@ -2,10 +2,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
 #include "mp5/faults.hpp"
 #include "mp5/shard_map.hpp"
 #include "mp5/timeline.hpp"
+#include "packet/packet.hpp"
 
 namespace mp5 {
 
@@ -122,6 +125,31 @@ struct SimOptions {
   /// results. Costs O(queued entries) per cycle — opt-in for tests and
   /// debugging.
   bool paranoid_checks = false;
+
+  // -- soak mode: checkpointing and streaming sinks (ISSUE 6) --
+
+  /// Checkpoint every N cycles (0 = disabled). Requires checkpoint_sink.
+  /// The checkpoint is taken at the top of the cycle, before that cycle's
+  /// fault events and arrivals; fast-forward jumps are clamped so no
+  /// boundary is skipped (behavior-neutral: the extra boundary cycles are
+  /// provable no-ops). Restoring from any emitted checkpoint reproduces
+  /// the uninterrupted run's SimResult field-by-field.
+  std::uint64_t checkpoint_interval = 0;
+
+  /// Receives each framed `mp5-checkpoint v1` blob (see mp5/checkpoint.hpp
+  /// for the file helpers). Called from the run loop; keep it cheap or
+  /// accept the stall.
+  std::function<void(Cycle, std::string&&)> checkpoint_sink;
+
+  /// Streaming egress: when set, egress records are handed to the sink
+  /// instead of accumulating in SimResult::egress — the soak driver's
+  /// flat-RSS path (rolling verification consumes and discards them).
+  /// Independent of record_egress.
+  std::function<void(EgressRecord&&)> egress_sink;
+
+  /// Streaming fault-drop notifications (seq, state_touched), the sink
+  /// counterpart of SimResult::fault_drops.
+  std::function<void(SeqNo, bool)> fault_drop_sink;
 
   /// Optional per-event instrumentation hook (tests, mp5sim --timeline).
   TimelineHook timeline;

@@ -40,6 +40,9 @@
 
 namespace mp5 {
 
+class ByteReader;
+class ByteWriter;
+
 namespace telemetry {
 class Counter;
 class Telemetry;
@@ -140,6 +143,18 @@ public:
   /// "shard.*" counters for rebalance churn and fault re-homing. Not
   /// called on telemetry-disabled runs; the hooks stay null and free.
   void set_telemetry(telemetry::Telemetry& sink);
+
+  // -- checkpoint/restore --
+
+  /// Serialize register values, the full index-to-pipeline map, windowed
+  /// access/in-flight counters with their epoch stamps, membership lists
+  /// and per-lane aggregates — everything the rebalance heuristic and
+  /// steering decisions read.
+  void save(ByteWriter& w) const;
+  /// Restore into a same-shaped ShardedState (same specs / k / policy);
+  /// the constructor's initial placement is overwritten. Throws Error on
+  /// shape mismatch.
+  void load(ByteReader& r);
 
 private:
   struct PerReg {

@@ -72,6 +72,11 @@ Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
         "telemetry/timeline event streams (their order is defined by the "
         "sequential walk); run with threads = 1 to record events");
   }
+  if (opts_.checkpoint_interval != 0 && !opts_.checkpoint_sink) {
+    throw ConfigError(
+        "SimOptions: checkpoint_interval requires a checkpoint_sink to "
+        "receive the blobs");
+  }
   opts_.faults.validate(opts_.pipelines);
   if (opts_.faults.has_phantom_faults() && !opts_.realistic_phantom_channel) {
     throw ConfigError(
@@ -163,16 +168,31 @@ Mp5Simulator::~Mp5Simulator() { stop_workers(); }
 // ---------------------------------------------------------------------------
 
 SimResult Mp5Simulator::run(const Trace& trace) {
-  trace_ = &trace;
-  cursor_ = 0;
+  VectorTraceSource source(trace);
+  return run(source);
+}
+
+SimResult Mp5Simulator::run(TraceSource& source) {
   result_ = SimResult{};
-  result_.offered = 0;
 
   // Pre-size the per-run pools: the arena grows to the peak number of
   // in-flight packets (bounded by the trace but usually far smaller), and
-  // the egress log is exactly one record per delivered packet.
-  arena_.reserve(std::min<std::size_t>(trace.size(), 4096));
-  if (opts_.record_egress) result_.egress.reserve(trace.size());
+  // the egress log is one record per delivered packet — but a streaming
+  // soak trace is effectively unbounded, so cap the reservations.
+  const std::optional<std::uint64_t> total = source.size();
+  arena_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(total.value_or(4096), 4096)));
+  if (opts_.record_egress && !opts_.egress_sink && total.has_value()) {
+    result_.egress.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(*total, std::uint64_t{1} << 20)));
+  }
+
+  next_checkpoint_ = opts_.checkpoint_interval; // 0 when disabled
+  return run_loop(source, 0);
+}
+
+SimResult Mp5Simulator::run_loop(TraceSource& source, Cycle start_cycle) {
+  source_ = &source;
 
   // Fast-forward is only sound when nothing is scheduled against the wall
   // clock: any fault plan (stall windows, pressure windows, lane events,
@@ -181,9 +201,8 @@ SimResult Mp5Simulator::run(const Trace& trace) {
   const bool parallel = workers_ > 1;
   if (parallel) start_workers();
 
-  Cycle now = 0;
+  Cycle now = start_cycle;
   try {
-    bool first = true;
     while (work_remaining()) {
       if (now >= opts_.max_cycles) {
         throw Error(
@@ -191,7 +210,10 @@ SimResult Mp5Simulator::run(const Trace& trace) {
       }
       // 0a. Idle-cycle fast-forward: with the switch fully drained, every
       //     cycle until the next event is a provable no-op — jump there.
-      if (ff_enabled && live_packets_ == 0 && cursor_ < trace_->size() &&
+      //     (next_event_cycle clamps the jump to the next checkpoint
+      //     boundary; the boundary cycle itself is then a no-op walk, so
+      //     checkpointed and checkpoint-free runs stay bit-identical.)
+      if (ff_enabled && live_packets_ == 0 && source_->peek() != nullptr &&
           fully_drained()) {
         now = next_event_cycle(now);
         if (now >= opts_.max_cycles) {
@@ -199,7 +221,15 @@ SimResult Mp5Simulator::run(const Trace& trace) {
               "Mp5Simulator: max_cycles exceeded (deadlock or overload?)");
         }
       }
-      // 0b. Scheduled faults fire at the cycle boundary, before arrivals,
+      // 0b. Periodic checkpoint, at the top of the cycle: the blob captures
+      //     the state *before* this cycle's fault events and arrivals, so a
+      //     resumed run replays them identically.
+      if (opts_.checkpoint_interval != 0 && now >= next_checkpoint_) {
+        do_checkpoint(now);
+        next_checkpoint_ = ((now / opts_.checkpoint_interval) + 1) *
+                           opts_.checkpoint_interval;
+      }
+      // 0c. Scheduled faults fire at the cycle boundary, before arrivals,
       //     so packets admitted this cycle already see the new lane set.
       if (fault_sched_.any()) {
         apply_fault_events(now);
@@ -211,15 +241,15 @@ SimResult Mp5Simulator::run(const Trace& trace) {
           }
         }
       }
-      // 1. Arrivals for this cycle (trace is pre-sorted by (time, port)).
-      while (cursor_ < trace_->size() &&
-             (*trace_)[cursor_].arrival_time < static_cast<double>(now + 1)) {
-        admit((*trace_)[cursor_], now);
-        ++cursor_;
-        if (first) {
-          result_.first_arrival = now;
-          first = false;
-        }
+      // 1. Arrivals for this cycle (the source yields items pre-sorted by
+      //    (time, port); file sources enforce that on read).
+      for (const TraceItem* item;
+           (item = source_->peek()) != nullptr &&
+           item->arrival_time < static_cast<double>(now + 1);
+           source_->advance()) {
+        const bool first = result_.offered == 0;
+        admit(*item, now);
+        if (first) result_.first_arrival = now;
         result_.last_arrival = now;
       }
       // 1b. Phantom channel: deliver phantoms whose hop count has elapsed.
@@ -275,9 +305,11 @@ SimResult Mp5Simulator::run(const Trace& trace) {
       ++now;
     }
   } catch (...) {
+    source_ = nullptr;
     stop_workers();
     throw;
   }
+  source_ = nullptr;
   if (parallel) {
     for (auto& ctx : worker_ctx_) {
       c1_.absorb(ctx.c1);
@@ -331,8 +363,9 @@ bool Mp5Simulator::fully_drained() const {
 
 Cycle Mp5Simulator::next_event_cycle(Cycle now) {
   // Next trace arrival: admitted in the cycle its arrival time truncates
-  // to (the run loop admits while arrival_time < now + 1).
-  Cycle target = static_cast<Cycle>((*trace_)[cursor_].arrival_time);
+  // to (the run loop admits while arrival_time < now + 1). The caller
+  // guarantees the source is non-empty.
+  Cycle target = static_cast<Cycle>(source_->peek()->arrival_time);
   // A cancelled phantom still in flight is delivered as a zombie at its
   // scheduled cycle and costs a wasted pop afterwards.
   if (const auto deliver = channel_next_deliver(); deliver.has_value()) {
@@ -347,6 +380,12 @@ Cycle Mp5Simulator::next_event_cycle(Cycle now) {
     const Cycle period = opts_.remap_period;
     const Cycle boundary = ((now + period) / period) * period - 1;
     target = std::min(target, boundary);
+  }
+  // Never jump past a checkpoint boundary: the checkpoint must observe the
+  // state at exactly that cycle. Landing there is behavior-neutral — the
+  // switch is drained, so the boundary cycle is an empty walk.
+  if (opts_.checkpoint_interval != 0) {
+    target = std::min(target, next_checkpoint_);
   }
   target = std::min<Cycle>(target, opts_.max_cycles);
   return std::max(target, now);
@@ -760,8 +799,9 @@ void Mp5Simulator::check_invariants(Cycle now) const {
 // Per-cycle packet movement
 // ---------------------------------------------------------------------------
 
-bool Mp5Simulator::work_remaining() const {
-  return live_packets_ > 0 || (trace_ != nullptr && cursor_ < trace_->size());
+bool Mp5Simulator::work_remaining() {
+  return live_packets_ > 0 ||
+         (source_ != nullptr && source_->peek() != nullptr);
 }
 
 void Mp5Simulator::push_arrival(PipelineId dest, StageId st, PacketRef ref,
@@ -1204,7 +1244,7 @@ void Mp5Simulator::drop_packet(PacketRef ref, DropCause cause,
     case DropCause::kFault: {
       ++result_.dropped_fault;
       MP5_TELEM_INC(t_drop_fault_);
-      if (opts_.record_egress) {
+      if (opts_.record_egress || opts_.fault_drop_sink) {
         // Declared drop set for equivalence-modulo-drops: remember whether
         // the packet's partial state effects remain in the registers.
         bool touched = false;
@@ -1214,7 +1254,11 @@ void Mp5Simulator::drop_packet(PacketRef ref, DropCause cause,
             break;
           }
         }
-        result_.fault_drops.push_back(SimResult::FaultDrop{pkt.seq, touched});
+        if (opts_.fault_drop_sink) opts_.fault_drop_sink(pkt.seq, touched);
+        if (opts_.record_egress) {
+          result_.fault_drops.push_back(
+              SimResult::FaultDrop{pkt.seq, touched});
+        }
       }
       break;
     }
@@ -1305,13 +1349,19 @@ void Mp5Simulator::egress_packet(PacketRef ref, Cycle now, WorkerCtx* ctx) {
       }
     }
   }
-  if (opts_.record_egress) {
+  if (opts_.record_egress || opts_.egress_sink) {
     EgressRecord rec;
     rec.seq = pkt.seq;
     rec.egress_cycle = now;
     rec.flow = pkt.flow;
     rec.headers = std::move(pkt.headers);
-    result_.egress.push_back(std::move(rec));
+    if (opts_.egress_sink) {
+      // Streaming soak: the record goes to the sink (rolling verification)
+      // instead of accumulating in the result — flat RSS for any length.
+      opts_.egress_sink(std::move(rec));
+    } else {
+      result_.egress.push_back(std::move(rec));
+    }
   }
   arena_.release(ref);
 }

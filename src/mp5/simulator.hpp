@@ -48,6 +48,8 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -65,8 +67,11 @@
 #include "packet/arena.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_source.hpp"
 
 namespace mp5 {
+
+class ByteReader;
 
 class Mp5Simulator {
 public:
@@ -78,6 +83,22 @@ public:
 
   /// Run a whole trace to completion (all packets egressed or dropped).
   SimResult run(const Trace& trace);
+
+  /// Streaming variant: pull packets from a TraceSource (generator, mmap'd
+  /// file, ...) instead of an in-memory Trace. With the soak sinks set
+  /// (SimOptions::egress_sink / fault_drop_sink) memory stays flat
+  /// regardless of trace length.
+  SimResult run(TraceSource& source);
+
+  /// Resume a checkpointed run: restore the complete simulator state from
+  /// an `mp5-checkpoint v1` blob (see mp5/checkpoint.hpp), fast-forward the
+  /// source to the checkpoint's trace position, and run to completion. The
+  /// simulator must be freshly constructed from the *same program and
+  /// semantic options* as the checkpointing run (enforced via the config
+  /// fingerprint); engine knobs (threads, fast_forward, sinks, telemetry)
+  /// may differ. The returned SimResult is field-by-field identical to the
+  /// uninterrupted run's.
+  SimResult resume(TraceSource& source, std::string_view checkpoint_blob);
 
   /// Observable state, for tests.
   const ShardedState& state() const { return *state_; }
@@ -193,7 +214,20 @@ private:
   void route_onwards(PacketRef ref, PipelineId p, StageId st, Cycle now,
                      WorkerCtx* ctx);
   void egress_packet(PacketRef ref, Cycle now, WorkerCtx* ctx);
-  bool work_remaining() const;
+  bool work_remaining();
+
+  // -- checkpoint/restore (implemented in checkpoint.cpp) --
+
+  /// The shared cycle walk behind run() and resume().
+  SimResult run_loop(TraceSource& source, Cycle start_cycle);
+  /// Frame the complete simulator state and hand it to checkpoint_sink.
+  void do_checkpoint(Cycle now);
+  /// Serialize every piece of run state the cycle walk depends on.
+  std::string serialize_state(Cycle now);
+  /// Inverse of serialize_state into a freshly constructed simulator.
+  /// Returns the checkpointed cycle; `trace_consumed` receives the number
+  /// of trace items already admitted (the source skip target).
+  Cycle restore_state(ByteReader& r, std::uint64_t& trace_consumed);
 
   // -- idle-cycle fast-forward --
 
@@ -296,8 +330,8 @@ private:
   std::size_t channel_live_ = 0;
   std::vector<PendingPhantom> due_scratch_; // reused by deliver_due_phantoms
 
-  const Trace* trace_ = nullptr;
-  std::size_t cursor_ = 0;
+  TraceSource* source_ = nullptr; // non-owning, valid during run_loop only
+  Cycle next_checkpoint_ = 0;     // next cycle boundary to checkpoint at
   SeqNo next_seq_ = 0;
   std::uint64_t live_packets_ = 0;
   // (Remap-boundary observability lives in ShardedState::window_dirty()

@@ -38,6 +38,8 @@
 
 namespace mp5 {
 
+class ByteReader;
+class ByteWriter;
 class Histogram;
 
 namespace telemetry {
@@ -121,6 +123,16 @@ public:
   /// source lane is seq-sorted, but injected phantom delays legitimately
   /// break it), and phantom-directory coherence. Throws InvariantError.
   void check_invariants(Cycle now, bool check_order = true) const;
+
+  // -- checkpoint/restore --
+
+  /// Serialize queued entries, the phantom directory (with exact ring
+  /// virtual indexes), and occupancy stats. Hash-map contents are written
+  /// in a sorted order so the payload is byte-stable across runs.
+  void save(ByteWriter& w) const;
+  /// Restore into a freshly constructed (empty) StageFifo of the same
+  /// configuration; throws Error on any structural mismatch.
+  void load(ByteReader& r);
 
 private:
   using IndexKey = std::uint64_t; // (reg << 32) | index

@@ -1,0 +1,25 @@
+#include "soak/rss.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mp5::soak {
+
+RssSample sample_rss() {
+  RssSample sample;
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return sample;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      sample.rss_kib = std::strtoull(line + 6, nullptr, 10);
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      sample.peak_kib = std::strtoull(line + 6, nullptr, 10);
+    }
+  }
+  std::fclose(f);
+  return sample;
+}
+
+} // namespace mp5::soak

@@ -1,0 +1,20 @@
+// Process resident-set sampling for the soak driver's flat-RSS contract.
+#pragma once
+
+#include <cstdint>
+
+namespace mp5::soak {
+
+struct RssSample {
+  /// Current resident set (VmRSS), KiB. 0 when /proc is unavailable.
+  std::uint64_t rss_kib = 0;
+  /// Peak resident set (VmHWM), KiB. 0 when /proc is unavailable.
+  std::uint64_t peak_kib = 0;
+};
+
+/// Read VmRSS/VmHWM from /proc/self/status (Linux). On platforms without
+/// procfs both fields are 0 — callers treat that as "unknown", never as an
+/// over-limit condition.
+RssSample sample_rss();
+
+} // namespace mp5::soak

@@ -10,6 +10,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "trace/trace.hpp"
 
@@ -20,5 +21,16 @@ Trace load_trace_csv(std::istream& is);
 
 void save_trace_file(const Trace& trace, const std::string& path);
 Trace load_trace_file(const std::string& path);
+
+/// Compact binary trace format for soak-scale inputs: fixed-size records
+/// make BinaryFileTraceSource::skip_to O(1). Layout (little-endian):
+///   magic "MP5TRCB1" | u32 version=1 | u32 field_count | u64 item_count
+///   then item_count records of
+///   f64 arrival_time | u32 port | u32 size_bytes | u64 flow
+///   | field_count x i64 fields (zero-padded per item)
+inline constexpr std::string_view kTraceBinMagic = "MP5TRCB1";
+
+void save_trace_bin(const Trace& trace, const std::string& path);
+Trace load_trace_bin(const std::string& path);
 
 } // namespace mp5

@@ -1,0 +1,342 @@
+#include "trace/trace_source.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "trace/trace_io.hpp"
+
+namespace mp5 {
+
+void VectorTraceSource::skip_to(std::uint64_t n) {
+  if (n > trace_->size()) {
+    throw Error("trace skip_to(" + std::to_string(n) + ") past end (" +
+                std::to_string(trace_->size()) + " items)");
+  }
+  pos_ = n;
+}
+
+// -- MappedFile ------------------------------------------------------------
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw Error("cannot open trace file '" + path +
+                "': " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("cannot stat trace file '" + path +
+                "': " + std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ > 0) {
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      throw Error("cannot mmap trace file '" + path +
+                  "': " + std::strerror(err));
+    }
+    data_ = static_cast<const char*>(p);
+  }
+  ::close(fd);
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+// -- CsvFileTraceSource ----------------------------------------------------
+
+CsvFileTraceSource::CsvFileTraceSource(const std::string& path)
+    : path_(path), map_(std::make_unique<MappedFile>(path)) {
+  parse_next();
+}
+
+const TraceItem* CsvFileTraceSource::peek() {
+  return have_current_ ? &current_ : nullptr;
+}
+
+void CsvFileTraceSource::advance() {
+  ++consumed_;
+  parse_next();
+}
+
+void CsvFileTraceSource::skip_to(std::uint64_t n) {
+  if (n < consumed_) {
+    offset_ = 0;
+    lineno_ = 0;
+    consumed_ = 0;
+    any_parsed_ = false;
+    parse_next();
+  }
+  while (consumed_ < n) {
+    if (!have_current_) {
+      throw Error("trace skip_to(" + std::to_string(n) +
+                  ") past end of '" + path_ + "'");
+    }
+    advance();
+  }
+}
+
+void CsvFileTraceSource::parse_next() {
+  const char* base = map_->data();
+  const std::size_t size = map_->size();
+  while (offset_ < size) {
+    std::size_t end = offset_;
+    while (end < size && base[end] != '\n') ++end;
+    std::string line(base + offset_, end - offset_);
+    offset_ = (end < size) ? end + 1 : size;
+    ++lineno_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> cells;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = line.find(',', start);
+      if (comma == std::string::npos) {
+        cells.push_back(line.substr(start));
+        break;
+      }
+      cells.push_back(line.substr(start, comma - start));
+      start = comma + 1;
+    }
+    if (cells.size() < 4) {
+      throw Error("trace csv line " + std::to_string(lineno_) +
+                  ": expected at least 4 columns");
+    }
+    TraceItem item;
+    try {
+      item.arrival_time = std::stod(cells[0]);
+      item.port = static_cast<std::uint32_t>(std::stoul(cells[1]));
+      item.size_bytes = static_cast<std::uint32_t>(std::stoul(cells[2]));
+      item.flow = std::stoull(cells[3]);
+      for (std::size_t i = 4; i < cells.size(); ++i) {
+        item.fields.push_back(static_cast<Value>(std::stoll(cells[i])));
+      }
+    } catch (const std::exception&) {
+      throw Error("trace csv line " + std::to_string(lineno_) +
+                  ": malformed number");
+    }
+    // A streaming reader cannot sort after the fact the way
+    // load_trace_csv does, so admission order is an input contract.
+    if (any_parsed_ &&
+        (item.arrival_time < prev_time_ ||
+         (item.arrival_time == prev_time_ && item.port < prev_port_))) {
+      throw Error("trace csv line " + std::to_string(lineno_) +
+                  ": out of admission order (streaming input must be "
+                  "sorted by arrival_time, then port)");
+    }
+    prev_time_ = item.arrival_time;
+    prev_port_ = item.port;
+    any_parsed_ = true;
+    current_ = std::move(item);
+    have_current_ = true;
+    return;
+  }
+  have_current_ = false;
+}
+
+// -- Binary trace format ---------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kBinMagicBytes = 8;
+constexpr std::uint32_t kBinVersion = 1;
+constexpr std::size_t kBinHeaderBytes = kBinMagicBytes + 4 + 4 + 8;
+constexpr std::size_t kBinFixedRecordBytes = 8 + 4 + 4 + 8;
+
+} // namespace
+
+BinaryFileTraceSource::BinaryFileTraceSource(const std::string& path)
+    : path_(path), map_(std::make_unique<MappedFile>(path)) {
+  if (map_->size() < kBinHeaderBytes ||
+      std::memcmp(map_->data(), kTraceBinMagic.data(), kBinMagicBytes) != 0) {
+    throw Error("'" + path + "' is not a binary trace file (bad magic)");
+  }
+  ByteReader r(std::string_view(map_->data() + kBinMagicBytes,
+                                kBinHeaderBytes - kBinMagicBytes));
+  const std::uint32_t version = r.u32();
+  if (version != kBinVersion) {
+    throw Error("binary trace '" + path + "': unsupported version " +
+                std::to_string(version));
+  }
+  field_count_ = r.u32();
+  items_ = r.u64();
+  if (field_count_ > (1u << 20)) {
+    throw Error("binary trace '" + path + "': implausible field count " +
+                std::to_string(field_count_));
+  }
+  record_bytes_ = kBinFixedRecordBytes + 8 * std::size_t{field_count_};
+  header_bytes_ = kBinHeaderBytes;
+  const std::size_t expected = header_bytes_ + items_ * record_bytes_;
+  if (map_->size() != expected) {
+    throw Error("binary trace '" + path + "': size " +
+                std::to_string(map_->size()) + " != expected " +
+                std::to_string(expected) + " (truncated or corrupt)");
+  }
+  current_.fields.resize(field_count_);
+  load_current();
+}
+
+const TraceItem* BinaryFileTraceSource::peek() {
+  return have_current_ ? &current_ : nullptr;
+}
+
+void BinaryFileTraceSource::advance() {
+  ++consumed_;
+  load_current();
+}
+
+void BinaryFileTraceSource::skip_to(std::uint64_t n) {
+  if (n > items_) {
+    throw Error("trace skip_to(" + std::to_string(n) + ") past end (" +
+                std::to_string(items_) + " items)");
+  }
+  consumed_ = n;
+  load_current();
+}
+
+void BinaryFileTraceSource::load_current() {
+  if (consumed_ >= items_) {
+    have_current_ = false;
+    return;
+  }
+  ByteReader r(std::string_view(
+      map_->data() + header_bytes_ + consumed_ * record_bytes_,
+      record_bytes_));
+  current_.arrival_time = r.f64();
+  current_.port = r.u32();
+  current_.size_bytes = r.u32();
+  current_.flow = r.u64();
+  for (std::uint32_t f = 0; f < field_count_; ++f) {
+    current_.fields[f] = r.i64();
+  }
+  have_current_ = true;
+}
+
+void save_trace_bin(const Trace& trace, const std::string& path) {
+  std::size_t field_count = 0;
+  for (const auto& item : trace) {
+    field_count = std::max(field_count, item.fields.size());
+  }
+  ByteWriter w;
+  w.bytes(kTraceBinMagic.data(), kBinMagicBytes);
+  w.u32(kBinVersion);
+  w.u32(static_cast<std::uint32_t>(field_count));
+  w.u64(trace.size());
+  for (const auto& item : trace) {
+    w.f64(item.arrival_time);
+    w.u32(item.port);
+    w.u32(item.size_bytes);
+    w.u64(item.flow);
+    for (std::size_t f = 0; f < field_count; ++f) {
+      w.i64(f < item.fields.size() ? item.fields[f] : 0);
+    }
+  }
+  std::FILE* fp = std::fopen(path.c_str(), "wb");
+  if (fp == nullptr) {
+    throw Error("cannot write binary trace '" + path + "'");
+  }
+  const std::string& buf = w.buffer();
+  const bool ok = std::fwrite(buf.data(), 1, buf.size(), fp) == buf.size();
+  if (std::fclose(fp) != 0 || !ok) {
+    throw Error("short write to binary trace '" + path + "'");
+  }
+}
+
+Trace load_trace_bin(const std::string& path) {
+  BinaryFileTraceSource source(path);
+  Trace trace;
+  if (auto n = source.size()) trace.reserve(*n);
+  while (const TraceItem* item = source.peek()) {
+    trace.push_back(*item);
+    source.advance();
+  }
+  return trace;
+}
+
+// -- SyntheticTraceSource --------------------------------------------------
+
+SyntheticTraceSource::SyntheticTraceSource(const SyntheticSpec& spec)
+    : spec_(spec) {
+  if (spec_.pipelines == 0) {
+    throw Error("SyntheticTraceSource: pipelines must be > 0");
+  }
+  if (!(spec_.load > 0.0)) {
+    throw Error("SyntheticTraceSource: load must be > 0");
+  }
+  current_.fields.resize(spec_.field_count);
+  generate(0);
+}
+
+const TraceItem* SyntheticTraceSource::peek() {
+  return have_current_ ? &current_ : nullptr;
+}
+
+void SyntheticTraceSource::advance() {
+  ++pos_;
+  generate(pos_);
+}
+
+void SyntheticTraceSource::skip_to(std::uint64_t n) {
+  if (n > spec_.packets) {
+    throw Error("trace skip_to(" + std::to_string(n) + ") past end (" +
+                std::to_string(spec_.packets) + " items)");
+  }
+  pos_ = n;
+  generate(pos_);
+}
+
+void SyntheticTraceSource::generate(std::uint64_t i) {
+  if (i >= spec_.packets) {
+    have_current_ = false;
+    return;
+  }
+  // Item i depends only on (seed, i): reseed a fresh stream per item so
+  // skip_to() needs no replay. Fixed 64 B packets at the line-rate clock
+  // give arrival_time = i / (pipelines * load).
+  Rng rng(spec_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+  current_.arrival_time =
+      static_cast<double>(i) / (spec_.pipelines * spec_.load);
+  current_.port = static_cast<std::uint32_t>(
+      rng.next_below(std::uint64_t{spec_.pipelines} * 4));
+  current_.size_bytes = 64;
+  current_.flow = rng.next_below(std::max<std::uint64_t>(1, spec_.flows));
+  const std::uint64_t bound =
+      spec_.field_bound > 0 ? static_cast<std::uint64_t>(spec_.field_bound)
+                            : 1;
+  for (std::uint32_t f = 0; f < spec_.field_count; ++f) {
+    current_.fields[f] = static_cast<Value>(rng.next_below(bound));
+  }
+  have_current_ = true;
+}
+
+std::unique_ptr<TraceSource> open_trace_source(const std::string& path) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  if (ends_with(".csv")) {
+    return std::make_unique<CsvFileTraceSource>(path);
+  }
+  return std::make_unique<BinaryFileTraceSource>(path);
+}
+
+} // namespace mp5

@@ -81,3 +81,36 @@ endforeach()
 expect_success("mp5sim fault control run"
                ${MP5SIM} --builtin figure3 --packets 400
                --fail-pipeline 1@50:300 --paranoid)
+
+# -- mp5sim checkpoint/restore (ISSUE 6) --
+expect_failure("mp5sim checkpoint interval without out"
+               ${MP5SIM} --builtin figure3 --packets 200
+               --checkpoint-interval 100)
+expect_failure("mp5sim checkpoint out without interval"
+               ${MP5SIM} --builtin figure3 --packets 200
+               --checkpoint-out ${workdir}/orphan.ckpt)
+expect_failure("mp5sim checkpoint to unwritable path"
+               ${MP5SIM} --builtin figure3 --packets 200
+               --checkpoint-interval 100
+               --checkpoint-out ${workdir}/no_such_dir/ck)
+expect_failure("mp5sim restore missing file"
+               ${MP5SIM} --builtin figure3 --packets 200
+               --restore ${workdir}/does_not_exist.ckpt)
+file(WRITE ${workdir}/garbage.ckpt "not a checkpoint at all")
+expect_failure("mp5sim restore garbage file"
+               ${MP5SIM} --builtin figure3 --packets 200
+               --restore ${workdir}/garbage.ckpt)
+expect_failure("mp5sim checkpoint under recirculation baseline"
+               ${MP5SIM} --builtin figure3 --design recirc --packets 200
+               --checkpoint-interval 100
+               --checkpoint-out ${workdir}/recirc.ckpt)
+expect_success("mp5sim checkpoint control run"
+               ${MP5SIM} --builtin figure3 --packets 800
+               --checkpoint-interval 50
+               --checkpoint-out ${workdir}/figure3.ckpt --paranoid)
+if(NOT EXISTS ${workdir}/figure3.ckpt)
+  message(FATAL_ERROR "mp5sim checkpoint control run: missing figure3.ckpt")
+endif()
+expect_success("mp5sim restore control run"
+               ${MP5SIM} --builtin figure3 --packets 800
+               --restore ${workdir}/figure3.ckpt --paranoid)

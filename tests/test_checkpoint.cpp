@@ -1,0 +1,287 @@
+// mp5-checkpoint v1 (ISSUE 6): framing robustness and the bit-identity
+// contract — restoring any emitted checkpoint, under any engine
+// configuration, must reproduce the uninterrupted run's SimResult
+// field-by-field, for every matrix cell and fault plan.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "fuzz/differ.hpp"
+#include "metrics/sim_result.hpp"
+#include "mp5/checkpoint.hpp"
+#include "mp5/simulator.hpp"
+#include "trace/trace_source.hpp"
+#include "test_util.hpp"
+
+namespace mp5 {
+namespace {
+
+TEST(CheckpointFraming, RoundTrips) {
+  const std::string frame = frame_checkpoint(0xDEADBEEF, 1234, "payload!");
+  const CheckpointInfo info = parse_checkpoint(frame);
+  EXPECT_EQ(info.fingerprint, 0xDEADBEEFu);
+  EXPECT_EQ(info.cycle, 1234u);
+  EXPECT_EQ(info.payload, "payload!");
+  EXPECT_EQ(framed_size(frame), frame.size());
+}
+
+TEST(CheckpointFraming, SplitsConcatenatedFrames) {
+  const std::string a = frame_checkpoint(1, 10, "first payload");
+  const std::string b = frame_checkpoint(1, 20, "second");
+  const std::string file = a + b;
+  const std::size_t split = framed_size(file);
+  ASSERT_EQ(split, a.size());
+  EXPECT_EQ(parse_checkpoint(std::string_view(file).substr(0, split)).cycle,
+            10u);
+  EXPECT_EQ(parse_checkpoint(std::string_view(file).substr(split)).cycle,
+            20u);
+  EXPECT_THROW(framed_size(std::string_view(file).substr(0, 20)), Error);
+  EXPECT_THROW(framed_size(std::string_view(a).substr(0, a.size() - 1)),
+               Error);
+}
+
+void expect_error_containing(const std::string& blob, const char* needle) {
+  try {
+    parse_checkpoint(blob);
+    FAIL() << "expected Error mentioning '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointFraming, RejectsCorruption) {
+  const std::string frame = frame_checkpoint(7, 99, "some payload bytes");
+  const std::size_t header = kCheckpointMagic.size() + 4 + 8 + 8 + 8;
+
+  std::string flipped = frame;
+  flipped[header + 3] ^= 0x01; // one payload bit
+  expect_error_containing(flipped, "checksum mismatch");
+
+  std::string flipped_cycle = frame;
+  flipped_cycle[kCheckpointMagic.size() + 4 + 8] ^= 0x01; // header field
+  expect_error_containing(flipped_cycle, "checksum mismatch");
+
+  expect_error_containing(frame.substr(0, 20), "truncated");
+  expect_error_containing(frame.substr(0, frame.size() - 5),
+                          "checksum mismatch");
+
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  expect_error_containing(bad_magic, "bad magic");
+
+  // A well-formed frame from a future format version: correct checksum,
+  // version field = 2. Must be rejected by version, not by checksum.
+  ByteWriter w;
+  w.bytes(kCheckpointMagic.data(), kCheckpointMagic.size());
+  w.u32(2);
+  w.u64(7);
+  w.u64(99);
+  w.u64(4);
+  w.bytes("abcd", 4);
+  w.u64(fnv1a(w.buffer()));
+  expect_error_containing(w.take(), "unsupported checkpoint version");
+}
+
+TEST(CheckpointFingerprint, CoversSemanticsNotEngineKnobs) {
+  const Mp5Program prog = test::compile_mp5(apps::make_synthetic_source(3, 64));
+  SimOptions base;
+  const std::uint64_t fp = config_fingerprint(prog, base);
+
+  // Engine knobs are excluded by design: a checkpoint taken
+  // single-threaded restores into a 4-thread / no-fast-forward run.
+  SimOptions engine = base;
+  engine.threads = 4;
+  engine.fast_forward = false;
+  engine.reference_rebalance = true;
+  engine.checkpoint_interval = 1000;
+  engine.max_cycles = 42;
+  engine.paranoid_checks = true;
+  EXPECT_EQ(config_fingerprint(prog, engine), fp);
+
+  SimOptions k8 = base;
+  k8.pipelines = 8;
+  EXPECT_NE(config_fingerprint(prog, k8), fp);
+
+  SimOptions seeded = base;
+  seeded.seed = 2;
+  EXPECT_NE(config_fingerprint(prog, seeded), fp);
+
+  SimOptions faulty = base;
+  faulty.faults.pipeline_faults.push_back({1, 100, 500});
+  EXPECT_NE(config_fingerprint(prog, faulty), fp);
+}
+
+// -- bit-identity property test --------------------------------------------
+
+struct NamedPlan {
+  const char* name;
+  FaultPlan plan;
+  bool phantom_channel = false;
+};
+
+std::vector<NamedPlan> fault_plans() {
+  std::vector<NamedPlan> plans;
+  plans.push_back({"fault-free", {}, false});
+  {
+    FaultPlan p;
+    p.pipeline_faults.push_back({1, 60, 240});
+    plans.push_back({"lane-fail-recover", p, false});
+  }
+  {
+    FaultPlan p;
+    p.stalls.push_back({0, 1, 30, 120});
+    p.fifo_pressure.push_back({50, 150, 2});
+    plans.push_back({"stall-and-pressure", p, false});
+  }
+  {
+    FaultPlan p;
+    p.phantom_loss_rate = 0.2;
+    p.phantom_delay_rate = 0.2;
+    p.phantom_extra_delay = 3;
+    plans.push_back({"phantom-loss-delay", p, true});
+  }
+  return plans;
+}
+
+TEST(CheckpointRestore, BitIdentityAcrossMatrixAndFaultPlans) {
+  const Mp5Program prog = test::compile_mp5(apps::make_synthetic_source(3, 64));
+  Rng rng(21);
+  const Trace trace = test::trace_from_fields(
+      test::random_fields(500, prog.pvsm.num_slots(), 64, rng),
+      /*pipelines=*/4, /*load=*/0.9);
+
+  std::vector<fuzz::SimConfig> cells = fuzz::quick_config_matrix();
+  {
+    fuzz::SimConfig bounded; // drops via bounded FIFOs must checkpoint too
+    bounded.fifo_capacity = 4;
+    cells.push_back(bounded);
+  }
+
+  for (const fuzz::SimConfig& cell : cells) {
+    for (const NamedPlan& plan : fault_plans()) {
+      SCOPED_TRACE(cell.name() + " / " + plan.name);
+      SimOptions opts = cell.to_options();
+      opts.faults = plan.plan;
+      opts.realistic_phantom_channel = plan.phantom_channel;
+
+      const SimResult baseline = Mp5Simulator(prog, opts).run(trace);
+
+      // Re-run with periodic checkpoints: the cadence must be invisible.
+      std::vector<std::pair<Cycle, std::string>> blobs;
+      SimOptions copts = opts;
+      copts.checkpoint_interval =
+          std::max<std::uint64_t>(1, baseline.cycles_run / 4);
+      copts.checkpoint_sink = [&blobs](Cycle c, std::string&& blob) {
+        blobs.emplace_back(c, std::move(blob));
+      };
+      const SimResult ckpt_run = Mp5Simulator(prog, copts).run(trace);
+      std::string why;
+      ASSERT_TRUE(same_results(baseline, ckpt_run, &why))
+          << "checkpointing run diverged from the plain run: " << why;
+      ASSERT_FALSE(blobs.empty());
+
+      // Every emitted checkpoint must restore to the identical SimResult.
+      for (const auto& [cycle, blob] : blobs) {
+        Mp5Simulator restored(prog, opts);
+        VectorTraceSource source(trace);
+        const SimResult result = restored.resume(source, blob);
+        EXPECT_TRUE(same_results(baseline, result, &why))
+            << "restore at cycle " << cycle << " diverged: " << why;
+      }
+    }
+  }
+}
+
+TEST(CheckpointRestore, CrossEngineRestore) {
+  const Mp5Program prog = test::compile_mp5(apps::make_synthetic_source(3, 64));
+  Rng rng(31);
+  const Trace trace = test::trace_from_fields(
+      test::random_fields(400, prog.pvsm.num_slots(), 64, rng), 4);
+
+  SimOptions opts; // threads=1, fast_forward=true
+  opts.record_egress = true;
+  opts.paranoid_checks = true;
+  const SimResult baseline = Mp5Simulator(prog, opts).run(trace);
+
+  std::vector<std::string> blobs;
+  SimOptions copts = opts;
+  copts.checkpoint_interval =
+      std::max<std::uint64_t>(1, baseline.cycles_run / 2);
+  copts.checkpoint_sink = [&blobs](Cycle, std::string&& blob) {
+    blobs.push_back(std::move(blob));
+  };
+  (void)Mp5Simulator(prog, copts).run(trace);
+  ASSERT_FALSE(blobs.empty());
+
+  // The fingerprint excludes engine knobs, so a single-threaded
+  // checkpoint restores under the parallel engine and with fast-forward
+  // off — and still reproduces the sequential result bit-for-bit.
+  for (const char* variant : {"threads4", "noff", "ref-rebalance"}) {
+    SCOPED_TRACE(variant);
+    SimOptions vopts = opts;
+    if (std::string(variant) == "threads4") vopts.threads = 4;
+    if (std::string(variant) == "noff") vopts.fast_forward = false;
+    if (std::string(variant) == "ref-rebalance") {
+      vopts.reference_rebalance = true;
+    }
+    Mp5Simulator sim(prog, vopts);
+    VectorTraceSource source(trace);
+    const SimResult result = sim.resume(source, blobs.front());
+    std::string why;
+    EXPECT_TRUE(same_results(baseline, result, &why)) << why;
+  }
+}
+
+TEST(CheckpointRestore, RejectsMismatchAndReuse) {
+  const Mp5Program prog = test::compile_mp5(apps::make_synthetic_source(3, 64));
+  Rng rng(41);
+  const Trace trace = test::trace_from_fields(
+      test::random_fields(200, prog.pvsm.num_slots(), 64, rng), 4);
+
+  SimOptions opts;
+  opts.record_egress = true;
+  std::vector<std::string> blobs;
+  SimOptions copts = opts;
+  copts.checkpoint_interval = 40;
+  copts.checkpoint_sink = [&blobs](Cycle, std::string&& blob) {
+    blobs.push_back(std::move(blob));
+  };
+  (void)Mp5Simulator(prog, copts).run(trace);
+  ASSERT_FALSE(blobs.empty());
+  const std::string& blob = blobs.front();
+
+  // Same payload, different fingerprint: the restore must refuse instead
+  // of trusting the payload to fit.
+  const CheckpointInfo info = parse_checkpoint(blob);
+  const std::string reframed = frame_checkpoint(
+      info.fingerprint ^ 1, info.cycle, std::string(info.payload));
+  {
+    Mp5Simulator sim(prog, opts);
+    VectorTraceSource source(trace);
+    EXPECT_THROW(sim.resume(source, reframed), Error);
+  }
+
+  // A simulator that already ran cannot be restored into.
+  {
+    Mp5Simulator sim(prog, opts);
+    (void)sim.run(trace);
+    VectorTraceSource source(trace);
+    EXPECT_THROW(sim.resume(source, blob), Error);
+  }
+
+  // Garbage blobs fail framing validation before touching the payload.
+  {
+    Mp5Simulator sim(prog, opts);
+    VectorTraceSource source(trace);
+    EXPECT_THROW(sim.resume(source, "definitely not a checkpoint"), Error);
+  }
+}
+
+} // namespace
+} // namespace mp5

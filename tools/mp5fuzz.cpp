@@ -23,6 +23,11 @@
 //   --trace-mutations N  seeded mutations per trace (default 2)
 //   --corpus DIR         reproducer output directory (default fuzz-corpus)
 //   --no-shrink          save failures unshrunk
+//   --checkpoint         checkpoint/restore column: every matrix cell is
+//                        additionally re-run with a mid-run checkpoint and
+//                        restored into a fresh simulator; any deviation
+//                        from the uninterrupted SimResult is a
+//                        checkpoint-divergence failure
 //   --fail-on-divergence exit 2 when any failure was found
 //   --inject-floor-mod-bug  self-test: off-by-one fault in the oracle's
 //                        index reduction; the fuzzer must catch it
@@ -53,6 +58,7 @@ struct Args {
   std::uint32_t trace_mutations = 2;
   std::string corpus = "fuzz-corpus";
   bool shrink_failures = true;
+  bool checkpoint_restore = false;
   bool fail_on_divergence = false;
   bool inject_floor_mod_bug = false;
   std::string replay_file;
@@ -75,6 +81,7 @@ Args parse_args(int argc, char** argv) {
       args.trace_mutations = static_cast<std::uint32_t>(std::stoul(next()));
     else if (arg == "--corpus") args.corpus = next();
     else if (arg == "--no-shrink") args.shrink_failures = false;
+    else if (arg == "--checkpoint") args.checkpoint_restore = true;
     else if (arg == "--fail-on-divergence") args.fail_on_divergence = true;
     else if (arg == "--inject-floor-mod-bug")
       args.inject_floor_mod_bug = true;
@@ -122,6 +129,7 @@ int run(int argc, char** argv) {
   }
   opts.trace_mutations = args.trace_mutations;
   opts.inject_floor_mod_bug = args.inject_floor_mod_bug;
+  opts.checkpoint_restore = args.checkpoint_restore;
   const Differ differ(opts);
 
   const auto start = std::chrono::steady_clock::now();

@@ -24,6 +24,16 @@
 //                           results; for measuring the raw cycle loop)
 //   --check-equivalence     verify vs the single-pipeline reference
 //   --save-trace file.csv   store the generated trace
+// Checkpoint/restore (MP5 designs only; see DESIGN.md "Soak & crash
+// recovery"):
+//   --checkpoint-interval N write an mp5-checkpoint v1 file every N
+//                           cycles (requires --checkpoint-out)
+//   --checkpoint-out FILE   checkpoint destination (atomically replaced
+//                           at each interval; path validated up front)
+//   --restore FILE          resume from a checkpoint instead of starting
+//                           fresh — rerun with the *same* program, trace
+//                           and semantic flags (the config fingerprint is
+//                           enforced, the trace identity cannot be)
 // Fault injection (MP5 designs only):
 //   --fail-pipeline P@CYCLE[:RECOVER]   kill pipeline P at CYCLE; with
 //                                       :RECOVER it rejoins empty there
@@ -48,6 +58,7 @@
 //                                       "mp5-results" document (includes
 //                                       the telemetry section when
 //                                       --telemetry is on)
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -63,8 +74,10 @@
 #include "domino/compiler.hpp"
 #include "domino/parser.hpp"
 #include "metrics/equivalence.hpp"
+#include "mp5/checkpoint.hpp"
 #include "mp5/simulator.hpp"
 #include "mp5/transform.hpp"
+#include "trace/trace_source.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/results.hpp"
 #include "telemetry/telemetry.hpp"
@@ -100,6 +113,9 @@ struct Args {
   bool telemetry = false;
   std::string trace_out; // Chrome trace_event JSON (implies telemetry)
   std::string json_out;  // mp5-results JSON
+  std::uint64_t checkpoint_interval = 0;
+  std::string checkpoint_out;
+  std::string restore_from;
 };
 
 /// Parse a --fail-pipeline spec: P@CYCLE or P@CYCLE:RECOVER.
@@ -172,6 +188,10 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--telemetry") args.telemetry = true;
     else if (arg == "--trace-out") args.trace_out = next();
     else if (arg == "--json") args.json_out = next();
+    else if (arg == "--checkpoint-interval")
+      args.checkpoint_interval = std::stoull(next());
+    else if (arg == "--checkpoint-out") args.checkpoint_out = next();
+    else if (arg == "--restore") args.restore_from = next();
     else if (!arg.empty() && arg[0] == '-')
       throw ConfigError("unknown option '" + arg + "'");
     else {
@@ -185,8 +205,35 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
+/// Up-front checkpoint-flag validation: a 10^8-cycle run must not discover
+/// an unwritable checkpoint path at the first interval.
+void validate_checkpoint_args(const Args& args) {
+  if (args.checkpoint_interval != 0 && args.checkpoint_out.empty()) {
+    throw ConfigError(
+        "--checkpoint-interval requires --checkpoint-out (nowhere to write "
+        "the checkpoints)");
+  }
+  if (!args.checkpoint_out.empty() && args.checkpoint_interval == 0) {
+    throw ConfigError("--checkpoint-out requires --checkpoint-interval");
+  }
+  if (!args.checkpoint_out.empty()) {
+    // Probe the same temporary name write_checkpoint_file uses, so the
+    // probe exercises the actual write path without clobbering an
+    // existing checkpoint.
+    const std::string probe_path = args.checkpoint_out + ".tmp";
+    std::ofstream probe(probe_path);
+    if (!probe) {
+      throw ConfigError("--checkpoint-out: cannot write '" +
+                        args.checkpoint_out + "'");
+    }
+    probe.close();
+    std::remove(probe_path.c_str());
+  }
+}
+
 int run(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  validate_checkpoint_args(args);
 
   // Resolve the program.
   std::string source = args.source;
@@ -267,6 +314,11 @@ int run(int argc, char** argv) {
           "fault injection / --paranoid / --threads apply to the MP5 "
           "designs only, not recirc");
     }
+    if (args.checkpoint_interval != 0 || !args.restore_from.empty()) {
+      throw ConfigError(
+          "--checkpoint-interval/--restore apply to the MP5 designs only, "
+          "not recirc");
+    }
     if (want_telemetry) {
       // --json alone stays legal for recirc: the document just carries a
       // null telemetry section.
@@ -311,8 +363,28 @@ int run(int argc, char** argv) {
         std::cout << "\n";
       };
     }
+    std::uint64_t checkpoints_written = 0;
+    if (args.checkpoint_interval != 0) {
+      opts.checkpoint_interval = args.checkpoint_interval;
+      opts.checkpoint_sink = [&](Cycle, std::string&& blob) {
+        write_checkpoint_file(args.checkpoint_out, blob);
+        ++checkpoints_written;
+      };
+    }
     Mp5Simulator sim(program, opts);
-    result = sim.run(trace);
+    if (!args.restore_from.empty()) {
+      VectorTraceSource source(trace);
+      const std::string blob = read_checkpoint_file(args.restore_from);
+      std::cout << "resumed from cycle " << parse_checkpoint(blob).cycle
+                << " (" << args.restore_from << ")\n";
+      result = sim.resume(source, blob);
+    } else {
+      result = sim.run(trace);
+    }
+    if (args.checkpoint_interval != 0) {
+      std::cout << "checkpoints written: " << checkpoints_written << " ("
+                << args.checkpoint_out << ")\n";
+    }
   }
 
   TextTable table({"metric", "value"});

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Run a command while sampling its resident set, and enforce a ceiling.
+
+Usage:  rss_sampler.py [--limit-kib N] [--interval-s F] [--out FILE]
+                       -- command [args...]
+
+Samples VmRSS from /proc/<pid>/status while the command runs (Linux
+only; elsewhere the command just runs unsampled). One "elapsed_s rss_kib"
+pair per sample is written to --out (default: stderr summary only).
+
+Exit status: the command's own exit status, except 3 when --limit-kib was
+given and any sample exceeded it — the command is then SIGKILLed. CI uses
+this around soak runs as the flat-RSS assertion: a streaming soak's
+memory must not scale with trace length.
+"""
+
+import argparse
+import signal
+import subprocess
+import sys
+import time
+
+
+def sample_rss_kib(pid):
+    try:
+        with open(f"/proc/{pid}/status", "r", encoding="ascii") as fp:
+            for line in fp:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="sample a command's RSS and enforce a ceiling")
+    parser.add_argument("--limit-kib", type=int, default=0,
+                        help="kill the command and exit 3 if VmRSS exceeds "
+                             "this many KiB (0 = just record)")
+    parser.add_argument("--interval-s", type=float, default=0.2)
+    parser.add_argument("--out", default="",
+                        help="write 'elapsed_s rss_kib' samples to this file")
+    parser.add_argument("command", nargs=argparse.REMAINDER,
+                        help="-- command [args...]")
+    args = parser.parse_args(argv[1:])
+
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        parser.error("no command given (separate it with --)")
+
+    start = time.monotonic()
+    proc = subprocess.Popen(command)
+    samples = []
+    exceeded = False
+    while proc.poll() is None:
+        rss = sample_rss_kib(proc.pid)
+        if rss is not None:
+            samples.append((time.monotonic() - start, rss))
+            if args.limit_kib and rss > args.limit_kib:
+                exceeded = True
+                proc.send_signal(signal.SIGKILL)
+                proc.wait()
+                break
+        time.sleep(args.interval_s)
+
+    if args.out:
+        with open(args.out, "w", encoding="ascii") as fp:
+            for elapsed, rss in samples:
+                fp.write(f"{elapsed:.3f} {rss}\n")
+
+    peak = max((rss for _, rss in samples), default=0)
+    print(f"rss_sampler: {len(samples)} samples, peak {peak} KiB",
+          file=sys.stderr)
+    if exceeded:
+        print(f"rss_sampler: FAIL: RSS exceeded {args.limit_kib} KiB",
+              file=sys.stderr)
+        return 3
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

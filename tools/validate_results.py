@@ -1,22 +1,26 @@
 #!/usr/bin/env python3
 """Validate MP5 machine-readable artifacts (stdlib only).
 
-Checks any mix of the four JSON schemas this repo emits:
+Checks any mix of the four JSON schemas this repo emits, plus the binary
+checkpoint format:
 
   mp5-results       mp5sim --json            (schema_version 1)
   mp5-chrome-trace  mp5sim --trace-out       (schema_version 1)
   mp5-bench         bench_* BENCH_<name>.json (schema_version 1)
   mp5-fuzz-repro    mp5fuzz reproducers       (schema_version 1)
+  mp5-checkpoint    mp5sim --checkpoint-out / mp5soak (binary, version 1)
 
 Usage:  validate_results.py FILE [FILE...]
 
-The schema is sniffed per file (a top-level "schema" key, or the Chrome
-trace's "traceEvents"/"otherData" envelope), so callers can pass results,
-traces, and bench reports in one invocation. Exits nonzero on the first
-malformed file with a one-line diagnostic naming the file and the check.
+The schema is sniffed per file (the binary checkpoint magic at offset 0,
+a top-level "schema" key, or the Chrome trace's "traceEvents"/"otherData"
+envelope), so callers can pass results, traces, bench reports and
+checkpoints in one invocation. Exits nonzero on the first malformed file
+with a one-line diagnostic naming the file and the check.
 """
 
 import json
+import struct
 import sys
 
 SUPPORTED_VERSIONS = {
@@ -209,7 +213,8 @@ def validate_bench(doc, where):
                 fail(f"{rwhere}.labels: '{key}' is not a string")
 
 
-FUZZ_EXPECT = {"pass", "oracle-divergence", "sim-divergence", "crash"}
+FUZZ_EXPECT = {"pass", "oracle-divergence", "sim-divergence",
+               "checkpoint-divergence", "crash"}
 FUZZ_SHARDING = {"dynamic", "static-random", "single-pipeline", "ideal-lpt"}
 
 
@@ -240,9 +245,63 @@ def validate_repro(doc, where):
     if require(config, "fifo_capacity", int, cwhere) < 0:
         fail(f"{cwhere}: fifo_capacity must be >= 0")
     require(config, "seed", int, cwhere)
+    # Added after schema_version 1 shipped; absent in older corpus files.
+    if "checkpoint_restore" in config:
+        require(config, "checkpoint_restore", bool, cwhere)
+
+
+CHECKPOINT_MAGIC = b"mp5-checkpoint v1\n"
+CHECKPOINT_VERSION = 1
+# magic + u32 version + u64 fingerprint + u64 cycle + u64 payload length
+CHECKPOINT_HEADER = len(CHECKPOINT_MAGIC) + 4 + 8 + 8 + 8
+
+
+def fnv1a(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def validate_checkpoint(blob, where):
+    """An mp5-checkpoint v1 file: one frame (mp5sim --checkpoint-out) or
+    two back-to-back (mp5soak: simulator frame + verifier frame)."""
+    frames = 0
+    offset = 0
+    while offset < len(blob):
+        fwhere = f"{where}: frame {frames}"
+        frame = blob[offset:]
+        if not frame.startswith(CHECKPOINT_MAGIC):
+            fail(f"{fwhere}: bad magic")
+        if len(frame) < CHECKPOINT_HEADER + 8:
+            fail(f"{fwhere}: truncated header")
+        version, = struct.unpack_from("<I", frame, len(CHECKPOINT_MAGIC))
+        if version != CHECKPOINT_VERSION:
+            fail(f"{fwhere}: unsupported version {version}")
+        payload_len, = struct.unpack_from("<Q", frame, CHECKPOINT_HEADER - 8)
+        total = CHECKPOINT_HEADER + payload_len + 8
+        if total > len(frame):
+            fail(f"{fwhere}: frame exceeds file "
+                 f"(payload length {payload_len})")
+        stored, = struct.unpack_from("<Q", frame, total - 8)
+        if fnv1a(frame[:total - 8]) != stored:
+            fail(f"{fwhere}: checksum mismatch")
+        frames += 1
+        offset += total
+    if frames == 0:
+        fail(f"{where}: empty checkpoint file")
+    if frames > 2:
+        fail(f"{where}: {frames} frames (expected 1 or 2)")
 
 
 def validate_file(path):
+    # Binary checkpoint files are sniffed by magic before any JSON parse.
+    with open(path, "rb") as fp:
+        head = fp.read(len(CHECKPOINT_MAGIC))
+        if head == CHECKPOINT_MAGIC:
+            blob = head + fp.read()
+            validate_checkpoint(blob, path)
+            return "mp5-checkpoint"
     with open(path, "r", encoding="utf-8") as fp:
         doc = json.load(fp)
     if not isinstance(doc, dict):
