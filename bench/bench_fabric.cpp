@@ -1,0 +1,83 @@
+// Fabric-level end-to-end bench: a 4-leaf x 2-spine Clos of MP5 switches
+// under every load-balancing mode, one row per mode.
+//
+// The gated metric is fabric_cycles_per_second — how fast the whole-fabric
+// simulation advances (all N+M switches stepped per cycle plus link and
+// workload bookkeeping). Delivery fraction, FCT tail, uplink skew and
+// end-to-end reordering ride along as context metrics so mode-to-mode
+// quality comparisons live in the same artifact.
+//
+// `--quick` shrinks the workload for the CI fabric-smoke job.
+#include <chrono>
+#include <iostream>
+#include <string_view>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "fabric/fabric.hpp"
+
+using namespace mp5;
+using namespace mp5::bench;
+using namespace mp5::fabric;
+
+namespace {
+
+FabricOptions bench_options(LbMode lb, std::uint64_t flows) {
+  FabricOptions o;
+  o.topology.leaves = 4;
+  o.topology.spines = 2;
+  o.topology.hosts_per_leaf = 16;
+  o.lb = lb;
+  o.workload.flows = flows;
+  o.workload.flow_rate = 1.0;
+  o.workload.mean_lifetime = 4'000.0;
+  o.seed = 1;
+  return o;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string_view(argv[1]) == "--quick";
+  const std::uint64_t flows = quick ? 4'000 : 20'000;
+  BenchReport report("fabric");
+
+  print_header("Fabric: 4x2 leaf-spine Clos, end-to-end load balancing",
+               "CONGA/flowlet run in switch state (§4.4); ECMP/WCMP hash "
+               "at the leaves");
+  TextTable table({"lb", "cycles", "delivered", "fct p99", "lat p99",
+                   "uplink skew", "reordered", "Mcycles/s"});
+  for (const LbMode lb :
+       {LbMode::kEcmp, LbMode::kWcmp, LbMode::kFlowlet, LbMode::kConga}) {
+    const FabricOptions opts = bench_options(lb, flows);
+    FabricSimulator sim(opts);
+    const auto start = std::chrono::steady_clock::now();
+    const FabricResult r = sim.run();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double cycles_per_s = static_cast<double>(r.cycles_run) / elapsed;
+    report.row("fabric:" + lb_mode_name(lb))
+        .metric("fabric_cycles_per_second", cycles_per_s)
+        .metric("cycles_run", static_cast<double>(r.cycles_run))
+        .metric("delivered_fraction", r.delivered_fraction)
+        .metric("throughput_pkts_per_cycle", r.throughput_pkts_per_cycle)
+        .metric("fct_p99", r.fct_p99)
+        .metric("latency_p99", r.latency_p99)
+        .metric("uplink_util_skew", r.uplink_util_skew)
+        .metric("reordered_packets", static_cast<double>(r.reordered_packets))
+        .label("topology", "4x2x16");
+    table.add_row({lb_mode_name(lb),
+                   TextTable::integer(static_cast<long long>(r.cycles_run)),
+                   TextTable::num(r.delivered_fraction * 100.0, 2) + "%",
+                   TextTable::num(r.fct_p99, 0), TextTable::num(r.latency_p99, 0),
+                   TextTable::num(r.uplink_util_skew, 3),
+                   TextTable::integer(
+                       static_cast<long long>(r.reordered_packets)),
+                   TextTable::num(cycles_per_s / 1e6, 2)});
+  }
+  table.print(std::cout);
+  finish_report(report);
+  return 0;
+}

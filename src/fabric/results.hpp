@@ -1,0 +1,50 @@
+// Machine-readable fabric run results, schema "mp5-fabric-results"
+// version 1 (validated by tools/validate_results.py):
+//   {
+//     "schema": "mp5-fabric-results", "schema_version": 1,
+//     "config":   { leaves, spines, hosts_per_leaf, link_latency,
+//                   link_bytes_per_cycle, lb, hash, salt, seed, pipelines,
+//                   remap_period, util_window,
+//                   workload { flows, flow_rate, mean_lifetime,
+//                              max_flow_packets, zipf_exponent, burst_size,
+//                              burst_spacing, packet_bytes, seed } },
+//     "totals":   { injected, delivered, dropped { dead_source,
+//                   dead_destination, switch_killed, in_switch, total },
+//                   in_flight_end, conserved, truncated, cycles_run,
+//                   throughput_pkts_per_cycle, offered_pkts_per_cycle,
+//                   delivered_fraction },
+//     "flows":    { total, started, completed, fully_delivered,
+//                   peak_concurrent, reordered_packets,
+//                   fct { count, p50, p90, p99, mean, max } },
+//     "latency":  { p50, p90, p99 },
+//     "uplinks":  { util_max, util_mean, util_skew },
+//     "links":    [ { name, from, to, uplink, killed, weight, packets,
+//                     bytes, busy_cycles, utilization,
+//                     peak_queue_cycles } ],
+//     "switches": [ { name, killed, killed_at, offered, egressed,
+//                     dropped_data, dropped_phantom, steers,
+//                     wasted_cycles, remap_moves, max_queue_depth,
+//                     c1_violating_packets, c1_fraction,
+//                     reordered_flow_packets } ],
+//     "telemetry": { counters, gauges, histograms, events } | null
+//   }
+//
+// Per-switch telemetry metrics appear in the telemetry section under
+// their "fabric.<switch-name>." prefixes (the Scope mechanism keeps the
+// per-instance names collision-free in the shared registry).
+#pragma once
+
+#include <ostream>
+
+#include "fabric/fabric.hpp"
+
+namespace mp5::fabric {
+
+inline constexpr int kFabricResultsSchemaVersion = 1;
+
+void write_fabric_results_json(std::ostream& out,
+                               const FabricOptions& options,
+                               const FabricResult& result,
+                               const telemetry::Telemetry* telem = nullptr);
+
+} // namespace mp5::fabric

@@ -1,0 +1,100 @@
+#include "fabric/topology.hpp"
+
+#include "common/error.hpp"
+
+namespace mp5::fabric {
+
+void FabricTopology::validate() const {
+  if (leaves == 0) throw ConfigError("FabricTopology: leaves must be > 0");
+  if (spines == 0) throw ConfigError("FabricTopology: spines must be > 0");
+  if (hosts_per_leaf == 0) {
+    throw ConfigError("FabricTopology: hosts_per_leaf must be > 0");
+  }
+  if (link_latency < 1) {
+    throw ConfigError(
+        "FabricTopology: link_latency must be >= 1 cycle (same-cycle hops "
+        "would break the one-pass-per-cycle fabric walk)");
+  }
+  if (!(link_bytes_per_cycle > 0.0)) {
+    throw ConfigError("FabricTopology: link_bytes_per_cycle must be > 0");
+  }
+  if (!spine_weights.empty()) {
+    if (spine_weights.size() != spines) {
+      throw ConfigError(
+          "FabricTopology: spine_weights size " +
+          std::to_string(spine_weights.size()) + " != spines " +
+          std::to_string(spines));
+    }
+    double total = 0.0;
+    for (const double w : spine_weights) {
+      if (w < 0.0) {
+        throw ConfigError("FabricTopology: spine weights must be >= 0");
+      }
+      total += w;
+    }
+    if (!(total > 0.0)) {
+      throw ConfigError("FabricTopology: at least one spine weight must be "
+                        "positive");
+    }
+  }
+}
+
+std::string FabricTopology::switch_name(SwitchId id) const {
+  if (is_leaf(id)) return "leaf" + std::to_string(id);
+  return "spine" + std::to_string(spine_index(id));
+}
+
+SwitchId FabricTopology::switch_by_name(const std::string& name) const {
+  const auto parse_index = [&](std::size_t prefix_len) -> std::uint32_t {
+    const std::string digits = name.substr(prefix_len);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw ConfigError("FabricTopology: bad switch name '" + name + "'");
+    }
+    return static_cast<std::uint32_t>(std::stoul(digits));
+  };
+  if (name.rfind("leaf", 0) == 0) {
+    const std::uint32_t i = parse_index(4);
+    if (i >= leaves) {
+      throw ConfigError("FabricTopology: no such leaf '" + name + "' (" +
+                        std::to_string(leaves) + " leaves)");
+    }
+    return i;
+  }
+  if (name.rfind("spine", 0) == 0) {
+    const std::uint32_t i = parse_index(5);
+    if (i >= spines) {
+      throw ConfigError("FabricTopology: no such spine '" + name + "' (" +
+                        std::to_string(spines) + " spines)");
+    }
+    return spine_id(i);
+  }
+  throw ConfigError("FabricTopology: bad switch name '" + name +
+                    "' (want leaf<i> or spine<i>)");
+}
+
+SwitchId FabricTopology::link_from(LinkId link) const {
+  if (is_uplink(link)) return link / spines;
+  const LinkId d = link - leaves * spines;
+  return spine_id(d / leaves);
+}
+
+SwitchId FabricTopology::link_to(LinkId link) const {
+  if (is_uplink(link)) return spine_id(link % spines);
+  const LinkId d = link - leaves * spines;
+  return d % leaves;
+}
+
+std::string FabricTopology::link_name(LinkId link) const {
+  return switch_name(link_from(link)) + "->" + switch_name(link_to(link));
+}
+
+std::uint32_t FabricTopology::ingress_port(LinkId link) const {
+  if (is_uplink(link)) {
+    return link / spines; // port on the spine = source leaf id
+  }
+  const LinkId d = link - leaves * spines;
+  return hosts_per_leaf + d / leaves; // port on the leaf, after host ports
+}
+
+} // namespace mp5::fabric

@@ -1,0 +1,88 @@
+// Leaf–spine Clos topology for the fabric simulator (see DESIGN.md
+// "Fabric simulation").
+//
+// N leaves × M spines, fully bipartite: every leaf has one uplink to each
+// spine and every spine one downlink to each leaf (links are directional;
+// 2·N·M total). Hosts attach to leaves only — `hosts_per_leaf` ports per
+// leaf — so every host pair is at most leaf→spine→leaf apart. Links carry
+// a propagation latency (cycles, ≥ 1 so a hop is never same-cycle) and a
+// serialization capacity (bytes per cycle); WCMP weights are per spine.
+//
+// Switch ids are dense: leaves 0..N-1, spines N..N+M-1. Link ids are
+// dense too (uplinks first), so per-link state lives in flat vectors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mp5::fabric {
+
+using SwitchId = std::uint32_t;
+using LinkId = std::uint32_t;
+using HostId = std::uint32_t;
+
+struct FabricTopology {
+  std::uint32_t leaves = 4;
+  std::uint32_t spines = 2;
+  std::uint32_t hosts_per_leaf = 16;
+
+  /// Propagation delay of every link, in cycles. Must be >= 1: a packet
+  /// egressing switch A at cycle c can enter switch B no earlier than
+  /// c + 2 (one cycle of serialization start + one of propagation), which
+  /// is what lets the fabric step all switches in one pass per cycle.
+  Cycle link_latency = 8;
+
+  /// Serialization capacity of every link in bytes per cycle. One MP5
+  /// pipeline drains 64 B per cycle, so 64.0 models an uplink matched to
+  /// a single lane's line rate.
+  double link_bytes_per_cycle = 64.0;
+
+  /// WCMP weight per spine (leaves hash flows over spines proportionally).
+  /// Empty = equal weights. Size must equal `spines` otherwise.
+  std::vector<double> spine_weights;
+
+  /// Throws ConfigError on an unusable topology (zero dimensions,
+  /// latency < 1, non-positive capacity, bad weight vector).
+  void validate() const;
+
+  // -- switches --
+  std::uint32_t num_switches() const { return leaves + spines; }
+  bool is_leaf(SwitchId id) const { return id < leaves; }
+  bool is_spine(SwitchId id) const { return id >= leaves && id < num_switches(); }
+  SwitchId spine_id(std::uint32_t spine_index) const {
+    return leaves + spine_index;
+  }
+  std::uint32_t spine_index(SwitchId id) const { return id - leaves; }
+  std::string switch_name(SwitchId id) const;
+  /// Inverse of switch_name ("leaf3" -> 3, "spine0" -> leaves+0); throws
+  /// ConfigError on unknown names (CLI fault-plan parsing).
+  SwitchId switch_by_name(const std::string& name) const;
+
+  // -- hosts --
+  std::uint32_t num_hosts() const { return leaves * hosts_per_leaf; }
+  SwitchId leaf_of_host(HostId host) const { return host / hosts_per_leaf; }
+  /// Ingress port of `host` on its leaf (host ports precede link ports).
+  std::uint32_t host_port(HostId host) const { return host % hosts_per_leaf; }
+
+  // -- links (directional; uplinks first, then downlinks) --
+  std::uint32_t num_links() const { return 2 * leaves * spines; }
+  LinkId uplink(SwitchId leaf, std::uint32_t spine_index) const {
+    return leaf * spines + spine_index;
+  }
+  LinkId downlink(std::uint32_t spine_index, SwitchId leaf) const {
+    return leaves * spines + spine_index * leaves + leaf;
+  }
+  bool is_uplink(LinkId link) const { return link < leaves * spines; }
+  SwitchId link_from(LinkId link) const;
+  SwitchId link_to(LinkId link) const;
+  std::string link_name(LinkId link) const;
+  /// Ingress port on link_to(link) where this link's deliveries arrive:
+  /// on a spine, port = source leaf; on a leaf, port = hosts_per_leaf +
+  /// source spine index (after the host ports).
+  std::uint32_t ingress_port(LinkId link) const;
+};
+
+} // namespace mp5::fabric

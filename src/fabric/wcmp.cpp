@@ -1,0 +1,86 @@
+#include "fabric/wcmp.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hashing.hpp"
+
+namespace mp5::fabric {
+
+HashAlg parse_hash_alg(const std::string& name) {
+  if (name == "addresses" || name == "ip") return HashAlg::kAddressesOnly;
+  if (name == "addresses-ports" || name == "ip-tcp") {
+    return HashAlg::kAddressesPorts;
+  }
+  if (name == "five-tuple" || name == "5-tuple") return HashAlg::kFiveTuple;
+  throw ConfigError("WcmpHasher: unknown hash algorithm '" + name +
+                    "' (want addresses | addresses-ports | five-tuple)");
+}
+
+std::string hash_alg_name(HashAlg alg) {
+  switch (alg) {
+    case HashAlg::kAddressesOnly: return "addresses";
+    case HashAlg::kAddressesPorts: return "addresses-ports";
+    case HashAlg::kFiveTuple: return "five-tuple";
+  }
+  return "?";
+}
+
+WcmpHasher::WcmpHasher(HashAlg alg, std::uint64_t salt,
+                       std::vector<double> weights)
+    : alg_(alg), salt_(salt) {
+  set_weights(std::move(weights));
+}
+
+void WcmpHasher::set_weights(std::vector<double> weights) {
+  if (weights.empty()) throw ConfigError("WcmpHasher: no paths");
+  if (!weights_.empty() && weights.size() != weights_.size()) {
+    throw ConfigError("WcmpHasher: weight count changed");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw ConfigError("WcmpHasher: negative weight");
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw ConfigError("WcmpHasher: all path weights are zero");
+  }
+  weights_ = std::move(weights);
+  cumulative_.resize(weights_.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i];
+    cumulative_[i] = acc;
+  }
+}
+
+std::uint64_t WcmpHasher::hash(const FiveTuple& t) const {
+  std::uint64_t h = mix64(salt_ ^ 0x9e3779b97f4a7c15ULL);
+  h = mix64(h ^ ((static_cast<std::uint64_t>(t.src) << 32) | t.dst));
+  if (alg_ != HashAlg::kAddressesOnly) {
+    h = mix64(h ^ ((static_cast<std::uint64_t>(t.sport) << 16) | t.dport));
+  }
+  if (alg_ == HashAlg::kFiveTuple) {
+    h = mix64(h ^ t.proto);
+  }
+  return h;
+}
+
+std::uint32_t WcmpHasher::pick(const FiveTuple& t) const {
+  const std::uint64_t h = hash(t);
+  // Map to [0, total); 2^-64 granularity is far finer than any weight
+  // split a test could distinguish.
+  const double u = static_cast<double>(h) / 18446744073709551616.0; // 2^64
+  const double x = u * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), x);
+  if (it == cumulative_.end()) {
+    // x == total (u rounding); the last positive-weight path takes it.
+    for (std::size_t i = weights_.size(); i-- > 0;) {
+      if (weights_[i] > 0.0) return static_cast<std::uint32_t>(i);
+    }
+  }
+  return static_cast<std::uint32_t>(it - cumulative_.begin());
+}
+
+} // namespace mp5::fabric

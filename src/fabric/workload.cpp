@@ -1,0 +1,162 @@
+#include "fabric/workload.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/hashing.hpp"
+
+namespace mp5::fabric {
+
+void FabricWorkloadConfig::validate() const {
+  if (flows == 0) throw ConfigError("FabricWorkload: flows must be > 0");
+  if (!(flow_rate > 0.0)) {
+    throw ConfigError("FabricWorkload: flow_rate must be > 0");
+  }
+  if (!(mean_lifetime >= 0.0)) {
+    throw ConfigError("FabricWorkload: mean_lifetime must be >= 0");
+  }
+  if (max_flow_packets == 0) {
+    throw ConfigError("FabricWorkload: max_flow_packets must be > 0");
+  }
+  if (!(zipf_exponent > 0.0)) {
+    throw ConfigError("FabricWorkload: zipf_exponent must be > 0");
+  }
+  if (burst_size == 0) {
+    throw ConfigError("FabricWorkload: burst_size must be > 0");
+  }
+  if (!(burst_spacing >= 0.0)) {
+    throw ConfigError("FabricWorkload: burst_spacing must be >= 0");
+  }
+  if (packet_bytes == 0) {
+    throw ConfigError("FabricWorkload: packet_bytes must be > 0");
+  }
+}
+
+double zipf_mean_packets(std::uint32_t max_flow_packets,
+                         double zipf_exponent) {
+  double norm = 0.0, mean = 0.0;
+  for (std::uint32_t k = 1; k <= max_flow_packets; ++k) {
+    const double p = 1.0 / std::pow(static_cast<double>(k), zipf_exponent);
+    norm += p;
+    mean += p * static_cast<double>(k);
+  }
+  return mean / norm;
+}
+
+FabricWorkload::FabricWorkload(const FabricWorkloadConfig& config,
+                               std::uint32_t num_hosts)
+    : config_(config),
+      num_hosts_(num_hosts),
+      size_sampler_(config.max_flow_packets, config.zipf_exponent),
+      birth_rng_(mix64(config.seed ^ 0xfab51cb1u)) {
+  config_.validate();
+  if (num_hosts_ < 2) {
+    throw ConfigError("FabricWorkload: need at least 2 hosts");
+  }
+  next_birth_ = birth_rng_.next_exponential(1.0 / config_.flow_rate);
+}
+
+FabricWorkload::ActiveFlow FabricWorkload::make_flow(std::uint64_t flow,
+                                                     double birth) const {
+  // All randomness below comes from an Rng reseeded from (seed, flow) —
+  // the flow's identity fully determines its size, lifetime and endpoints
+  // regardless of how many flows came before it.
+  Rng rng(mix64(config_.seed) ^ mix64(flow + 0x51a7e));
+  ActiveFlow f;
+  f.flow = flow;
+  f.birth = birth;
+  f.pkt_count = static_cast<std::uint32_t>(size_sampler_.sample(rng)) + 1;
+  if (f.pkt_count > config_.max_flow_packets) {
+    f.pkt_count = config_.max_flow_packets;
+  }
+  const double lifetime = rng.next_exponential(config_.mean_lifetime);
+  const std::uint32_t bursts =
+      (f.pkt_count + config_.burst_size - 1) / config_.burst_size;
+  f.burst_gap = bursts > 1 ? lifetime / static_cast<double>(bursts - 1) : 0.0;
+  // Keep per-flow packet times strictly increasing even when a short
+  // lifetime squeezes the burst gap under the intra-burst span.
+  const double burst_span =
+      static_cast<double>(config_.burst_size) * config_.burst_spacing;
+  if (bursts > 1 && f.burst_gap < burst_span + 1.0) {
+    f.burst_gap = burst_span + 1.0;
+  }
+  f.src = static_cast<HostId>(rng.next_below(num_hosts_));
+  HostId dst = static_cast<HostId>(rng.next_below(num_hosts_ - 1));
+  if (dst >= f.src) ++dst;
+  f.dst = dst;
+  f.next_pkt = 0;
+  f.next_time = birth;
+  return f;
+}
+
+double FabricWorkload::packet_time(const ActiveFlow& f,
+                                   std::uint32_t pkt) const {
+  const std::uint32_t burst = pkt / config_.burst_size;
+  const std::uint32_t in_burst = pkt % config_.burst_size;
+  return f.birth + static_cast<double>(burst) * f.burst_gap +
+         static_cast<double>(in_burst) * config_.burst_spacing;
+}
+
+void FabricWorkload::refill() {
+  while (true) {
+    // Activate every flow born before the next already-scheduled packet,
+    // so the heap top is always the globally next event.
+    const double frontier =
+        active_.empty() ? next_birth_ : active_.top().next_time;
+    if (next_flow_ < config_.flows && next_birth_ <= frontier) {
+      active_.push(make_flow(next_flow_, next_birth_));
+      ++next_flow_;
+      next_birth_ += birth_rng_.next_exponential(1.0 / config_.flow_rate);
+      continue;
+    }
+    break;
+  }
+  if (active_.empty()) {
+    have_current_ = false;
+    return;
+  }
+  const ActiveFlow f = active_.top();
+  current_.time = f.next_time;
+  current_.flow = f.flow;
+  current_.pkt_index = f.next_pkt;
+  current_.pkt_count = f.pkt_count;
+  current_.src_host = f.src;
+  current_.dst_host = f.dst;
+  current_.size_bytes = config_.packet_bytes;
+  have_current_ = true;
+}
+
+const FabricPacketEvent* FabricWorkload::peek() {
+  if (!have_current_) refill();
+  return have_current_ ? &current_ : nullptr;
+}
+
+void FabricWorkload::advance() {
+  if (!have_current_ && peek() == nullptr) {
+    throw Error("FabricWorkload::advance past end of stream");
+  }
+  ActiveFlow f = active_.top();
+  active_.pop();
+  ++f.next_pkt;
+  if (f.next_pkt < f.pkt_count) {
+    f.next_time = packet_time(f, f.next_pkt);
+    active_.push(f);
+  }
+  ++emitted_;
+  have_current_ = false;
+}
+
+void FabricWorkload::skip_to(std::uint64_t n) {
+  if (n < emitted_) {
+    throw Error("FabricWorkload::skip_to: cannot rewind (recreate the "
+                "workload to restart)");
+  }
+  while (emitted_ < n) {
+    if (peek() == nullptr) {
+      throw Error("FabricWorkload::skip_to past end of stream");
+    }
+    advance();
+  }
+}
+
+} // namespace mp5::fabric

@@ -161,6 +161,13 @@ struct SimOptions {
   /// gauges and histograms are registered at simulator construction and
   /// the event ring records the cycle-level timeline.
   telemetry::Telemetry* telemetry = nullptr;
+
+  /// Name prefix for every metric this simulator registers (e.g.
+  /// "fabric.leaf0."). Registration is find-or-create by flat name, so two
+  /// simulators sharing one Telemetry MUST use distinct prefixes or their
+  /// counters silently merge. Empty (the default) keeps the classic flat
+  /// single-simulator names ("sim.admitted", "fifo.push", ...).
+  std::string telemetry_prefix;
 };
 
 } // namespace mp5

@@ -74,7 +74,7 @@ PipelineId ShardedState::pipeline_of(RegId reg, RegIndex index) const {
   return regs_[reg].map[index];
 }
 
-void ShardedState::set_telemetry(telemetry::Telemetry& sink) {
+void ShardedState::set_telemetry(const telemetry::Scope& sink) {
   t_rebalance_runs_ = &sink.counter("shard.rebalance_runs");
   t_rebalance_moves_ = &sink.counter("shard.rebalance_moves");
   t_fault_rehomed_ = &sink.counter("shard.fault_rehomed_indices");

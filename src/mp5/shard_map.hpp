@@ -45,7 +45,7 @@ class ByteWriter;
 
 namespace telemetry {
 class Counter;
-class Telemetry;
+class Scope;
 }
 
 enum class ShardingPolicy {
@@ -142,7 +142,7 @@ public:
   /// Attach the telemetry registry (see src/telemetry/): registers the
   /// "shard.*" counters for rebalance churn and fault re-homing. Not
   /// called on telemetry-disabled runs; the hooks stay null and free.
-  void set_telemetry(telemetry::Telemetry& sink);
+  void set_telemetry(const telemetry::Scope& sink);
 
   // -- checkpoint/restore --
 

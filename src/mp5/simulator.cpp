@@ -141,22 +141,25 @@ Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
 #if MP5_TELEMETRY_COMPILED
   if (opts_.telemetry != nullptr) {
     telem_ = opts_.telemetry;
-    state_->set_telemetry(*telem_);
-    for (auto& fifo : fifos_) fifo.set_telemetry(*telem_);
-    t_admit_ = &telem_->counter("sim.admitted");
-    t_egress_ = &telem_->counter("sim.egressed");
-    t_steer_ = &telem_->counter("sim.steers");
-    t_drop_data_ = &telem_->counter("sim.dropped_data");
-    t_drop_starved_ = &telem_->counter("sim.dropped_starved");
-    t_drop_fault_ = &telem_->counter("sim.dropped_fault");
-    t_ecn_ = &telem_->counter("sim.ecn_marked");
-    t_stall_cycles_ = &telem_->counter("fault.stalled_cycles");
-    t_phantom_sent_ = &telem_->counter("phantom.sent");
-    t_phantom_lost_ = &telem_->counter("phantom.lost");
-    t_phantom_delayed_ = &telem_->counter("phantom.delayed");
-    t_lane_fail_ = &telem_->counter("fault.lane_failures");
-    t_lane_recover_ = &telem_->counter("fault.lane_recoveries");
-    t_egress_latency_ = &telem_->histogram("sim.egress_latency", 1.0, 128);
+    // All metric names go through the scope so co-resident simulators with
+    // distinct SimOptions::telemetry_prefix values keep distinct metrics.
+    tscope_ = telemetry::Scope(*telem_, opts_.telemetry_prefix);
+    state_->set_telemetry(tscope_);
+    for (auto& fifo : fifos_) fifo.set_telemetry(tscope_);
+    t_admit_ = &tscope_.counter("sim.admitted");
+    t_egress_ = &tscope_.counter("sim.egressed");
+    t_steer_ = &tscope_.counter("sim.steers");
+    t_drop_data_ = &tscope_.counter("sim.dropped_data");
+    t_drop_starved_ = &tscope_.counter("sim.dropped_starved");
+    t_drop_fault_ = &tscope_.counter("sim.dropped_fault");
+    t_ecn_ = &tscope_.counter("sim.ecn_marked");
+    t_stall_cycles_ = &tscope_.counter("fault.stalled_cycles");
+    t_phantom_sent_ = &tscope_.counter("phantom.sent");
+    t_phantom_lost_ = &tscope_.counter("phantom.lost");
+    t_phantom_delayed_ = &tscope_.counter("phantom.delayed");
+    t_lane_fail_ = &tscope_.counter("fault.lane_failures");
+    t_lane_recover_ = &tscope_.counter("fault.lane_recoveries");
+    t_egress_latency_ = &tscope_.histogram("sim.egress_latency", 1.0, 128);
   }
 #endif
 }
@@ -189,6 +192,48 @@ SimResult Mp5Simulator::run(TraceSource& source) {
 
   next_checkpoint_ = opts_.checkpoint_interval; // 0 when disabled
   return run_loop(source, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Co-simulation stepping API (see header): the run_loop walk under an
+// external clock. begin + step(0..n) + finish(n) == run(), bit for bit.
+// ---------------------------------------------------------------------------
+
+void Mp5Simulator::begin(TraceSource& source) {
+  if (workers_ > 1) {
+    throw ConfigError(
+        "Mp5Simulator::begin: external clocking requires the sequential "
+        "engine (threads == 1)");
+  }
+  if (opts_.checkpoint_interval != 0) {
+    throw ConfigError(
+        "Mp5Simulator::begin: checkpointing is owned by run(); an "
+        "externally clocked run cannot honor checkpoint_interval");
+  }
+  if (source_ != nullptr) {
+    throw Error("Mp5Simulator::begin: a run is already active");
+  }
+  result_ = SimResult{};
+  const std::optional<std::uint64_t> total = source.size();
+  arena_.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(total.value_or(4096), 4096)));
+  source_ = &source;
+}
+
+void Mp5Simulator::step(Cycle now) {
+  if (source_ == nullptr) {
+    throw Error("Mp5Simulator::step: no active run (call begin first)");
+  }
+  step_cycle(now, /*parallel=*/false);
+}
+
+bool Mp5Simulator::has_work() { return work_remaining(); }
+
+SimResult Mp5Simulator::finish(Cycle end_cycle) {
+  if (source_ == nullptr) {
+    throw Error("Mp5Simulator::finish: no active run (call begin first)");
+  }
+  return finalize(end_cycle);
 }
 
 SimResult Mp5Simulator::run_loop(TraceSource& source, Cycle start_cycle) {
@@ -229,79 +274,7 @@ SimResult Mp5Simulator::run_loop(TraceSource& source, Cycle start_cycle) {
         next_checkpoint_ = ((now / opts_.checkpoint_interval) + 1) *
                            opts_.checkpoint_interval;
       }
-      // 0c. Scheduled faults fire at the cycle boundary, before arrivals,
-      //     so packets admitted this cycle already see the new lane set.
-      if (fault_sched_.any()) {
-        apply_fault_events(now);
-        if (fault_sched_.has_pressure()) {
-          const std::size_t cap = fault_sched_.pressure_capacity(now);
-          if (cap != current_pressure_) {
-            current_pressure_ = cap;
-            for (auto& fifo : fifos_) fifo.set_pressure_capacity(cap);
-          }
-        }
-      }
-      // 1. Arrivals for this cycle (the source yields items pre-sorted by
-      //    (time, port); file sources enforce that on read).
-      for (const TraceItem* item;
-           (item = source_->peek()) != nullptr &&
-           item->arrival_time < static_cast<double>(now + 1);
-           source_->advance()) {
-        const bool first = result_.offered == 0;
-        admit(*item, now);
-        if (first) result_.first_arrival = now;
-        result_.last_arrival = now;
-      }
-      // 1b. Phantom channel: deliver phantoms whose hop count has elapsed.
-      if (opts_.realistic_phantom_channel) deliver_due_phantoms(now);
-      // 2. Ingress: each live pipeline admits one packet into the AR stage.
-      for (PipelineId p = 0; p < k_; ++p) {
-        if (!lane_alive_[p]) continue;
-        if (!ingress_[p].empty()) {
-          push_arrival(p, 0, ingress_[p].front(), p);
-          ingress_[p].pop_front();
-        }
-      }
-      // 3. Stage processing, last stage first so packets move one stage per
-      //    cycle (outputs land in already-processed downstream cells). Dead
-      //    lanes are skipped (their queues were drained at failure time).
-      if (!parallel) {
-        for (StageId st = num_stages_; st-- > 0;) {
-          for (PipelineId p = 0; p < k_; ++p) {
-            if (!lane_alive_[p]) continue;
-            step_cell(p, st, now, nullptr);
-          }
-        }
-      } else {
-        shared_now_ = now;
-        pending_.store(workers_ - 1, std::memory_order_relaxed);
-        phase_.fetch_add(1, std::memory_order_release);
-        run_worker_lanes(0, now); // the main thread is worker 0
-        while (pending_.load(std::memory_order_acquire) != 0) {
-          std::this_thread::yield();
-        }
-        for (auto& err : worker_error_) {
-          if (err) {
-            std::exception_ptr e = err;
-            err = nullptr;
-            std::rethrow_exception(e);
-          }
-        }
-        merge_worker_effects(now);
-      }
-      // 4. Periodic dynamic state sharding (Figure 6).
-      if (opts_.remap_period != 0 && (now + 1) % opts_.remap_period == 0) {
-        const std::size_t moves = opts_.reference_rebalance
-                                      ? state_->rebalance_reference()
-                                      : state_->rebalance();
-        result_.remap_moves += moves;
-        if (moves != 0) {
-          emit(TimelineEvent::Kind::kRemap, now, 0, 0, kInvalidSeqNo,
-               static_cast<std::uint64_t>(moves));
-        }
-      }
-      // 5. Cycle-end watchdog.
-      if (opts_.paranoid_checks) check_invariants(now);
+      step_cycle(now, parallel);
       ++now;
     }
   } catch (...) {
@@ -309,8 +282,88 @@ SimResult Mp5Simulator::run_loop(TraceSource& source, Cycle start_cycle) {
     stop_workers();
     throw;
   }
+  return finalize(now);
+}
+
+void Mp5Simulator::step_cycle(Cycle now, bool parallel) {
+  // 0c. Scheduled faults fire at the cycle boundary, before arrivals,
+  //     so packets admitted this cycle already see the new lane set.
+  if (fault_sched_.any()) {
+    apply_fault_events(now);
+    if (fault_sched_.has_pressure()) {
+      const std::size_t cap = fault_sched_.pressure_capacity(now);
+      if (cap != current_pressure_) {
+        current_pressure_ = cap;
+        for (auto& fifo : fifos_) fifo.set_pressure_capacity(cap);
+      }
+    }
+  }
+  // 1. Arrivals for this cycle (the source yields items pre-sorted by
+  //    (time, port); file sources enforce that on read).
+  for (const TraceItem* item;
+       (item = source_->peek()) != nullptr &&
+       item->arrival_time < static_cast<double>(now + 1);
+       source_->advance()) {
+    const bool first = result_.offered == 0;
+    admit(*item, now);
+    if (first) result_.first_arrival = now;
+    result_.last_arrival = now;
+  }
+  // 1b. Phantom channel: deliver phantoms whose hop count has elapsed.
+  if (opts_.realistic_phantom_channel) deliver_due_phantoms(now);
+  // 2. Ingress: each live pipeline admits one packet into the AR stage.
+  for (PipelineId p = 0; p < k_; ++p) {
+    if (!lane_alive_[p]) continue;
+    if (!ingress_[p].empty()) {
+      push_arrival(p, 0, ingress_[p].front(), p);
+      ingress_[p].pop_front();
+    }
+  }
+  // 3. Stage processing, last stage first so packets move one stage per
+  //    cycle (outputs land in already-processed downstream cells). Dead
+  //    lanes are skipped (their queues were drained at failure time).
+  if (!parallel) {
+    for (StageId st = num_stages_; st-- > 0;) {
+      for (PipelineId p = 0; p < k_; ++p) {
+        if (!lane_alive_[p]) continue;
+        step_cell(p, st, now, nullptr);
+      }
+    }
+  } else {
+    shared_now_ = now;
+    pending_.store(workers_ - 1, std::memory_order_relaxed);
+    phase_.fetch_add(1, std::memory_order_release);
+    run_worker_lanes(0, now); // the main thread is worker 0
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    for (auto& err : worker_error_) {
+      if (err) {
+        std::exception_ptr e = err;
+        err = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+    merge_worker_effects(now);
+  }
+  // 4. Periodic dynamic state sharding (Figure 6).
+  if (opts_.remap_period != 0 && (now + 1) % opts_.remap_period == 0) {
+    const std::size_t moves = opts_.reference_rebalance
+                                  ? state_->rebalance_reference()
+                                  : state_->rebalance();
+    result_.remap_moves += moves;
+    if (moves != 0) {
+      emit(TimelineEvent::Kind::kRemap, now, 0, 0, kInvalidSeqNo,
+           static_cast<std::uint64_t>(moves));
+    }
+  }
+  // 5. Cycle-end watchdog.
+  if (opts_.paranoid_checks) check_invariants(now);
+}
+
+SimResult Mp5Simulator::finalize(Cycle now) {
   source_ = nullptr;
-  if (parallel) {
+  if (!pool_.empty()) {
     for (auto& ctx : worker_ctx_) {
       c1_.absorb(ctx.c1);
       ctx.c1 = C1Scratch{};
@@ -326,14 +379,14 @@ SimResult Mp5Simulator::run_loop(TraceSource& source, Cycle start_cycle) {
         std::max(result_.max_queue_depth, fifo.high_water());
   }
   if (telem_ != nullptr) {
-    telem_->gauge("sim.cycles_run").set(static_cast<double>(now));
-    telem_->gauge("sim.max_queue_depth")
+    tscope_.gauge("sim.cycles_run").set(static_cast<double>(now));
+    tscope_.gauge("sim.max_queue_depth")
         .set(static_cast<double>(result_.max_queue_depth));
-    telem_->gauge("sim.normalized_throughput")
+    tscope_.gauge("sim.normalized_throughput")
         .set(result_.normalized_throughput());
-    telem_->gauge("sim.arena_peak_live")
+    tscope_.gauge("sim.arena_peak_live")
         .set(static_cast<double>(arena_.peak_live()));
-    telem_->gauge("sim.arena_recycled_allocs")
+    tscope_.gauge("sim.arena_recycled_allocs")
         .set(static_cast<double>(arena_.recycled_allocs()));
   }
   std::sort(result_.egress.begin(), result_.egress.end(),

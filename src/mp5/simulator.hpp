@@ -100,6 +100,43 @@ public:
   /// uninterrupted run's.
   SimResult resume(TraceSource& source, std::string_view checkpoint_blob);
 
+  // -- co-simulation stepping API --
+  //
+  // A FabricSimulator interleaves N switches on one global clock, feeding
+  // each switch's egress into another's ingress mid-run — which run()
+  // cannot do (it owns the whole cycle walk). begin/step/finish expose the
+  // identical walk under an external clock:
+  //
+  //   sim.begin(source);
+  //   for (Cycle c = 0; ...; ++c) sim.step(c);   // any cycles, any gaps
+  //   SimResult r = sim.finish(end_cycle);
+  //
+  // step(c) executes exactly the per-cycle body of run_loop (faults,
+  // arrivals, phantom delivery, ingress, stage walk, remap, watchdog), so
+  // a begin/step/finish run over the same source is bit-identical to
+  // run(). The bound source may grow between steps (the fabric pushes
+  // link deliveries into it); skipped cycles are the caller's fast-forward.
+  // Sequential engine only (threads == 1), checkpointing unsupported.
+
+  /// Bind a source and reset per-run results. Throws ConfigError when the
+  /// options are incompatible with external clocking (threads > 1 or
+  /// checkpoint_interval != 0) and Error if a run is already active.
+  void begin(TraceSource& source);
+  /// Execute one cycle of the walk at external clock value `now`. Cycles
+  /// must be non-decreasing across calls; cycles where the switch is
+  /// drained and the source empty may be skipped entirely.
+  void step(Cycle now);
+  /// True while packets are in flight or the bound source has items.
+  bool has_work();
+  /// Packets currently inside the switch (queues, slots, FIFOs).
+  std::uint64_t live_packets() const { return live_packets_; }
+  /// True when no packet *or zombie phantom* occupies any structure — the
+  /// precondition for the caller to skip this switch's cycles.
+  bool drained() const { return live_packets_ == 0 && fully_drained(); }
+  /// End the externally-clocked run at `end_cycle` and return the result
+  /// (identical tail to run(): final registers, C1, sorted egress).
+  SimResult finish(Cycle end_cycle);
+
   /// Observable state, for tests.
   const ShardedState& state() const { return *state_; }
   /// The run's packet pool, for tests (recycling/peak-live statistics).
@@ -220,6 +257,13 @@ private:
 
   /// The shared cycle walk behind run() and resume().
   SimResult run_loop(TraceSource& source, Cycle start_cycle);
+  /// One cycle of the walk: fault events, arrivals, phantom delivery,
+  /// ingress, the stage walk, remap, watchdog. Shared verbatim between
+  /// run_loop and the external-clock step().
+  void step_cycle(Cycle now, bool parallel);
+  /// The shared run tail: unbind the source, merge/stop workers, fill the
+  /// end-of-run SimResult fields, and sort the egress/fault-drop logs.
+  SimResult finalize(Cycle now);
   /// Frame the complete simulator state and hand it to checkpoint_sink.
   void do_checkpoint(Cycle now);
   /// Serialize every piece of run state the cycle walk depends on.
@@ -372,6 +416,7 @@ private:
   // telemetry-disabled run, where every hook is a never-taken branch and
   // the SimResult is bit-identical to a build without telemetry. --
   telemetry::Telemetry* telem_ = nullptr;
+  telemetry::Scope tscope_; // telem_ + SimOptions::telemetry_prefix
   telemetry::Counter* t_admit_ = nullptr;
   telemetry::Counter* t_egress_ = nullptr;
   telemetry::Counter* t_steer_ = nullptr;

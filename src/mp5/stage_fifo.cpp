@@ -29,7 +29,7 @@ StageFifo::StageFifo(std::uint32_t lanes, std::size_t capacity, bool ideal)
   }
 }
 
-void StageFifo::set_telemetry(telemetry::Telemetry& sink) {
+void StageFifo::set_telemetry(const telemetry::Scope& sink) {
   t_push_ = &sink.counter("fifo.push");
   t_push_dropped_ = &sink.counter("fifo.push_dropped");
   t_insert_ = &sink.counter("fifo.insert");

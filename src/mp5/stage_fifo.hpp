@@ -44,7 +44,7 @@ class Histogram;
 
 namespace telemetry {
 class Counter;
-class Telemetry;
+class Scope;
 }
 
 class StageFifo {
@@ -94,7 +94,7 @@ public:
   /// histogram, shared by every StageFifo instance of the run. Never
   /// called on a telemetry-disabled run — all hook pointers stay null and
   /// each hook is a single never-taken branch.
-  void set_telemetry(telemetry::Telemetry& sink);
+  void set_telemetry(const telemetry::Scope& sink);
 
   // -- fault injection & watchdog support --
 

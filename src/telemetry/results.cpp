@@ -4,7 +4,6 @@
 #include "telemetry/telemetry.hpp"
 
 namespace mp5::telemetry {
-namespace {
 
 void write_telemetry_section(JsonWriter& json, const Telemetry& telem) {
   json.begin_object();
@@ -51,8 +50,6 @@ void write_telemetry_section(JsonWriter& json, const Telemetry& telem) {
 
   json.end_object();
 }
-
-} // namespace
 
 void write_results_json(std::ostream& out, const RunMeta& meta,
                         const SimResult& result, const Telemetry* telemetry) {

@@ -49,4 +49,11 @@ struct RunMeta {
 void write_results_json(std::ostream& out, const RunMeta& meta,
                         const SimResult& result, const Telemetry* telemetry);
 
+class JsonWriter;
+
+/// Emit the standard "telemetry" object (counters/gauges/histograms/
+/// events) into an in-progress document — shared by the single-switch and
+/// fabric results exporters.
+void write_telemetry_section(JsonWriter& json, const Telemetry& telem);
+
 } // namespace mp5::telemetry

@@ -162,4 +162,45 @@ private:
   std::unique_ptr<EventRing> ring_;
 };
 
+/// A named slice of a registry: every metric registered through a Scope
+/// has the scope's prefix prepended to its name. This is the instancing
+/// mechanism for multi-simulator processes — registration is find-or-create
+/// by *flat* name, so two Mp5Simulators sharing one Telemetry would
+/// otherwise silently merge their "sim.admitted" (etc.) counters. A fabric
+/// gives each switch a scope like "fabric.leaf0." and all per-switch
+/// metrics stay distinct while living in one exportable registry.
+///
+/// A Scope is a cheap value (pointer + string). The default-constructed
+/// scope is null (operator bool is false, metric calls are invalid); a
+/// Telemetry& converts implicitly to an unprefixed scope, preserving the
+/// flat single-simulator names.
+class Scope {
+public:
+  Scope() = default;
+  /*implicit*/ Scope(Telemetry& registry) : telem_(&registry) {}
+  Scope(Telemetry& registry, std::string prefix)
+      : telem_(&registry), prefix_(std::move(prefix)) {}
+
+  Telemetry* registry() const noexcept { return telem_; }
+  const std::string& prefix() const noexcept { return prefix_; }
+  explicit operator bool() const noexcept { return telem_ != nullptr; }
+
+  Counter& counter(const std::string& name) const {
+    return telem_->counter(prefix_ + name);
+  }
+  Gauge& gauge(const std::string& name) const {
+    return telem_->gauge(prefix_ + name);
+  }
+  Histogram& histogram(const std::string& name, double bucket_width,
+                       std::size_t buckets) const {
+    return telem_->histogram(prefix_ + name, bucket_width, buckets);
+  }
+  /// Events carry no metric name; they pass through to the shared ring.
+  void record(const TimelineEvent& event) const { telem_->record(event); }
+
+private:
+  Telemetry* telem_ = nullptr;
+  std::string prefix_;
+};
+
 } // namespace mp5::telemetry

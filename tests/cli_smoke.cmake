@@ -4,7 +4,7 @@
 # stderr — never crash, hang, or terminate() — and a well-formed control
 # invocation must still exit zero.
 #
-# Inputs: -DMP5C=<path> -DMP5SIM=<path>
+# Inputs: -DMP5C=<path> -DMP5SIM=<path> -DMP5FABRIC=<path>
 
 function(expect_failure label)
   execute_process(COMMAND ${ARGN}
@@ -114,3 +114,33 @@ endif()
 expect_success("mp5sim restore control run"
                ${MP5SIM} --builtin figure3 --packets 800
                --restore ${workdir}/figure3.ckpt --paranoid)
+
+# -- mp5fabric (ISSUE 7) --
+expect_failure("mp5fabric unknown flag" ${MP5FABRIC} --no-such-flag)
+expect_failure("mp5fabric zero leaves" ${MP5FABRIC} --leaves 0 --flows 10)
+expect_failure("mp5fabric zero link latency"
+               ${MP5FABRIC} --link-latency 0 --flows 10)
+expect_failure("mp5fabric weight arity mismatch"
+               ${MP5FABRIC} --spines 2 --spine-weights 1,2,3 --flows 10)
+expect_failure("mp5fabric all-zero weights"
+               ${MP5FABRIC} --spines 2 --spine-weights 0,0 --flows 10)
+expect_failure("mp5fabric unknown lb mode"
+               ${MP5FABRIC} --lb hula --flows 10)
+expect_failure("mp5fabric bad fault switch name"
+               ${MP5FABRIC} --flows 10 --kill-switch spine9@100)
+expect_failure("mp5fabric bad fault spec"
+               ${MP5FABRIC} --flows 10 --kill-switch spine1)
+expect_failure("mp5fabric bad link spec"
+               ${MP5FABRIC} --flows 10 --kill-link leaf0:leaf1@100)
+expect_failure("mp5fabric json to unwritable path"
+               ${MP5FABRIC} --flows 50 --quiet
+               --json ${workdir}/no_such_dir/fabric.json)
+expect_success("mp5fabric control run"
+               ${MP5FABRIC} --flows 300 --lb conga --quiet --telemetry
+               --json ${workdir}/fabric.json)
+if(NOT EXISTS ${workdir}/fabric.json)
+  message(FATAL_ERROR "mp5fabric control run: missing fabric.json")
+endif()
+expect_success("mp5fabric fault control run"
+               ${MP5FABRIC} --flows 300 --lb flowlet --quiet
+               --kill-switch spine1@1000 --kill-link leaf0:spine0@500)

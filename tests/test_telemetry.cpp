@@ -278,6 +278,53 @@ TEST(TelemetrySim, CountersMatchSimResult) {
             result.egressed);
 }
 
+TEST(TelemetrySim, TwoSimulatorsOneRegistryScopedPrefixesDoNotCollide) {
+  // Per-instance scoping regression: two simulators sharing one Telemetry
+  // must not merge their metrics as long as they use distinct prefixes
+  // (the fabric runs N+M switches against one registry this way). Before
+  // telemetry_prefix existed, both registered the flat "sim.admitted" and
+  // the counts silently summed.
+  const auto prog = synthetic_program();
+  const auto trace_a = synthetic_trace(1, 1500);
+  const auto trace_b = synthetic_trace(2, 700);
+  Telemetry telem;
+  SimOptions opts_a = mp5_options(4, 1);
+  opts_a.telemetry = &telem;
+  opts_a.telemetry_prefix = "fabric.leaf0.";
+  SimOptions opts_b = opts_a;
+  opts_b.telemetry_prefix = "fabric.spine1.";
+  Mp5Simulator sim_a(prog, opts_a);
+  Mp5Simulator sim_b(prog, opts_b);
+  const auto ra = sim_a.run(trace_a);
+  const auto rb = sim_b.run(trace_b);
+  ASSERT_NE(ra.offered, rb.offered); // distinct loads, else vacuous
+
+  const auto counters = telem.counter_snapshot();
+  EXPECT_EQ(counters.at("fabric.leaf0.sim.admitted"), ra.offered);
+  EXPECT_EQ(counters.at("fabric.spine1.sim.admitted"), rb.offered);
+  EXPECT_EQ(counters.at("fabric.leaf0.sim.egressed"), ra.egressed);
+  EXPECT_EQ(counters.at("fabric.spine1.sim.egressed"), rb.egressed);
+  // No un-prefixed (merged) names leaked into the shared registry.
+  EXPECT_EQ(counters.count("sim.admitted"), 0u);
+  // Gauges and histograms are scoped too.
+  EXPECT_DOUBLE_EQ(telem.gauge("fabric.leaf0.sim.cycles_run").value(),
+                   static_cast<double>(ra.cycles_run));
+  EXPECT_DOUBLE_EQ(telem.gauge("fabric.spine1.sim.cycles_run").value(),
+                   static_cast<double>(rb.cycles_run));
+  EXPECT_EQ(telem.histograms().at("fabric.leaf0.sim.egress_latency").total(),
+            ra.egressed);
+  EXPECT_EQ(telem.histograms().at("fabric.spine1.sim.egress_latency").total(),
+            rb.egressed);
+  // An empty prefix still yields the classic flat names (single-simulator
+  // tools keep their dashboards).
+  Telemetry flat;
+  SimOptions opts_flat = mp5_options(4, 1);
+  opts_flat.telemetry = &flat;
+  Mp5Simulator sim_flat(prog, opts_flat);
+  const auto rf = sim_flat.run(trace_a);
+  EXPECT_EQ(flat.counter_snapshot().at("sim.admitted"), rf.offered);
+}
+
 TEST(TelemetrySim, RebalanceRunsCountedUniformlyAcrossPolicies) {
   // shard.rebalance_runs counts every crossed remap boundary under every
   // policy — the static policies (kStaticRandom, kSinglePipeline) close

@@ -4,11 +4,12 @@
 Checks any mix of the four JSON schemas this repo emits, plus the binary
 checkpoint format:
 
-  mp5-results       mp5sim --json            (schema_version 1)
-  mp5-chrome-trace  mp5sim --trace-out       (schema_version 1)
-  mp5-bench         bench_* BENCH_<name>.json (schema_version 1)
-  mp5-fuzz-repro    mp5fuzz reproducers       (schema_version 1)
-  mp5-checkpoint    mp5sim --checkpoint-out / mp5soak (binary, version 1)
+  mp5-results        mp5sim --json            (schema_version 1)
+  mp5-chrome-trace   mp5sim --trace-out       (schema_version 1)
+  mp5-bench          bench_* BENCH_<name>.json (schema_version 1)
+  mp5-fuzz-repro     mp5fuzz reproducers       (schema_version 1)
+  mp5-fabric-results mp5fabric --json          (schema_version 1)
+  mp5-checkpoint     mp5sim --checkpoint-out / mp5soak (binary, version 1)
 
 Usage:  validate_results.py FILE [FILE...]
 
@@ -28,6 +29,7 @@ SUPPORTED_VERSIONS = {
     "mp5-chrome-trace": 1,
     "mp5-bench": 1,
     "mp5-fuzz-repro": 1,
+    "mp5-fabric-results": 1,
 }
 
 
@@ -250,6 +252,122 @@ def validate_repro(doc, where):
         require(config, "checkpoint_restore", bool, cwhere)
 
 
+FABRIC_LB_MODES = {"ecmp", "wcmp", "flowlet", "conga"}
+FABRIC_DROP_FATES = ("dead_source", "dead_destination", "switch_killed",
+                     "in_switch")
+
+
+def validate_fabric_results(doc, where):
+    check_version(doc, "mp5-fabric-results", where)
+    config = require(doc, "config", dict, where)
+    cwhere = f"{where}.config"
+    leaves = require(config, "leaves", int, cwhere)
+    spines = require(config, "spines", int, cwhere)
+    for key in ("hosts_per_leaf", "pipelines", "remap_period",
+                "util_window"):
+        require(config, key, int, cwhere)
+    for key in ("salt", "seed", "link_latency"):
+        require(config, key, int, cwhere)
+    require(config, "link_bytes_per_cycle", NUM, cwhere)
+    lb = require(config, "lb", str, cwhere)
+    if lb not in FABRIC_LB_MODES:
+        fail(f"{cwhere}: lb '{lb}' not in {sorted(FABRIC_LB_MODES)}")
+    require(config, "hash", str, cwhere)
+    workload = require(config, "workload", dict, cwhere)
+    wwhere = f"{cwhere}.workload"
+    for key in ("flows", "max_flow_packets", "burst_size", "packet_bytes",
+                "seed"):
+        require(workload, key, int, wwhere)
+    for key in ("flow_rate", "mean_lifetime", "zipf_exponent",
+                "burst_spacing"):
+        require(workload, key, NUM, wwhere)
+
+    totals = require(doc, "totals", dict, where)
+    twhere = f"{where}.totals"
+    injected = require(totals, "injected", int, twhere)
+    delivered = require(totals, "delivered", int, twhere)
+    dropped = require(totals, "dropped", dict, twhere)
+    for key in FABRIC_DROP_FATES + ("total",):
+        require(dropped, key, int, f"{twhere}.dropped")
+    if sum(dropped[k] for k in FABRIC_DROP_FATES) != dropped["total"]:
+        fail(f"{twhere}.dropped: fates do not sum to total")
+    in_flight = require(totals, "in_flight_end", int, twhere)
+    conserved = require(totals, "conserved", bool, twhere)
+    # The fabric's core invariant: every packet delivered, dropped with a
+    # recorded fate, or in flight at truncation.
+    balanced = injected == delivered + dropped["total"] + in_flight
+    if balanced != conserved:
+        fail(f"{twhere}: conserved flag disagrees with the ledger")
+    if not balanced:
+        fail(f"{twhere}: conservation violated ({injected} injected != "
+             f"{delivered} delivered + {dropped['total']} dropped + "
+             f"{in_flight} in flight)")
+    require(totals, "truncated", bool, twhere)
+    require(totals, "cycles_run", int, twhere)
+    for key in ("throughput_pkts_per_cycle", "offered_pkts_per_cycle",
+                "delivered_fraction"):
+        require(totals, key, NUM, twhere)
+
+    flows = require(doc, "flows", dict, where)
+    fwhere = f"{where}.flows"
+    for key in ("total", "started", "completed", "fully_delivered",
+                "peak_concurrent", "reordered_packets"):
+        require(flows, key, int, fwhere)
+    if flows["fully_delivered"] > flows["completed"]:
+        fail(f"{fwhere}: fully_delivered exceeds completed")
+    if flows["completed"] > flows["started"]:
+        fail(f"{fwhere}: completed exceeds started")
+    fct = require(flows, "fct", dict, fwhere)
+    require(fct, "count", int, f"{fwhere}.fct")
+    for key in ("p50", "p90", "p99", "mean", "max"):
+        require(fct, key, NUM, f"{fwhere}.fct")
+
+    latency = require(doc, "latency", dict, where)
+    for key in ("p50", "p90", "p99"):
+        require(latency, key, NUM, f"{where}.latency")
+
+    uplinks = require(doc, "uplinks", dict, where)
+    for key in ("util_max", "util_mean", "util_skew"):
+        require(uplinks, key, NUM, f"{where}.uplinks")
+
+    links = require(doc, "links", list, where)
+    if len(links) != 2 * leaves * spines:
+        fail(f"{where}.links: {len(links)} links != 2*{leaves}*{spines}")
+    for i, link in enumerate(links):
+        lwhere = f"{where}.links[{i}]"
+        require(link, "name", str, lwhere)
+        for key in ("from", "to", "packets", "bytes"):
+            require(link, key, int, lwhere)
+        for key in ("uplink", "killed"):
+            require(link, key, bool, lwhere)
+        for key in ("weight", "busy_cycles", "peak_queue_cycles"):
+            require(link, key, NUM, lwhere)
+        util = require(link, "utilization", NUM, lwhere)
+        if not 0.0 <= util <= 1.0:
+            fail(f"{lwhere}: utilization {util} outside [0, 1]")
+
+    switches = require(doc, "switches", list, where)
+    if len(switches) != leaves + spines:
+        fail(f"{where}.switches: {len(switches)} switches != "
+             f"{leaves}+{spines}")
+    for i, sw in enumerate(switches):
+        swhere = f"{where}.switches[{i}]"
+        require(sw, "name", str, swhere)
+        require(sw, "killed", bool, swhere)
+        for key in ("killed_at", "offered", "egressed", "dropped_data",
+                    "dropped_phantom", "steers", "wasted_cycles",
+                    "remap_moves", "max_queue_depth",
+                    "c1_violating_packets", "reordered_flow_packets"):
+            require(sw, key, int, swhere)
+        c1 = require(sw, "c1_fraction", NUM, swhere)
+        if not 0.0 <= c1 <= 1.0:
+            fail(f"{swhere}: c1_fraction {c1} outside [0, 1]")
+
+    telem = require(doc, "telemetry", (dict, type(None)), where)
+    if telem is not None:
+        check_telemetry_section(telem, f"{where}.telemetry")
+
+
 CHECKPOINT_MAGIC = b"mp5-checkpoint v1\n"
 CHECKPOINT_VERSION = 1
 # magic + u32 version + u64 fingerprint + u64 cycle + u64 payload length
@@ -317,6 +435,8 @@ def validate_file(path):
             validate_bench(doc, path)
         elif schema == "mp5-fuzz-repro":
             validate_repro(doc, path)
+        elif schema == "mp5-fabric-results":
+            validate_fabric_results(doc, path)
         else:
             fail(f"{path}: unknown schema '{schema}'")
     return schema
