@@ -88,6 +88,7 @@ std::string SimConfig::name() const {
   os << "k" << pipelines << "-" << fuzz::to_string(sharding) << "-t" << threads
      << (fast_forward ? "-ff" : "-noff")
      << (reference_rebalance ? "-ref" : "-incr");
+  if (engine == SimEngine::kEvent) os << "-ev";
   if (checkpoint_restore) os << "-ckpt";
   return os.str();
 }
@@ -99,6 +100,7 @@ SimOptions SimConfig::to_options() const {
   opts.threads = threads;
   opts.fast_forward = fast_forward;
   opts.reference_rebalance = reference_rebalance;
+  opts.engine = engine;
   opts.remap_period = remap_period;
   opts.fifo_capacity = fifo_capacity;
   opts.seed = seed;
@@ -118,13 +120,17 @@ std::vector<SimConfig> full_config_matrix() {
       for (const std::uint32_t threads : {1u, 4u}) {
         for (const bool ff : {true, false}) {
           for (const bool ref_rebalance : {false, true}) {
-            SimConfig cfg;
-            cfg.pipelines = k;
-            cfg.sharding = policy;
-            cfg.threads = threads;
-            cfg.fast_forward = ff;
-            cfg.reference_rebalance = ref_rebalance;
-            matrix.push_back(cfg);
+            for (const SimEngine engine :
+                 {SimEngine::kLockstep, SimEngine::kEvent}) {
+              SimConfig cfg;
+              cfg.pipelines = k;
+              cfg.sharding = policy;
+              cfg.threads = threads;
+              cfg.fast_forward = ff;
+              cfg.reference_rebalance = ref_rebalance;
+              cfg.engine = engine;
+              matrix.push_back(cfg);
+            }
           }
         }
       }
@@ -148,6 +154,11 @@ std::vector<SimConfig> quick_config_matrix() {
   cfg = SimConfig{};
   cfg.threads = 4;
   cfg.reference_rebalance = true;
+  matrix.push_back(cfg);
+  cfg = SimConfig{}; // k4 dynamic t1 ff incremental, event engine
+  cfg.engine = SimEngine::kEvent;
+  matrix.push_back(cfg);
+  cfg.threads = 4;
   matrix.push_back(cfg);
   return matrix;
 }

@@ -32,6 +32,8 @@ struct SimConfig {
   std::uint32_t threads = 1;
   bool fast_forward = true;
   bool reference_rebalance = false;
+  /// Cycle-walk engine: lockstep dense scan or event-driven bitmap walk.
+  SimEngine engine = SimEngine::kLockstep;
   std::uint32_t remap_period = 32;
   std::size_t fifo_capacity = 0; // 0 = unbounded (lossless)
   std::uint64_t seed = 1;
@@ -42,7 +44,8 @@ struct SimConfig {
   /// uninterrupted run (the mp5-checkpoint v1 bit-identity contract).
   bool checkpoint_restore = false;
 
-  /// Stable human-readable id, e.g. "k4-dynamic-t1-ff-incr".
+  /// Stable human-readable id, e.g. "k4-dynamic-t1-ff-incr"
+  /// (event-engine cells get an extra "-ev" suffix).
   std::string name() const;
   SimOptions to_options() const;
 };
@@ -52,7 +55,8 @@ std::string to_string(ShardingPolicy policy);
 ShardingPolicy sharding_from_string(const std::string& name);
 
 /// The full ISSUE matrix: 3 k-values x 3 sharding policies x 2 thread
-/// counts x fast-forward on/off x reference/incremental rebalance.
+/// counts x fast-forward on/off x reference/incremental rebalance x
+/// lockstep/event engine.
 std::vector<SimConfig> full_config_matrix();
 /// A small subset for smoke tests (one config per distinguishing axis).
 std::vector<SimConfig> quick_config_matrix();

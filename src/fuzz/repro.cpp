@@ -167,6 +167,7 @@ void save_reproducer(const Reproducer& repro, const std::string& json_path) {
   w.kv("threads", repro.config.threads);
   w.kv("fast_forward", repro.config.fast_forward);
   w.kv("reference_rebalance", repro.config.reference_rebalance);
+  w.kv("engine", mp5::to_string(repro.config.engine));
   w.kv("remap_period", repro.config.remap_period);
   w.kv("fifo_capacity", static_cast<std::uint64_t>(repro.config.fifo_capacity));
   w.kv("seed", repro.config.seed);
@@ -208,6 +209,12 @@ Reproducer load_reproducer(const std::string& json_path) {
   repro.config.fast_forward = scan_bool(config_text, "fast_forward");
   repro.config.reference_rebalance =
       scan_bool(config_text, "reference_rebalance");
+  // Key added with the event engine; corpus files written before it
+  // existed mean the (then-only) lockstep engine.
+  repro.config.engine =
+      config_text.find("\"engine\"") == std::string::npos
+          ? SimEngine::kLockstep
+          : engine_from_string(scan_string(config_text, "engine"));
   repro.config.remap_period =
       static_cast<std::uint32_t>(scan_int(config_text, "remap_period"));
   repro.config.fifo_capacity =

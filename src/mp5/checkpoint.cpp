@@ -145,10 +145,12 @@ std::uint64_t config_fingerprint(const Mp5Program& program,
                                  const SimOptions& options) {
   Fp fp;
   // Semantic SimOptions: everything that changes *what* the run computes.
-  // Engine knobs (threads, fast_forward, reference_rebalance, max_cycles,
-  // paranoid_checks, sinks, telemetry, checkpoint cadence) are excluded by
-  // design: they are proven bit-identity-preserving, so a checkpoint may be
-  // restored under a different engine configuration.
+  // Engine knobs (engine, threads, fast_forward, reference_rebalance,
+  // max_cycles, paranoid_checks, sinks, telemetry, checkpoint cadence) are
+  // excluded by design: they are proven bit-identity-preserving, so a
+  // checkpoint may be restored under a different engine configuration — in
+  // particular, a lockstep checkpoint restores under the event engine and
+  // vice versa.
   fp.u32(options.pipelines);
   fp.u64(options.fifo_capacity);
   fp.u32(options.remap_period);
@@ -467,6 +469,11 @@ Cycle Mp5Simulator::restore_state(ByteReader& r,
       if (telem_ != nullptr) telem_->gauge(name).set(value);
     }
   }
+
+  // The event engine's activity bitmap is derived state (never
+  // serialized): rebuild it from the restored FIFO/arrival occupancy, so
+  // a checkpoint taken under either engine restores under either.
+  rebuild_activity();
 
   return now;
 }

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "common/error.hpp"
 #include "mp5/faults.hpp"
 #include "mp5/shard_map.hpp"
 #include "mp5/timeline.hpp"
@@ -14,6 +15,32 @@ namespace mp5 {
 
 namespace telemetry {
 class Telemetry;
+}
+
+/// Execution engine for the cycle loop (SimOptions::engine). Both engines
+/// produce bit-identical SimResult for every configuration, seed and fault
+/// plan — the fuzz matrix and the determinism suite enforce it.
+enum class SimEngine : std::uint8_t {
+  /// Dense walk: every (lane, stage) cell is visited every cycle.
+  kLockstep = 0,
+  /// Event-driven conservative-lookahead walk: cells are visited only when
+  /// an activity bit says they might hold work, and stretches of cycles
+  /// where no cell can make progress are skipped arithmetically even under
+  /// a scheduled fault plan (the lockstep fast-forward only skips fully
+  /// idle, fault-free stretches). Cost per cycle is proportional to
+  /// occupied cells instead of k x stages.
+  kEvent = 1,
+};
+
+inline const char* to_string(SimEngine e) {
+  return e == SimEngine::kEvent ? "event" : "lockstep";
+}
+
+inline SimEngine engine_from_string(const std::string& s) {
+  if (s == "lockstep") return SimEngine::kLockstep;
+  if (s == "event") return SimEngine::kEvent;
+  throw ConfigError("SimOptions::engine: unknown engine '" + s +
+                    "' (expected 'lockstep' or 'event')");
 }
 
 struct SimOptions {
@@ -73,6 +100,14 @@ struct SimOptions {
 
   /// Safety valve for runaway runs; tests assert it is never hit.
   std::uint64_t max_cycles = 5'000'000;
+
+  /// Cycle-loop engine. kLockstep is the classic dense per-cycle walk;
+  /// kEvent visits only cells whose activity bits are set and skips
+  /// no-progress cycle stretches arithmetically (works under fault plans,
+  /// unlike fast_forward). Results are bit-identical either way; the knob
+  /// is excluded from the checkpoint config fingerprint, so a checkpoint
+  /// taken under one engine restores under the other.
+  SimEngine engine = SimEngine::kLockstep;
 
   /// Worker threads for the per-lane parallel engine. 1 (the default)
   /// runs the classic sequential engine. N > 1 partitions the k lanes

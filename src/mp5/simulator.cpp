@@ -1,6 +1,7 @@
 #include "mp5/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <exception>
 
 #include "common/error.hpp"
@@ -29,6 +30,14 @@ struct C1Observer final : ir::AccessObserver {
 };
 
 bool entry_live(const PlannedAccess& e) { return !e.done && !e.cancelled; }
+
+/// Parallel event engine: minimum number of active cells before a cycle is
+/// worth dispatching to the worker pool. Below this, a barrier round-trip
+/// (condvar wakeup + merge, microseconds) dwarfs the per-cell visit cost
+/// (~100ns), so the busy blocks run inline on the main thread instead —
+/// with identical staging and merge order. Full-rate traffic at k >= 8
+/// clears the bar comfortably; sparse trickles never do.
+constexpr std::uint32_t kDispatchMinActiveCells = 64;
 
 } // namespace
 
@@ -130,12 +139,33 @@ Mp5Simulator::Mp5Simulator(const Mp5Program& program, const SimOptions& options)
   workers_ = std::min<std::uint32_t>(opts_.threads, k_);
   worker_ctx_.resize(workers_);
   worker_error_.resize(workers_);
+  worker_phase_ = std::vector<std::atomic<std::uint64_t>>(workers_);
+  busy_scratch_.assign(workers_, 0);
   lane_range_.reserve(workers_);
   for (std::uint32_t w = 0; w < workers_; ++w) {
     lane_range_.emplace_back(
         static_cast<PipelineId>(static_cast<std::uint64_t>(w) * k_ / workers_),
         static_cast<PipelineId>(static_cast<std::uint64_t>(w + 1) * k_ /
                                 workers_));
+  }
+
+  event_engine_ = opts_.engine == SimEngine::kEvent;
+  lane_words_ = (k_ + 63) / 64;
+  if (event_engine_) {
+    active_ = std::vector<std::atomic<std::uint64_t>>(
+        static_cast<std::size_t>(num_stages_) * lane_words_);
+    busy_words_.assign(lane_words_, 0);
+    worker_masks_.resize(workers_);
+    for (std::uint32_t w = 0; w < workers_; ++w) {
+      const auto [lo, hi] = lane_range_[w];
+      for (std::uint32_t widx = lo >> 6; widx <= (hi - 1) >> 6; ++widx) {
+        const std::uint32_t base = widx << 6;
+        std::uint64_t mask = ~std::uint64_t{0};
+        if (lo > base) mask &= ~std::uint64_t{0} << (lo - base);
+        if (hi - base < 64) mask &= (std::uint64_t{1} << (hi - base)) - 1;
+        worker_masks_[w].emplace_back(widx, mask);
+      }
+    }
   }
 
 #if MP5_TELEMETRY_COMPILED
@@ -258,8 +288,21 @@ SimResult Mp5Simulator::run_loop(TraceSource& source, Cycle start_cycle) {
       //     (next_event_cycle clamps the jump to the next checkpoint
       //     boundary; the boundary cycle itself is then a no-op walk, so
       //     checkpointed and checkpoint-free runs stay bit-identical.)
-      if (ff_enabled && live_packets_ == 0 && source_->peek() != nullptr &&
-          fully_drained()) {
+      //     The event engine skips unconditionally (it is the engine's
+      //     defining move) and under fault plans too, with the skip target
+      //     further clamped at every per-cycle-observable fault boundary;
+      //     activity_all_clear() stands in for the per-FIFO drain scan.
+      if (event_engine_) {
+        if (live_packets_ == 0 && source_->peek() != nullptr &&
+            activity_all_clear()) {
+          now = next_event_cycle_event(now);
+          if (now >= opts_.max_cycles) {
+            throw Error(
+                "Mp5Simulator: max_cycles exceeded (deadlock or overload?)");
+          }
+        }
+      } else if (ff_enabled && live_packets_ == 0 &&
+                 source_->peek() != nullptr && fully_drained()) {
         now = next_event_cycle(now);
         if (now >= opts_.max_cycles) {
           throw Error(
@@ -322,21 +365,100 @@ void Mp5Simulator::step_cycle(Cycle now, bool parallel) {
   // 3. Stage processing, last stage first so packets move one stage per
   //    cycle (outputs land in already-processed downstream cells). Dead
   //    lanes are skipped (their queues were drained at failure time).
+  //    The event engine first settles the stalled-but-empty cells it will
+  //    not visit (before the walk mutates any activity bit), then walks
+  //    only the active cells — and, in parallel mode, dispatches only the
+  //    workers whose lane blocks are active: cycles where at most one
+  //    block is busy run on the main thread with direct effects and no
+  //    barrier at all (the conservative-lookahead horizon).
+  if (event_engine_) account_skipped_stalls(now);
   if (!parallel) {
-    for (StageId st = num_stages_; st-- > 0;) {
-      for (PipelineId p = 0; p < k_; ++p) {
-        if (!lane_alive_[p]) continue;
-        step_cell(p, st, now, nullptr);
+    if (event_engine_) {
+      walk_lanes_event(0, static_cast<PipelineId>(k_), now, nullptr);
+    } else {
+      for (StageId st = num_stages_; st-- > 0;) {
+        for (PipelineId p = 0; p < k_; ++p) {
+          if (!lane_alive_[p]) continue;
+          step_cell(p, st, now, nullptr);
+        }
       }
+    }
+  } else if (event_engine_) {
+    // One OR-pass over the bitmap answers "which lane blocks are busy?"
+    // for every worker at once; per-worker rescans would cost workers ×
+    // the walk's own scan on cycles that mostly visit nothing.
+    for (std::uint32_t widx = 0; widx < lane_words_; ++widx) {
+      std::uint64_t acc = 0;
+      for (StageId st = 0; st < num_stages_; ++st) {
+        acc |= active_[static_cast<std::size_t>(st) * lane_words_ + widx].load(
+            std::memory_order_relaxed);
+      }
+      busy_words_[widx] = acc;
+    }
+    std::uint32_t nbusy = 0;
+    std::uint32_t only_busy = 0;
+    for (std::uint32_t w = 0; w < workers_; ++w) {
+      busy_scratch_[w] = 0;
+      for (const auto& [widx, mask] : worker_masks_[w]) {
+        if ((busy_words_[widx] & mask) != 0) {
+          busy_scratch_[w] = 1;
+          break;
+        }
+      }
+      if (busy_scratch_[w]) {
+        ++nbusy;
+        only_busy = w;
+      }
+    }
+    if (nbusy == 1) {
+      // Exactly one lane block can make progress: the dense walk over the
+      // other blocks would be a pure no-op, so the merge order degenerates
+      // to this block's own lane-ascending order. Run it inline with
+      // direct effects — no staging, no barrier, no wakeups.
+      const auto [lo, hi] = lane_range_[only_busy];
+      walk_lanes_event(lo, hi, now, nullptr);
+    } else if (nbusy > 1 && active_cell_count() < kDispatchMinActiveCells) {
+      // Several blocks are busy but barely: the per-cell work cannot
+      // amortize a barrier round-trip, so walk the busy blocks on this
+      // thread with the same staged per-worker effects and merge them in
+      // the same worker-ascending order — bit-identical to a dispatch,
+      // minus the wakeup latency.
+      for (std::uint32_t w = 0; w < workers_; ++w) {
+        if (busy_scratch_[w]) run_worker_lanes(w, now);
+      }
+      merge_worker_effects(now);
+    } else if (nbusy > 1) {
+      shared_now_ = now;
+      ++next_phase_;
+      pending_.store(nbusy - (busy_scratch_[0] ? 1 : 0),
+                     std::memory_order_relaxed);
+      for (std::uint32_t w = 1; w < workers_; ++w) {
+        if (busy_scratch_[w]) {
+          worker_phase_[w].store(next_phase_, std::memory_order_release);
+        }
+      }
+      dispatch_workers();
+      if (busy_scratch_[0]) run_worker_lanes(0, now);
+      wait_for_workers();
+      for (auto& err : worker_error_) {
+        if (err) {
+          std::exception_ptr e = err;
+          err = nullptr;
+          std::rethrow_exception(e);
+        }
+      }
+      merge_worker_effects(now);
     }
   } else {
     shared_now_ = now;
+    ++next_phase_;
     pending_.store(workers_ - 1, std::memory_order_relaxed);
-    phase_.fetch_add(1, std::memory_order_release);
-    run_worker_lanes(0, now); // the main thread is worker 0
-    while (pending_.load(std::memory_order_acquire) != 0) {
-      std::this_thread::yield();
+    for (std::uint32_t w = 1; w < workers_; ++w) {
+      worker_phase_[w].store(next_phase_, std::memory_order_release);
     }
+    dispatch_workers();
+    run_worker_lanes(0, now); // the main thread is worker 0
+    wait_for_workers();
     for (auto& err : worker_error_) {
       if (err) {
         std::exception_ptr e = err;
@@ -445,8 +567,123 @@ Cycle Mp5Simulator::next_event_cycle(Cycle now) {
 }
 
 // ---------------------------------------------------------------------------
+// Event engine (SimOptions::engine == kEvent)
+// ---------------------------------------------------------------------------
+
+bool Mp5Simulator::activity_all_clear() const {
+  for (const auto& word : active_) {
+    if (word.load(std::memory_order_relaxed) != 0) return false;
+  }
+  return true;
+}
+
+void Mp5Simulator::rebuild_activity() {
+  if (!event_engine_) return;
+  for (auto& word : active_) word.store(0, std::memory_order_relaxed);
+  for (PipelineId p = 0; p < k_; ++p) {
+    for (StageId st = 0; st < num_stages_; ++st) {
+      const std::size_t c = cell(p, st);
+      if (fifos_[c].size() != 0 || arrival_count_[c] != 0) {
+        mark_active(p, st);
+      }
+    }
+  }
+}
+
+void Mp5Simulator::walk_lanes_event(PipelineId lo, PipelineId hi, Cycle now,
+                                    WorkerCtx* ctx) {
+  // The dense walk's order — stages descending, lanes ascending — over the
+  // set bits only. A visited cell's bit is cleared once the cell is empty
+  // again; bits this walk sets itself (a processed packet advancing into
+  // stage st + 1) always land in rows already behind the cursor, exactly
+  // like arrivals landing in already-processed downstream cells.
+  for (StageId st = num_stages_; st-- > 0;) {
+    const std::size_t row = static_cast<std::size_t>(st) * lane_words_;
+    for (std::uint32_t widx = lo >> 6; widx <= (hi - 1) >> 6; ++widx) {
+      const std::uint32_t base = widx << 6;
+      std::uint64_t word = active_[row + widx].load(std::memory_order_relaxed);
+      if (lo > base) word &= ~std::uint64_t{0} << (lo - base);
+      if (hi - base < 64) word &= (std::uint64_t{1} << (hi - base)) - 1;
+      while (word != 0) {
+        const PipelineId p =
+            static_cast<PipelineId>(base + std::countr_zero(word));
+        word &= word - 1;
+        if (!lane_alive_[p]) continue; // failure already drained the lane
+        step_cell(p, st, now, ctx);
+        if (fifos_[cell(p, st)].size() == 0) clear_active(p, st);
+      }
+    }
+  }
+}
+
+void Mp5Simulator::account_skipped_stalls(Cycle now) {
+  if (!fault_sched_.has_stalls()) return;
+  const auto& stalls = fault_sched_.stalls();
+  std::uint64_t skipped = 0;
+  for (std::size_t i = 0; i < stalls.size(); ++i) {
+    const auto& s = stalls[i];
+    if (now < s.from || now >= s.until) continue;
+    if (s.pipeline >= k_ || s.stage >= num_stages_) continue;
+    if (!lane_alive_[s.pipeline]) continue;
+    if (cell_active(s.pipeline, s.stage)) continue; // the walk counts it
+    // One stalled cycle per *cell* per cycle, however many windows cover
+    // it — the same dedup the dense walk gets from its per-cell predicate.
+    bool counted = false;
+    for (std::size_t j = 0; j < i && !counted; ++j) {
+      const auto& t = stalls[j];
+      counted = t.pipeline == s.pipeline && t.stage == s.stage &&
+                now >= t.from && now < t.until;
+    }
+    if (!counted) ++skipped;
+  }
+  if (skipped != 0) {
+    result_.stalled_cycles += skipped;
+    MP5_TELEM_ADD(t_stall_cycles_, skipped);
+  }
+}
+
+Cycle Mp5Simulator::next_event_cycle_event(Cycle now) {
+  Cycle target = next_event_cycle(now);
+  // Unlike lockstep fast-forward, the event engine skips under fault
+  // plans; the extra clamps pin every per-cycle-observable fault boundary.
+  // Lane fail/recover events mutate state at their exact cycle.
+  const auto& events = fault_sched_.lane_events();
+  if (fault_cursor_ < events.size()) {
+    target = std::min(target, events[fault_cursor_].cycle);
+  }
+  // Every cycle covered by a stall window of an alive lane increments
+  // stalled_cycles, so covered cycles are stepped one by one. Pressure
+  // windows need no clamp: the capacity clamp only gates pushes, and a
+  // skipped stretch is drained with no arrivals to push.
+  for (const auto& s : fault_sched_.stalls()) {
+    if (s.until <= now || s.stage >= num_stages_) continue;
+    if (s.pipeline >= k_ || !lane_alive_[s.pipeline]) continue;
+    target = std::min(target, std::max(s.from, now));
+  }
+  return std::max(target, now);
+}
+
+std::uint32_t Mp5Simulator::active_cell_count() const {
+  std::uint32_t count = 0;
+  for (const auto& word : active_) {
+    count += static_cast<std::uint32_t>(
+        std::popcount(word.load(std::memory_order_relaxed)));
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
 // Parallel engine
 // ---------------------------------------------------------------------------
+
+namespace {
+/// Iterations of the dispatch/done spin before falling back to a condvar
+/// sleep. Big enough that a back-to-back busy cycle never pays a futex
+/// round-trip; small enough that an idle worker (or a pool parked by the
+/// event engine between lookahead horizons) stops burning its core within
+/// microseconds.
+constexpr std::uint32_t kBarrierSpinLimit = 2048;
+} // namespace
 
 void Mp5Simulator::start_workers() {
   if (!pool_.empty()) return;
@@ -456,51 +693,111 @@ void Mp5Simulator::start_workers() {
     ctx.clear_cycle();
     ctx.routed.reserve(static_cast<std::size_t>(num_stages_) * k_);
   }
-  // Capture the phase baseline here, on the dispatching thread: a worker
-  // reading phase_ itself after spawn could observe a generation that was
-  // already advanced for the first dispatch and sleep through it forever.
-  const std::uint64_t base = phase_.load(std::memory_order_relaxed);
+  // Reset the dispatch generations here, on the dispatching thread, before
+  // any worker exists: a worker reading its slot after spawn could
+  // otherwise observe a generation that was already advanced for the first
+  // dispatch and sleep through it forever.
+  next_phase_ = 0;
+  for (auto& ph : worker_phase_) ph.store(0, std::memory_order_relaxed);
   pool_.reserve(workers_ - 1);
   for (std::uint32_t w = 1; w < workers_; ++w) {
-    pool_.emplace_back([this, w, base] { worker_loop(w, base); });
+    pool_.emplace_back([this, w] { worker_loop(w, 0); });
   }
 }
 
 void Mp5Simulator::stop_workers() {
   if (pool_.empty()) return;
   stop_.store(true, std::memory_order_release);
+  {
+    // The empty critical section pairs with the predicate check inside
+    // cv_dispatch_.wait: any worker past its predicate-false check is
+    // still holding the mutex, so the notify below cannot be lost.
+    std::lock_guard<std::mutex> lock(pool_mtx_);
+  }
+  cv_dispatch_.notify_all();
   for (auto& t : pool_) t.join();
   pool_.clear();
 }
 
+void Mp5Simulator::dispatch_workers() {
+  // Callers already advanced the chosen workers' phase slots. The empty
+  // critical section orders those stores before any sleeper's predicate
+  // re-check, closing the check-then-sleep race without holding the lock
+  // across the stores.
+  {
+    std::lock_guard<std::mutex> lock(pool_mtx_);
+  }
+  cv_dispatch_.notify_all();
+}
+
+void Mp5Simulator::wait_for_workers() {
+  std::uint32_t spins = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (++spins >= kBarrierSpinLimit) {
+      std::unique_lock<std::mutex> lock(pool_mtx_);
+      cv_done_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
 void Mp5Simulator::worker_loop(std::uint32_t w, std::uint64_t seen) {
+  // Spinning exists to catch a back-to-back dispatch right after a busy
+  // cycle; a worker that has not run yet (or whose last wait already went
+  // to sleep) blocks immediately instead — the event engine can go whole
+  // runs without dispatching this worker, and its startup spin would just
+  // steal cycles from the main thread on small hosts.
+  bool fresh_off_work = false;
   while (true) {
-    // Spin briefly, then yield: the pool must degrade gracefully when the
-    // host has fewer cores than workers (pure spinning would starve the
-    // very thread it waits for).
+    // Spin briefly (yielding, so the pool degrades gracefully when the
+    // host has fewer cores than workers), then block on the condvar: an
+    // idle worker costs no CPU once the spin budget is spent.
     std::uint64_t cur;
     std::uint32_t spins = 0;
-    while ((cur = phase_.load(std::memory_order_acquire)) == seen &&
+    while ((cur = worker_phase_[w].load(std::memory_order_acquire)) == seen &&
            !stop_.load(std::memory_order_acquire)) {
-      if (++spins >= 64) {
-        std::this_thread::yield();
+      if (!fresh_off_work || ++spins >= kBarrierSpinLimit) {
+        std::unique_lock<std::mutex> lock(pool_mtx_);
+        cv_dispatch_.wait(lock, [this, w, seen] {
+          return worker_phase_[w].load(std::memory_order_acquire) != seen ||
+                 stop_.load(std::memory_order_acquire);
+        });
         spins = 0;
+        fresh_off_work = false;
+      } else {
+        std::this_thread::yield();
       }
     }
     if (cur == seen) break; // stop requested with no new phase
     seen = cur;
+    fresh_off_work = true;
     try {
       run_worker_lanes(w, shared_now_);
     } catch (...) {
       worker_error_[w] = std::current_exception();
     }
-    pending_.fetch_sub(1, std::memory_order_release);
+    if (pending_.fetch_sub(1, std::memory_order_release) == 1) {
+      // Last worker through the barrier: wake the main thread if it
+      // already gave up spinning (same empty-critical-section pairing as
+      // dispatch).
+      {
+        std::lock_guard<std::mutex> lock(pool_mtx_);
+      }
+      cv_done_.notify_one();
+    }
   }
 }
 
 void Mp5Simulator::run_worker_lanes(std::uint32_t w, Cycle now) {
   WorkerCtx& ctx = worker_ctx_[w];
   const auto [lo, hi] = lane_range_[w];
+  if (event_engine_) {
+    walk_lanes_event(lo, hi, now, &ctx);
+    return;
+  }
   for (StageId st = num_stages_; st-- > 0;) {
     for (PipelineId p = lo; p < hi; ++p) {
       if (!lane_alive_[p]) continue;
@@ -626,6 +923,7 @@ void Mp5Simulator::deliver_due_phantoms(Cycle now) {
       ++result_.dropped_phantom;
       continue; // the data packet will miss its placeholder and be dropped
     }
+    if (event_engine_) mark_active(pending.pipeline, pending.stage);
     emit(TimelineEvent::Kind::kPhantomPush, now, pending.pipeline,
          pending.stage, pending.seq);
     if (pending.cancelled) {
@@ -672,6 +970,7 @@ void Mp5Simulator::fail_lane(PipelineId p, Cycle now) {
     }
     arrival_count_[c] = 0;
     for (const PacketRef ref : fifos_[c].drain_all()) doomed.push_back(ref);
+    if (event_engine_) clear_active(p, st);
   }
 
   // 2. Phantoms in flight toward the dead lane vanish with its channel
@@ -786,6 +1085,16 @@ void Mp5Simulator::check_invariants(Cycle now) const {
                                  std::to_string(st));
       }
       in_containers += arrival_count_[c];
+      if (event_engine_ && !cell_active(p, st) &&
+          (fifo.size() != 0 || arrival_count_[c] != 0)) {
+        // A clear activity bit must prove the cell empty — a stale clear
+        // would make the event walk silently skip real work.
+        throw InvariantError("event-activity", now,
+                             "cell (" + std::to_string(p) + ", " +
+                                 std::to_string(st) +
+                                 ") holds entries but its activity bit is "
+                                 "clear");
+      }
       fifo.check_invariants(now, check_order);
       fifo.for_each_entry([&](const FifoEntry& entry) {
         if (entry.kind != FifoEntry::Kind::kData) return;
@@ -869,6 +1178,7 @@ void Mp5Simulator::push_arrival(PipelineId dest, StageId st, PacketRef ref,
   }
   arrival_slots_[c * k_ + n] = ArrivedRef{ref, from_lane};
   arrival_count_[c] = n + 1;
+  if (event_engine_) mark_active(dest, st);
 }
 
 void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
@@ -980,6 +1290,7 @@ void Mp5Simulator::admit(const TraceItem& item, Cycle now) {
             acc.phantom_dropped = true;
             ++result_.dropped_phantom;
           } else {
+            if (event_engine_) mark_active(acc.pipeline, acc.stage);
             MP5_TELEM_INC(t_phantom_sent_);
             emit(TimelineEvent::Kind::kPhantomPush, now, acc.pipeline,
                  acc.stage, pkt.seq);

@@ -38,6 +38,12 @@
 //     with a per-cycle barrier; all cross-lane effects are staged per
 //     worker (WorkerCtx) and merged deterministically, so results are
 //     bit-identical to the sequential engine.
+//   * SimOptions::engine == kEvent replaces the dense stage walk with an
+//     activity-bitmap walk (cells visited only when they might hold work),
+//     skips no-progress cycle stretches arithmetically even under fault
+//     plans, and — with threads > 1 — dispatches only the workers whose
+//     lane blocks are active, running barrier-free while at most one block
+//     is busy (see DESIGN.md "Event-driven engine").
 //
 // The same class implements the ablations (no-D4, static sharding, naive
 // single-pipeline, ideal) via SimOptions; the recirculation baseline has
@@ -45,8 +51,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -283,12 +291,66 @@ private:
   /// dirty or telemetry observes rebalance runs — the next remap boundary.
   Cycle next_event_cycle(Cycle now);
 
+  // -- event engine (SimOptions::engine == kEvent) --
+  //
+  // One activity bit per (stage, lane) cell, set whenever the cell might
+  // hold work (a FIFO entry or a pending arrival slot). Bits are set
+  // conservatively and cleared only at a visit that finds the cell empty
+  // (or when a whole lane is drained at failure), so a clear bit *proves*
+  // the cell is a no-op this cycle — the dense walk's step_cell on it
+  // would touch nothing. Stale *set* bits are harmless: the next stepped
+  // cycle visits the cell, finds it empty, and clears them.
+
+  void mark_active(PipelineId p, StageId st) {
+    active_[static_cast<std::size_t>(st) * lane_words_ + (p >> 6)].fetch_or(
+        std::uint64_t{1} << (p & 63), std::memory_order_relaxed);
+  }
+  void clear_active(PipelineId p, StageId st) {
+    active_[static_cast<std::size_t>(st) * lane_words_ + (p >> 6)].fetch_and(
+        ~(std::uint64_t{1} << (p & 63)), std::memory_order_relaxed);
+  }
+  bool cell_active(PipelineId p, StageId st) const {
+    return (active_[static_cast<std::size_t>(st) * lane_words_ + (p >> 6)]
+                .load(std::memory_order_relaxed) &
+            (std::uint64_t{1} << (p & 63))) != 0;
+  }
+  /// Every activity bit clear: with live_packets_ == 0 this proves the
+  /// switch is fully drained (bits are never stale-cleared), without the
+  /// per-FIFO scan of fully_drained().
+  bool activity_all_clear() const;
+  /// Rebuild every bit from the restored FIFO/arrival-slot occupancy
+  /// (checkpoint restore) — the bitmap itself is derived state and is
+  /// never serialized.
+  void rebuild_activity();
+  /// Visit the active cells of lanes [lo, hi), last stage first, lanes
+  /// ascending within each stage — the dense walk's order minus its
+  /// provable no-ops.
+  void walk_lanes_event(PipelineId lo, PipelineId hi, Cycle now,
+                        WorkerCtx* ctx);
+  /// Lockstep counts one stalled cycle per alive stalled cell per cycle,
+  /// even when the cell is empty. The event walk skips empty cells, so the
+  /// unvisited (bit-clear) stalled cells are counted arithmetically here,
+  /// before the walk mutates any bit.
+  void account_skipped_stalls(Cycle now);
+  /// Event-engine cycle skip target: next_event_cycle further clamped so
+  /// no skipped cycle contains a lane fail/recover event or is covered by
+  /// a stall window of an alive lane (both are observable per cycle).
+  Cycle next_event_cycle_event(Cycle now);
+
   // -- parallel engine --
 
   void start_workers();
   void stop_workers();
   void worker_loop(std::uint32_t w, std::uint64_t seen_phase);
   void run_worker_lanes(std::uint32_t w, Cycle now);
+  /// Total set activity bits — the dispatch-worthiness estimate for a
+  /// parallel event-engine cycle.
+  std::uint32_t active_cell_count() const;
+  /// Wake the workers whose slot in worker_phase_ was advanced; the others
+  /// sleep through the generation.
+  void dispatch_workers();
+  /// Barrier wait: bounded spin on pending_, then condvar sleep.
+  void wait_for_workers();
   /// Apply every worker's staged effects, in worker (== lane) order.
   void merge_worker_effects(Cycle now);
   void apply_staged_cancel(const WorkerCtx::StagedCancel& sc, Cycle now);
@@ -381,15 +443,41 @@ private:
   // (Remap-boundary observability lives in ShardedState::window_dirty()
   // now — the shard map knows which registers the next rebalance resets.)
 
+  // -- event engine state --
+  bool event_engine_ = false;       // opts_.engine == SimEngine::kEvent
+  std::uint32_t lane_words_ = 1;    // ceil(k_ / 64)
+  /// Activity bitmap, [stage * lane_words_ + (lane >> 6)]. Atomic because
+  /// parallel workers clear their own lanes' bits concurrently, and two
+  /// workers' lane blocks can share one 64-bit word; all accesses are
+  /// relaxed — cross-thread visibility rides on the cycle barrier.
+  std::vector<std::atomic<std::uint64_t>> active_;
+
   // -- parallel engine state --
   std::uint32_t workers_ = 1; // min(opts_.threads, k_), fixed per run
   std::vector<WorkerCtx> worker_ctx_;
   std::vector<std::pair<PipelineId, PipelineId>> lane_range_; // [lo, hi) per worker
+  /// Per-worker (word index, lane mask) cover of its lane block, for the
+  /// event engine's O(stages x words) per-cycle busy-worker scan.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+      worker_masks_;
+  std::vector<std::uint8_t> busy_scratch_; // per-worker busy flag, per cycle
+  std::vector<std::uint64_t> busy_words_;  // per-word OR across stage rows
   std::vector<std::thread> pool_;
   std::vector<std::exception_ptr> worker_error_;
-  std::atomic<std::uint64_t> phase_{0}; // generation counter; odd = work
+  /// Per-worker dispatch generation (slot 0 unused — worker 0 is the main
+  /// thread). A worker runs one lane phase each time its slot advances;
+  /// the event engine advances only the busy workers' slots, so idle
+  /// workers sleep through the generation entirely.
+  std::vector<std::atomic<std::uint64_t>> worker_phase_;
+  std::uint64_t next_phase_ = 0; // main-thread view of the generation
   std::atomic<std::uint32_t> pending_{0};
   std::atomic<bool> stop_{false};
+  /// Workers spin briefly on their phase slot, then block here — a pool
+  /// idling between dispatches (or parked by the event engine) costs no
+  /// CPU instead of burning a core per worker.
+  std::mutex pool_mtx_;
+  std::condition_variable cv_dispatch_;
+  std::condition_variable cv_done_;
   Cycle shared_now_ = 0;
 
   // -- fault state --

@@ -82,6 +82,19 @@ expect_success("mp5sim fault control run"
                ${MP5SIM} --builtin figure3 --packets 400
                --fail-pipeline 1@50:300 --paranoid)
 
+# -- mp5sim event engine (ISSUE 8) --
+expect_failure("mp5sim unknown engine"
+               ${MP5SIM} --builtin figure3 --packets 200 --engine warp)
+expect_failure("mp5sim event engine under recirculation baseline"
+               ${MP5SIM} --builtin figure3 --design recirc --packets 200
+               --engine event)
+expect_success("mp5sim event engine control run"
+               ${MP5SIM} --builtin figure3 --packets 400 --engine event
+               --paranoid)
+expect_success("mp5sim event engine threaded fault run"
+               ${MP5SIM} --builtin figure3 --packets 400 --engine event
+               --threads 4 --fail-pipeline 1@50:300)
+
 # -- mp5sim checkpoint/restore (ISSUE 6) --
 expect_failure("mp5sim checkpoint interval without out"
                ${MP5SIM} --builtin figure3 --packets 200
@@ -144,3 +157,7 @@ endif()
 expect_success("mp5fabric fault control run"
                ${MP5FABRIC} --flows 300 --lb flowlet --quiet
                --kill-switch spine1@1000 --kill-link leaf0:spine0@500)
+expect_failure("mp5fabric unknown engine"
+               ${MP5FABRIC} --flows 10 --engine warp)
+expect_success("mp5fabric event engine control run"
+               ${MP5FABRIC} --flows 300 --lb conga --quiet --engine event)

@@ -220,9 +220,12 @@ TEST(CheckpointRestore, CrossEngineRestore) {
   ASSERT_FALSE(blobs.empty());
 
   // The fingerprint excludes engine knobs, so a single-threaded
-  // checkpoint restores under the parallel engine and with fast-forward
-  // off — and still reproduces the sequential result bit-for-bit.
-  for (const char* variant : {"threads4", "noff", "ref-rebalance"}) {
+  // checkpoint restores under the parallel engine, with fast-forward
+  // off, and under the event-driven engine (which rebuilds its activity
+  // bitmap from the restored occupancy) — and still reproduces the
+  // sequential result bit-for-bit.
+  for (const char* variant :
+       {"threads4", "noff", "ref-rebalance", "event", "event-t4"}) {
     SCOPED_TRACE(variant);
     SimOptions vopts = opts;
     if (std::string(variant) == "threads4") vopts.threads = 4;
@@ -230,9 +233,34 @@ TEST(CheckpointRestore, CrossEngineRestore) {
     if (std::string(variant) == "ref-rebalance") {
       vopts.reference_rebalance = true;
     }
+    if (std::string(variant) == "event") vopts.engine = SimEngine::kEvent;
+    if (std::string(variant) == "event-t4") {
+      vopts.engine = SimEngine::kEvent;
+      vopts.threads = 4;
+    }
     Mp5Simulator sim(prog, vopts);
     VectorTraceSource source(trace);
     const SimResult result = sim.resume(source, blobs.front());
+    std::string why;
+    EXPECT_TRUE(same_results(baseline, result, &why)) << why;
+  }
+
+  // The reverse direction: a checkpoint captured mid-run by the event
+  // engine restores under plain lockstep.
+  std::vector<std::string> ev_blobs;
+  SimOptions ev_copts = opts;
+  ev_copts.engine = SimEngine::kEvent;
+  ev_copts.checkpoint_interval =
+      std::max<std::uint64_t>(1, baseline.cycles_run / 2);
+  ev_copts.checkpoint_sink = [&ev_blobs](Cycle, std::string&& blob) {
+    ev_blobs.push_back(std::move(blob));
+  };
+  (void)Mp5Simulator(prog, ev_copts).run(trace);
+  ASSERT_FALSE(ev_blobs.empty());
+  {
+    Mp5Simulator sim(prog, opts); // lockstep
+    VectorTraceSource source(trace);
+    const SimResult result = sim.resume(source, ev_blobs.front());
     std::string why;
     EXPECT_TRUE(same_results(baseline, result, &why)) << why;
   }

@@ -201,6 +201,247 @@ TEST(ParallelEngine, RejectsTelemetryAndZeroThreads) {
   EXPECT_THROW(Mp5Simulator(prog, opts), ConfigError);
 }
 
+// --- event engine: bit-identity with the sequential lockstep walk --------
+
+TEST(EventEngine, MatchesLockstepAcrossSeedsKsAndVariants) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  for (const std::uint32_t k : {2u, 4u, 8u}) {
+    SyntheticConfig config;
+    config.stateful_stages = 4;
+    config.reg_size = 256;
+    config.pipelines = k;
+    config.packets = 2000;
+    for (const std::uint64_t seed : {1ull, 7ull}) {
+      config.seed = seed;
+      const auto trace = make_synthetic_trace(config);
+      for (const auto& variant : kVariants) {
+        SCOPED_TRACE(std::string(variant.name) + " k=" + std::to_string(k) +
+                     " seed=" + std::to_string(seed));
+        auto opts = variant.make(k, seed);
+        const auto lockstep = run_with(prog, trace, opts);
+        opts.engine = SimEngine::kEvent;
+        for (const std::uint32_t threads : {1u, 2u, 4u}) {
+          opts.threads = threads;
+          SCOPED_TRACE("event threads=" + std::to_string(threads));
+          expect_identical(lockstep, run_with(prog, trace, opts));
+        }
+      }
+    }
+  }
+}
+
+TEST(EventEngine, MatchesLockstepOnSparseTraces) {
+  // The sparse regime is where the event engine actually skips: cells sit
+  // empty for long stretches and whole cycle ranges are jumped. cycles_run
+  // must still land on exactly the lockstep count.
+  const auto prog = compile_mp5(apps::make_synthetic_source(3, 128));
+  SyntheticConfig config;
+  config.stateful_stages = 3;
+  config.reg_size = 128;
+  config.pipelines = 8;
+  config.packets = 400;
+  config.load = 0.01;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(8, 1);
+  opts.fast_forward = false; // the raw cycle-by-cycle reference walk
+  const auto lockstep = run_with(prog, trace, opts);
+  EXPECT_GT(lockstep.cycles_run, 4000u);
+  opts.engine = SimEngine::kEvent;
+  expect_identical(lockstep, run_with(prog, trace, opts));
+  opts.threads = 4;
+  expect_identical(lockstep, run_with(prog, trace, opts));
+}
+
+TEST(EventEngine, MatchesLockstepUnderLaneFailureAndRecovery) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 8;
+  config.packets = 3000;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(8, 1);
+  opts.faults.pipeline_faults.push_back(PipelineFault{2, 150, 600});
+  opts.faults.pipeline_faults.push_back(PipelineFault{5, 300, kNeverRecovers});
+  const auto lockstep = run_with(prog, trace, opts);
+  EXPECT_GT(lockstep.dropped_fault, 0u); // the plan actually bites
+  opts.engine = SimEngine::kEvent;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    opts.threads = threads;
+    SCOPED_TRACE("event threads=" + std::to_string(threads));
+    expect_identical(lockstep, run_with(prog, trace, opts));
+  }
+}
+
+TEST(EventEngine, MatchesLockstepUnderPhantomChannelFaults) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 4;
+  config.packets = 3000;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(4, 3);
+  opts.realistic_phantom_channel = true;
+  opts.faults.phantom_loss_rate = 0.02;
+  opts.faults.phantom_delay_rate = 0.05;
+  opts.faults.phantom_extra_delay = 12;
+  const auto lockstep = run_with(prog, trace, opts);
+  EXPECT_GT(lockstep.phantom_lost + lockstep.phantom_delayed, 0u);
+  opts.engine = SimEngine::kEvent;
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    opts.threads = threads;
+    SCOPED_TRACE("event threads=" + std::to_string(threads));
+    expect_identical(lockstep, run_with(prog, trace, opts));
+  }
+}
+
+TEST(EventEngine, MatchesLockstepUnderStallsAndPressure) {
+  // Stalled-but-empty cells are the one per-cycle effect the event walk
+  // does not visit (it accounts them arithmetically), and stall windows
+  // clamp the cycle skip — both must reproduce lockstep's stalled_cycles
+  // exactly.
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 4;
+  config.packets = 3000;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(4, 5);
+  opts.faults.stalls.push_back(StageStall{1, 2, 100, 180});
+  opts.faults.stalls.push_back(StageStall{3, 1, 400, 450});
+  opts.faults.fifo_pressure.push_back(FifoPressure{200, 260, 1});
+  const auto lockstep = run_with(prog, trace, opts);
+  EXPECT_GT(lockstep.stalled_cycles, 0u);
+  opts.engine = SimEngine::kEvent;
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    opts.threads = threads;
+    SCOPED_TRACE("event threads=" + std::to_string(threads));
+    expect_identical(lockstep, run_with(prog, trace, opts));
+  }
+}
+
+TEST(EventEngine, SkipsUnderFaultPlansWhereLockstepCannot) {
+  // A sparse trace plus a fault plan disables lockstep fast-forward
+  // entirely; the event engine still skips (clamping at the stall window
+  // and lane events) and must stay bit-identical — including
+  // stalled_cycles accumulated across cycles where the switch is empty.
+  const auto prog = compile_mp5(apps::make_synthetic_source(3, 128));
+  SyntheticConfig config;
+  config.stateful_stages = 3;
+  config.reg_size = 128;
+  config.pipelines = 4;
+  config.packets = 200;
+  config.load = 0.005;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(4, 11);
+  opts.faults.stalls.push_back(StageStall{1, 1, 500, 9000});
+  opts.faults.pipeline_faults.push_back(PipelineFault{2, 4000, 12000});
+  const auto lockstep = run_with(prog, trace, opts);
+  EXPECT_GT(lockstep.stalled_cycles, 1000u); // empty stalled cycles counted
+  EXPECT_EQ(lockstep.pipeline_failures, 1u);
+  opts.engine = SimEngine::kEvent;
+  expect_identical(lockstep, run_with(prog, trace, opts));
+  opts.threads = 4;
+  expect_identical(lockstep, run_with(prog, trace, opts));
+}
+
+TEST(EventEngine, IdenticalTelemetryAndTimeline) {
+  // threads == 1 allows telemetry/timeline under both engines; the event
+  // walk visits exactly the cells that do something, so the event stream
+  // and every counter must match the lockstep run's.
+  const auto prog = compile_mp5(apps::make_synthetic_source(3, 128));
+  SyntheticConfig config;
+  config.stateful_stages = 3;
+  config.reg_size = 128;
+  config.pipelines = 4;
+  config.packets = 500;
+  const auto trace = make_synthetic_trace(config);
+
+  const auto run_instrumented = [&](SimEngine engine,
+                                    std::vector<TimelineEvent>& events,
+                                    telemetry::Telemetry& telem) {
+    auto opts = mp5_options(4, 2);
+    opts.engine = engine;
+    opts.telemetry = &telem;
+    opts.timeline = [&events](const TimelineEvent& e) { events.push_back(e); };
+    return run_with(prog, trace, opts);
+  };
+  std::vector<TimelineEvent> lockstep_events;
+  std::vector<TimelineEvent> event_events;
+  telemetry::Telemetry lockstep_telem;
+  telemetry::Telemetry event_telem;
+  const auto a =
+      run_instrumented(SimEngine::kLockstep, lockstep_events, lockstep_telem);
+  const auto b = run_instrumented(SimEngine::kEvent, event_events, event_telem);
+  expect_identical(a, b);
+  ASSERT_EQ(lockstep_events.size(), event_events.size());
+  for (std::size_t i = 0; i < lockstep_events.size(); ++i) {
+    EXPECT_EQ(lockstep_events[i].kind, event_events[i].kind);
+    EXPECT_EQ(lockstep_events[i].cycle, event_events[i].cycle);
+    EXPECT_EQ(lockstep_events[i].pipeline, event_events[i].pipeline);
+    EXPECT_EQ(lockstep_events[i].stage, event_events[i].stage);
+    EXPECT_EQ(lockstep_events[i].seq, event_events[i].seq);
+  }
+  EXPECT_EQ(lockstep_telem.counter_snapshot(), event_telem.counter_snapshot());
+}
+
+TEST(EventEngine, ExternalClockingMatchesRun) {
+  // The fabric drives inner simulators through begin/step/finish; with an
+  // event-engine inner sim the stepped walk must equal run() bit for bit.
+  const auto prog = compile_mp5(apps::make_synthetic_source(3, 128));
+  SyntheticConfig config;
+  config.stateful_stages = 3;
+  config.reg_size = 128;
+  config.pipelines = 4;
+  config.packets = 600;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(4, 6);
+  opts.engine = SimEngine::kEvent;
+  const auto whole = run_with(prog, trace, opts);
+
+  opts.record_egress = true;
+  opts.track_flow_reordering = true;
+  Mp5Simulator sim(prog, opts);
+  VectorTraceSource source(trace);
+  sim.begin(source);
+  Cycle c = 0;
+  while (sim.has_work()) sim.step(c++);
+  expect_identical(whole, sim.finish(c));
+}
+
+TEST(EventEngine, ParanoidChecksValidateActivityBitmap) {
+  const auto prog = compile_mp5(apps::make_synthetic_source(4, 256));
+  SyntheticConfig config;
+  config.stateful_stages = 4;
+  config.reg_size = 256;
+  config.pipelines = 4;
+  config.packets = 1500;
+  const auto trace = make_synthetic_trace(config);
+
+  auto opts = mp5_options(4, 4);
+  opts.engine = SimEngine::kEvent;
+  opts.paranoid_checks = true; // the watchdog cross-checks bit vs occupancy
+  const auto lockstep_opts = mp5_options(4, 4);
+  expect_identical(run_with(prog, trace, lockstep_opts),
+                   run_with(prog, trace, opts));
+}
+
+TEST(EventEngine, EngineStringRoundTrip) {
+  EXPECT_EQ(engine_from_string("lockstep"), SimEngine::kLockstep);
+  EXPECT_EQ(engine_from_string("event"), SimEngine::kEvent);
+  EXPECT_STREQ(to_string(SimEngine::kLockstep), "lockstep");
+  EXPECT_STREQ(to_string(SimEngine::kEvent), "event");
+  EXPECT_THROW(engine_from_string("warp"), ConfigError);
+}
+
 // --- idle-cycle fast-forward ---------------------------------------------
 
 TEST(FastForward, IdenticalResultsOnSparseTrace) {

@@ -22,6 +22,9 @@
 //                           with --telemetry/--timeline/--trace-out)
 //   --no-fast-forward       step idle cycles one by one (identical
 //                           results; for measuring the raw cycle loop)
+//   --engine lockstep|event cycle-walk engine (MP5 designs only; the
+//                           event engine skips idle cells/cycles and is
+//                           bit-identical to lockstep)
 //   --check-equivalence     verify vs the single-pipeline reference
 //   --save-trace file.csv   store the generated trace
 // Checkpoint/restore (MP5 designs only; see DESIGN.md "Soak & crash
@@ -104,6 +107,7 @@ struct Args {
   std::uint32_t remap = 100;
   std::uint32_t threads = 1;
   bool fast_forward = true;
+  SimEngine engine = SimEngine::kLockstep;
   std::vector<std::string> flow_order_fields;
   bool check_equivalence = false;
   std::uint64_t timeline = 0; // print the first N simulator events
@@ -172,6 +176,7 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--threads") args.threads =
         static_cast<std::uint32_t>(std::stoul(next()));
     else if (arg == "--no-fast-forward") args.fast_forward = false;
+    else if (arg == "--engine") args.engine = engine_from_string(next());
     else if (arg == "--flow-order") args.flow_order_fields = split_csv(next());
     else if (arg == "--check-equivalence") args.check_equivalence = true;
     else if (arg == "--timeline") args.timeline = std::stoull(next());
@@ -314,6 +319,10 @@ int run(int argc, char** argv) {
           "fault injection / --paranoid / --threads apply to the MP5 "
           "designs only, not recirc");
     }
+    if (args.engine != SimEngine::kLockstep) {
+      throw ConfigError(
+          "--engine applies to the MP5 designs only, not recirc");
+    }
     if (args.checkpoint_interval != 0 || !args.restore_from.empty()) {
       throw ConfigError(
           "--checkpoint-interval/--restore apply to the MP5 designs only, "
@@ -344,6 +353,7 @@ int run(int argc, char** argv) {
     opts.remap_period = args.remap;
     opts.threads = args.threads;
     opts.fast_forward = args.fast_forward;
+    opts.engine = args.engine;
     opts.record_egress = args.check_equivalence;
     opts.faults = args.faults;
     if (args.phantom_channel) opts.realistic_phantom_channel = true;
