@@ -1,0 +1,74 @@
+#include "native/oracle.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "domino/ast_interp.hpp"
+
+namespace mp5::native {
+
+OracleCheck check_against_oracle(const domino::Ast& ast,
+                                 const Mp5Program& program,
+                                 const Trace& trace,
+                                 const NativeResult& result) {
+  OracleCheck check;
+  auto fail = [&check](const std::string& why) {
+    check.equivalent = false;
+    check.first_difference = why;
+    return check;
+  };
+
+  if (result.egress_fields.size() != trace.size()) {
+    std::ostringstream os;
+    os << "egress packet count: native " << result.egress_fields.size()
+       << ", trace " << trace.size()
+       << " (was the run made with record_egress?)";
+    return fail(os.str());
+  }
+
+  domino::AstInterp oracle(ast);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    std::unordered_map<std::string, Value> fields;
+    for (std::size_t f = 0; f < ast.fields.size(); ++f) {
+      fields[ast.fields[f]] =
+          f < trace[i].fields.size() ? trace[i].fields[f] : 0;
+    }
+    const auto out = oracle.process(fields);
+    for (const auto& name : ast.fields) {
+      const auto slot =
+          static_cast<std::size_t>(program.pvsm.slot_of(name));
+      const Value want = out.at(name);
+      if (slot >= result.egress_fields[i].size()) {
+        std::ostringstream os;
+        os << "packet " << i << " field '" << name
+           << "': slot missing from native egress record";
+        return fail(os.str());
+      }
+      const Value got = result.egress_fields[i][slot];
+      if (want != got) {
+        std::ostringstream os;
+        os << "packet " << i << " field '" << name << "': oracle " << want
+           << ", native " << got;
+        return fail(os.str());
+      }
+    }
+  }
+
+  const auto& oracle_regs = oracle.registers();
+  const auto& native_regs = result.final_registers;
+  for (std::size_t r = 0;
+       r < oracle_regs.size() && r < native_regs.size(); ++r) {
+    for (std::size_t i = 0; i < oracle_regs[r].size(); ++i) {
+      if (oracle_regs[r][i] != native_regs[r][i]) {
+        std::ostringstream os;
+        os << "register " << ast.registers[r].name << "[" << i
+           << "]: oracle " << oracle_regs[r][i] << ", native "
+           << native_regs[r][i];
+        return fail(os.str());
+      }
+    }
+  }
+  return check;
+}
+
+} // namespace mp5::native

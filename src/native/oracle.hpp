@@ -1,0 +1,31 @@
+// Equivalence check of a native-backend run against the AstInterp oracle
+// (ISSUE 9 acceptance: native egress must match the sequential source
+// semantics for every core count).
+#pragma once
+
+#include <string>
+
+#include "domino/ast.hpp"
+#include "mp5/transform.hpp"
+#include "native/backend.hpp"
+#include "trace/trace.hpp"
+
+namespace mp5::native {
+
+struct OracleCheck {
+  bool equivalent = true;
+  /// Human-readable description of the first divergence (empty if none).
+  std::string first_difference;
+  explicit operator bool() const { return equivalent; }
+};
+
+/// Replay `trace` through the AstInterp oracle and compare per-packet
+/// declared-field egress values and final register state against a
+/// finished native run. The run must have been made with
+/// NativeOptions::record_egress = true.
+OracleCheck check_against_oracle(const domino::Ast& ast,
+                                 const Mp5Program& program,
+                                 const Trace& trace,
+                                 const NativeResult& result);
+
+} // namespace mp5::native

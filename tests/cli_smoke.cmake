@@ -4,7 +4,7 @@
 # stderr — never crash, hang, or terminate() — and a well-formed control
 # invocation must still exit zero.
 #
-# Inputs: -DMP5C=<path> -DMP5SIM=<path> -DMP5FABRIC=<path>
+# Inputs: -DMP5C=<path> -DMP5SIM=<path> -DMP5FABRIC=<path> -DMP5NATIVE=<path>
 
 function(expect_failure label)
   execute_process(COMMAND ${ARGN}
@@ -161,3 +161,53 @@ expect_failure("mp5fabric unknown engine"
                ${MP5FABRIC} --flows 10 --engine warp)
 expect_success("mp5fabric event engine control run"
                ${MP5FABRIC} --flows 300 --lb conga --quiet --engine event)
+
+# -- mp5native (ISSUE 9) --
+expect_failure("mp5native no program" ${MP5NATIVE})
+expect_failure("mp5native unknown flag" ${MP5NATIVE} --no-such-flag)
+expect_failure("mp5native malformed program"
+               ${MP5NATIVE} ${workdir}/malformed.dom)
+expect_failure("mp5native missing program file"
+               ${MP5NATIVE} ${workdir}/does_not_exist.dom)
+expect_failure("mp5native unknown builtin" ${MP5NATIVE} --builtin nope)
+expect_failure("mp5native missing trace file"
+               ${MP5NATIVE} --builtin counter
+               --trace ${workdir}/does_not_exist.csv)
+expect_failure("mp5native zero cores"
+               ${MP5NATIVE} --builtin counter --cores 0)
+expect_failure("mp5native absurd core count"
+               ${MP5NATIVE} --builtin counter --cores 500)
+expect_failure("mp5native ring smaller than batch"
+               ${MP5NATIVE} --builtin counter --batch 64 --ring-capacity 64)
+expect_failure("mp5native unknown policy"
+               ${MP5NATIVE} --builtin counter --policy roundrobin)
+expect_failure("mp5native bad numeric flag"
+               ${MP5NATIVE} --builtin counter --packets notanumber)
+expect_failure("mp5native json to unwritable path"
+               ${MP5NATIVE} --builtin counter --packets 100
+               --json ${workdir}/no_such_dir/native.json)
+expect_success("mp5native control run"
+               ${MP5NATIVE} --builtin counter --packets 5000 --cores 2
+               --check --profile --json ${workdir}/native.json)
+if(NOT EXISTS ${workdir}/native.json)
+  message(FATAL_ERROR "mp5native control run: missing native.json")
+endif()
+# Oversubscribing --cores must warn (the 1-CPU caveat surfaced up front).
+execute_process(COMMAND ${MP5NATIVE} --builtin counter --packets 200
+                --cores 64 --quiet
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "mp5native oversubscribed run: expected exit 0, got ${rc}")
+endif()
+if(NOT err MATCHES "exceeds")
+  message(FATAL_ERROR "mp5native oversubscribed run: expected a --cores warning on stderr, got '${err}'")
+endif()
+execute_process(COMMAND ${MP5SIM} --builtin figure3 --packets 200
+                --threads 256
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "mp5sim oversubscribed threads: expected exit 0, got ${rc}")
+endif()
+if(NOT err MATCHES "exceeds")
+  message(FATAL_ERROR "mp5sim oversubscribed threads: expected a --threads warning on stderr, got '${err}'")
+endif()

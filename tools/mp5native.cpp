@@ -1,0 +1,370 @@
+// mp5native — run a compiled Domino/PVSM program natively on CPU cores
+// and report real packets per second (the NFOS-style multicore backend;
+// see DESIGN.md "Native multicore backend").
+//
+// Usage:
+//   mp5native --builtin counter --cores 4 --packets 1000000
+//   mp5native program.dom --trace trace.csv --cores 2 --check
+//   mp5native --builtin flowlet --cores 8 --profile --json out.json
+//
+// Program source:
+//   <file.dom> | --builtin <name>      (see mp5c --list)
+// Traffic (choose one):
+//   --trace file.csv|file.bin          replay a stored trace
+//   synthetic (default):  --packets N  --rand-fields B  --flows F
+// Options:
+//   --cores K          worker threads / state shards   (default 1)
+//   --batch N          ring push/pop batch             (default 32)
+//   --ring-capacity N  per-ring slots                  (default 1024)
+//   --pool N           in-flight packet window         (default 8192)
+//   --policy dynamic|static|single|lpt                 (default dynamic)
+//   --rebalance N      reshard every N packets         (default 8192)
+//   --seed S  --load F
+//   --no-pin           don't pin workers to cores
+//   --check            verify egress + final state vs the AstInterp oracle
+//   --profile          per-worker busy/idle accounting + register table
+//   --json file.json   write the mp5-native-results v1 document
+//   --quiet            suppress the human-readable table
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "apps/programs.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "domino/compiler.hpp"
+#include "domino/parser.hpp"
+#include "mp5/transform.hpp"
+#include "native/backend.hpp"
+#include "native/oracle.hpp"
+#include "telemetry/json_writer.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_source.hpp"
+
+namespace {
+
+using namespace mp5;
+
+struct Args {
+  std::string source;
+  std::string program_name = "custom";
+  std::string builtin;
+  std::string trace_file;
+  std::uint64_t packets = 100000;
+  Value rand_bound = 1024;
+  std::uint64_t flows = 64;
+  std::uint64_t seed = 1;
+  double load = 1.0;
+  native::NativeOptions native;
+  std::string policy_name = "dynamic";
+  bool check = false;
+  bool quiet = false;
+  std::string json_out;
+};
+
+ShardingPolicy policy_from_string(const std::string& name) {
+  if (name == "dynamic") return ShardingPolicy::kDynamic;
+  if (name == "static") return ShardingPolicy::kStaticRandom;
+  if (name == "single") return ShardingPolicy::kSinglePipeline;
+  if (name == "lpt") return ShardingPolicy::kIdealLpt;
+  throw ConfigError("--policy expects dynamic|static|single|lpt, got '" +
+                    name + "'");
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError(arg + " needs an argument");
+      return argv[++i];
+    };
+    if (arg == "--builtin") args.builtin = next();
+    else if (arg == "--trace") args.trace_file = next();
+    else if (arg == "--packets") args.packets = std::stoull(next());
+    else if (arg == "--rand-fields") args.rand_bound = std::stoll(next());
+    else if (arg == "--flows") args.flows = std::stoull(next());
+    else if (arg == "--seed") args.seed = std::stoull(next());
+    else if (arg == "--load") args.load = std::stod(next());
+    else if (arg == "--cores") args.native.workers =
+        static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--batch") args.native.batch =
+        static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--ring-capacity") args.native.ring_capacity =
+        static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--pool") args.native.pool_packets =
+        static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--policy") args.policy_name = next();
+    else if (arg == "--rebalance")
+      args.native.rebalance_packets = std::stoull(next());
+    else if (arg == "--no-pin") args.native.pin_threads = false;
+    else if (arg == "--check") args.check = true;
+    else if (arg == "--profile") args.native.profile = true;
+    else if (arg == "--json") args.json_out = next();
+    else if (arg == "--quiet") args.quiet = true;
+    else if (!arg.empty() && arg[0] == '-')
+      throw ConfigError("unknown option '" + arg + "'");
+    else {
+      std::ifstream in(arg);
+      if (!in) throw ConfigError("cannot open '" + arg + "'");
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      args.source = ss.str();
+      args.program_name = arg;
+    }
+  }
+  args.native.policy = policy_from_string(args.policy_name);
+  args.native.seed = args.seed;
+  return args;
+}
+
+std::string resolve_builtin(const std::string& name) {
+  auto builtins = apps::real_apps();
+  auto more = apps::extended_apps();
+  builtins.insert(builtins.end(), more.begin(), more.end());
+  for (const auto& app : builtins) {
+    if (app.name == name) return app.source;
+  }
+  if (name == "counter") return apps::packet_counter_source();
+  if (name == "figure3") return apps::figure3_source();
+  throw ConfigError("unknown builtin '" + name + "'");
+}
+
+void write_json(std::ostream& out, const Args& args,
+                const std::string& program_name,
+                const native::NativeResult& result, bool oracle_checked,
+                bool oracle_equivalent) {
+  telemetry::JsonWriter json(out);
+  json.begin_object();
+  json.kv("schema", "mp5-native-results");
+  json.kv("schema_version", std::uint64_t{1});
+  json.key("meta").begin_object();
+  json.kv("program", program_name);
+  json.kv("cores", args.native.workers);
+  json.kv("batch", args.native.batch);
+  json.kv("ring_capacity", args.native.ring_capacity);
+  json.kv("pool_packets", args.native.pool_packets);
+  json.kv("policy", args.policy_name);
+  json.kv("rebalance_packets", args.native.rebalance_packets);
+  json.kv("seed", args.seed);
+  json.kv("pinned", args.native.pin_threads);
+  json.kv("hardware_concurrency",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.end_object();
+  json.key("throughput").begin_object();
+  json.kv("packets", result.packets);
+  json.kv("seconds", result.seconds);
+  json.kv("pkts_per_sec", result.pkts_per_sec);
+  json.end_object();
+  json.key("sharding").begin_object();
+  json.kv("policy", args.policy_name);
+  json.kv("moves", result.shard_moves);
+  json.kv("rebalances", result.rebalances);
+  json.end_object();
+  json.key("profiler").begin_object();
+  json.key("workers").begin_array();
+  for (const auto& w : result.profile.workers) {
+    json.begin_object();
+    json.kv("hops", w.hops);
+    json.kv("stages", w.stages);
+    json.kv("accesses", w.accesses);
+    json.kv("forwards", w.forwards);
+    json.kv("parks", w.parks);
+    json.kv("idle_spins", w.idle_spins);
+    json.kv("busy_ns", w.busy_ns);
+    json.kv("idle_ns", w.idle_ns);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("registers").begin_array();
+  for (const auto& r : result.profile.registers) {
+    json.begin_object();
+    json.kv("name", r.name);
+    json.kv("claimed", r.claimed);
+    json.kv("performed", r.performed);
+    json.kv("remote", r.remote);
+    json.kv("parks", r.parks);
+    json.kv("busiest_owner", r.busiest_owner);
+    json.kv("busiest_owner_accesses", r.busiest_owner_accesses);
+    json.kv("owner_share", r.owner_share);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("serializing_register");
+  if (result.profile.serializing_register.empty()) json.null();
+  else json.value(result.profile.serializing_register);
+  json.kv("serial_fraction", result.profile.serial_fraction);
+  json.end_object();
+  json.key("oracle").begin_object();
+  json.kv("checked", oracle_checked);
+  json.key("equivalent");
+  if (oracle_checked) json.value(oracle_equivalent);
+  else json.null();
+  json.end_object();
+  json.end_object();
+  out << "\n";
+}
+
+int run(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::string source = args.source;
+  std::string program_name = args.program_name;
+  if (!args.builtin.empty()) {
+    source = resolve_builtin(args.builtin);
+    program_name = args.builtin;
+  }
+  if (source.empty()) {
+    std::cerr << "usage: mp5native <file.dom> | --builtin <name> [options]\n";
+    return 2;
+  }
+
+  if (args.native.workers < 1) {
+    throw ConfigError("--cores must be >= 1");
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && args.native.workers > hw) {
+    std::cerr << "mp5native: warning: --cores " << args.native.workers
+              << " exceeds this host's " << hw
+              << " hardware thread(s); workers will time-share cores and "
+                 "throughput numbers will not reflect scaling\n";
+  }
+
+  const auto ast = domino::parse(source);
+  const auto compiled =
+      domino::compile(ast, banzai::MachineSpec{}, /*reserve_stages=*/1);
+  const Mp5Program program = transform(compiled.pvsm);
+
+  native::NativeOptions nopts = args.native;
+  nopts.record_egress = args.check;
+
+  // Resolve traffic. The oracle needs the materialized trace; pure
+  // throughput runs stream it.
+  Trace trace;
+  std::unique_ptr<TraceSource> source_ptr;
+  if (!args.trace_file.empty()) {
+    if (args.check) {
+      trace = load_trace_file(args.trace_file);
+      source_ptr = std::make_unique<VectorTraceSource>(trace);
+    } else {
+      source_ptr = open_trace_source(args.trace_file);
+    }
+  } else {
+    SyntheticSpec spec;
+    spec.packets = args.packets;
+    spec.pipelines = args.native.workers;
+    spec.load = args.load;
+    spec.field_count = static_cast<std::uint32_t>(ast.fields.size());
+    spec.field_bound = args.rand_bound;
+    spec.flows = args.flows;
+    spec.seed = args.seed;
+    if (args.check) {
+      SyntheticTraceSource gen(spec);
+      while (const TraceItem* item = gen.peek()) {
+        trace.push_back(*item);
+        gen.advance();
+      }
+      source_ptr = std::make_unique<VectorTraceSource>(trace);
+    } else {
+      source_ptr = std::make_unique<SyntheticTraceSource>(spec);
+    }
+  }
+
+  native::NativeBackend backend(program, nopts);
+  const native::NativeResult result = backend.run(*source_ptr);
+
+  bool oracle_equivalent = false;
+  native::OracleCheck check;
+  if (args.check) {
+    check = native::check_against_oracle(ast, program, trace, result);
+    oracle_equivalent = check.equivalent;
+  }
+
+  if (!args.quiet) {
+    TextTable table({"metric", "value"});
+    table.add_row({"program", program_name});
+    table.add_row({"cores", TextTable::integer(args.native.workers)});
+    table.add_row({"policy", args.policy_name});
+    table.add_row({"packets", TextTable::integer(
+                                  static_cast<long long>(result.packets))});
+    table.add_row({"seconds", TextTable::num(result.seconds, 4)});
+    table.add_row({"pkts/s", TextTable::num(result.pkts_per_sec, 0)});
+    table.add_row({"shard moves / rebalances",
+                   std::to_string(result.shard_moves) + "/" +
+                       std::to_string(result.rebalances)});
+    if (!result.profile.serializing_register.empty()) {
+      table.add_row({"serializing register",
+                     result.profile.serializing_register + " (" +
+                         TextTable::num(result.profile.serial_fraction, 3) +
+                         " of packets via one core)"});
+    }
+    table.print(std::cout);
+
+    if (args.native.profile) {
+      TextTable workers({"worker", "hops", "accesses", "forwards", "parks",
+                         "busy%"});
+      for (std::size_t w = 0; w < result.profile.workers.size(); ++w) {
+        const auto& s = result.profile.workers[w];
+        const double total =
+            static_cast<double>(s.busy_ns) + static_cast<double>(s.idle_ns);
+        const double busy = total > 0 ? 100.0 * s.busy_ns / total : 0.0;
+        workers.add_row({TextTable::integer(static_cast<long long>(w)),
+                         TextTable::integer(static_cast<long long>(s.hops)),
+                         TextTable::integer(
+                             static_cast<long long>(s.accesses)),
+                         TextTable::integer(
+                             static_cast<long long>(s.forwards)),
+                         TextTable::integer(static_cast<long long>(s.parks)),
+                         TextTable::num(busy, 1)});
+      }
+      workers.print(std::cout);
+      TextTable regs({"register", "claimed", "performed", "remote", "parks",
+                      "owner share"});
+      for (const auto& r : result.profile.registers) {
+        regs.add_row({r.name,
+                      TextTable::integer(static_cast<long long>(r.claimed)),
+                      TextTable::integer(
+                          static_cast<long long>(r.performed)),
+                      TextTable::integer(static_cast<long long>(r.remote)),
+                      TextTable::integer(static_cast<long long>(r.parks)),
+                      TextTable::num(r.owner_share, 3)});
+      }
+      regs.print(std::cout);
+    }
+    if (args.check) {
+      std::cout << "oracle equivalence: "
+                << (check.equivalent ? "OK" : "VIOLATED") << "\n";
+      if (!check.equivalent) std::cout << "  " << check.first_difference
+                                       << "\n";
+    }
+  }
+
+  if (!args.json_out.empty()) {
+    std::ofstream out(args.json_out);
+    if (!out) {
+      throw ConfigError("--json: cannot open '" + args.json_out +
+                        "' for writing");
+    }
+    write_json(out, args, program_name, result, args.check,
+               oracle_equivalent);
+    if (!args.quiet) std::cout << "results json: " << args.json_out << "\n";
+  }
+
+  return args.check && !check.equivalent ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const mp5::Error& e) {
+    std::cerr << "mp5native: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "mp5native: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -66,6 +66,7 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "apps/programs.hpp"
 #include "banzai/single_pipeline.hpp"
@@ -239,6 +240,15 @@ void validate_checkpoint_args(const Args& args) {
 int run(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   validate_checkpoint_args(args);
+
+  if (const unsigned hw = std::thread::hardware_concurrency();
+      hw != 0 && args.threads > hw) {
+    std::cerr << "mp5sim: warning: --threads " << args.threads
+              << " exceeds this host's " << hw
+              << " hardware thread(s); lanes will time-share cores (results "
+                 "stay bit-identical, wall-clock speedups will not "
+                 "materialize)\n";
+  }
 
   // Resolve the program.
   std::string source = args.source;

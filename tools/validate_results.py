@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate MP5 machine-readable artifacts (stdlib only).
 
-Checks any mix of the four JSON schemas this repo emits, plus the binary
+Checks any mix of the JSON schemas this repo emits, plus the binary
 checkpoint format:
 
   mp5-results        mp5sim --json            (schema_version 1)
@@ -9,6 +9,7 @@ checkpoint format:
   mp5-bench          bench_* BENCH_<name>.json (schema_version 1)
   mp5-fuzz-repro     mp5fuzz reproducers       (schema_version 1)
   mp5-fabric-results mp5fabric --json          (schema_version 1)
+  mp5-native-results mp5native --json          (schema_version 1)
   mp5-checkpoint     mp5sim --checkpoint-out / mp5soak (binary, version 1)
 
 Usage:  validate_results.py FILE [FILE...]
@@ -30,6 +31,7 @@ SUPPORTED_VERSIONS = {
     "mp5-bench": 1,
     "mp5-fuzz-repro": 1,
     "mp5-fabric-results": 1,
+    "mp5-native-results": 1,
 }
 
 
@@ -368,6 +370,89 @@ def validate_fabric_results(doc, where):
         check_telemetry_section(telem, f"{where}.telemetry")
 
 
+NATIVE_POLICIES = {"dynamic", "static", "single", "lpt"}
+
+
+def validate_native_results(doc, where):
+    check_version(doc, "mp5-native-results", where)
+    meta = require(doc, "meta", dict, where)
+    mwhere = f"{where}.meta"
+    require(meta, "program", str, mwhere)
+    cores = require(meta, "cores", int, mwhere)
+    if cores < 1:
+        fail(f"{mwhere}: cores must be >= 1")
+    for key in ("batch", "ring_capacity", "pool_packets",
+                "rebalance_packets", "seed", "hardware_concurrency"):
+        require(meta, key, int, mwhere)
+    require(meta, "pinned", bool, mwhere)
+    policy = require(meta, "policy", str, mwhere)
+    if policy not in NATIVE_POLICIES:
+        fail(f"{mwhere}: policy '{policy}' not in {sorted(NATIVE_POLICIES)}")
+
+    throughput = require(doc, "throughput", dict, where)
+    twhere = f"{where}.throughput"
+    packets = require(throughput, "packets", int, twhere)
+    require(throughput, "seconds", NUM, twhere)
+    require(throughput, "pkts_per_sec", NUM, twhere)
+
+    sharding = require(doc, "sharding", dict, where)
+    swhere = f"{where}.sharding"
+    require(sharding, "policy", str, swhere)
+    for key in ("moves", "rebalances"):
+        require(sharding, key, int, swhere)
+
+    prof = require(doc, "profiler", dict, where)
+    pwhere = f"{where}.profiler"
+    workers = require(prof, "workers", list, pwhere)
+    if len(workers) != cores:
+        fail(f"{pwhere}.workers: {len(workers)} entries != {cores} cores")
+    for i, w in enumerate(workers):
+        wwhere = f"{pwhere}.workers[{i}]"
+        for key in ("hops", "stages", "accesses", "forwards", "parks",
+                    "idle_spins", "busy_ns", "idle_ns"):
+            require(w, key, int, wwhere)
+    registers = require(prof, "registers", list, pwhere)
+    for i, reg in enumerate(registers):
+        rwhere = f"{pwhere}.registers[{i}]"
+        require(reg, "name", str, rwhere)
+        for key in ("claimed", "performed", "remote", "parks",
+                    "busiest_owner"):
+            require(reg, key, int, rwhere)
+        if reg["performed"] > reg["claimed"]:
+            fail(f"{rwhere}: performed exceeds claimed")
+        if reg["busiest_owner"] >= cores:
+            fail(f"{rwhere}: busiest_owner {reg['busiest_owner']} out of "
+                 f"range for {cores} cores")
+        share = require(reg, "owner_share", NUM, rwhere)
+        if not 0.0 <= share <= 1.0:
+            fail(f"{rwhere}: owner_share {share} outside [0, 1]")
+    serializing = require(prof, "serializing_register", (str, type(None)),
+                          pwhere)
+    if serializing is not None and registers:
+        if serializing not in {r["name"] for r in registers}:
+            fail(f"{pwhere}: serializing_register '{serializing}' names no "
+                 f"profiled register")
+    fraction = require(prof, "serial_fraction", NUM, pwhere)
+    if not 0.0 <= fraction <= 1.0:
+        fail(f"{pwhere}: serial_fraction {fraction} outside [0, 1]")
+    # The serializing register's busiest owner cannot have executed more
+    # accesses than packets exist.
+    if packets > 0 and registers:
+        busiest = max(r.get("busiest_owner_accesses", 0) for r in registers
+                      if isinstance(r.get("busiest_owner_accesses", 0), int))
+        if busiest > packets * max(1, len(registers)):
+            fail(f"{pwhere}: busiest-owner accesses exceed total work")
+
+    oracle = require(doc, "oracle", dict, where)
+    owhere = f"{where}.oracle"
+    checked = require(oracle, "checked", bool, owhere)
+    equivalent = require(oracle, "equivalent", (bool, type(None)), owhere)
+    if checked and equivalent is None:
+        fail(f"{owhere}: checked run must record an equivalent verdict")
+    if not checked and equivalent is not None:
+        fail(f"{owhere}: unchecked run cannot claim a verdict")
+
+
 CHECKPOINT_MAGIC = b"mp5-checkpoint v1\n"
 CHECKPOINT_VERSION = 1
 # magic + u32 version + u64 fingerprint + u64 cycle + u64 payload length
@@ -437,6 +522,8 @@ def validate_file(path):
             validate_repro(doc, path)
         elif schema == "mp5-fabric-results":
             validate_fabric_results(doc, path)
+        elif schema == "mp5-native-results":
+            validate_native_results(doc, path)
         else:
             fail(f"{path}: unknown schema '{schema}'")
     return schema
