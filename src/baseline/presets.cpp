@@ -37,4 +37,18 @@ SimOptions ideal_options(std::uint32_t pipelines, std::uint64_t seed) {
   return opts;
 }
 
+SimOptions scr_options(std::uint32_t pipelines, std::uint64_t seed) {
+  SimOptions opts = mp5_options(pipelines, seed);
+  opts.variant = DesignVariant::kScr;
+  return opts;
+}
+
+SimOptions relaxed_options(std::uint32_t pipelines, std::uint64_t seed,
+                           std::uint32_t staleness) {
+  SimOptions opts = mp5_options(pipelines, seed);
+  opts.variant = DesignVariant::kRelaxed;
+  opts.staleness_bound = staleness;
+  return opts;
+}
+
 } // namespace mp5

@@ -1,0 +1,575 @@
+#include "baseline/replicated.hpp"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "mp5/checkpoint.hpp"
+
+namespace mp5 {
+namespace {
+
+/// Collapses an atom's read-modify-write into one logical access, like the
+/// recirculation baseline's observer: C1 reasons about packets touching a
+/// state, not about individual port operations.
+struct C1Observer final : ir::AccessObserver {
+  void on_state_access(RegId reg, RegIndex index, bool /*is_write*/) override {
+    if (seen && reg == last_reg && index == last_index) return;
+    checker->on_access(reg, index, seq);
+    last_reg = reg;
+    last_index = index;
+    seen = true;
+  }
+  C1Checker* checker = nullptr;
+  SeqNo seq = 0;
+  RegId last_reg = ir::kNoReg;
+  RegIndex last_index = 0;
+  bool seen = false;
+};
+
+/// Every MP5-only knob is rejected by name — the replicated designs must
+/// never run silently with wrong semantics (ISSUE 10 validation sweep).
+void validate_replicated(const SimOptions& o) {
+  const std::string v = std::string("variant '") + to_string(o.variant) + "'";
+  if (o.variant == DesignVariant::kMp5) {
+    throw ConfigError(
+        "SimOptions: variant 'mp5' selects the shared-state Mp5Simulator; "
+        "ReplicatedSimulator implements variants 'scr' and 'relaxed' only");
+  }
+  if (o.pipelines == 0) {
+    throw ConfigError("SimOptions: pipelines must be > 0");
+  }
+  if (o.variant == DesignVariant::kRelaxed && o.staleness_bound == 0) {
+    throw ConfigError("SimOptions: " + v +
+                      " requires staleness_bound >= 1 (the synchronization "
+                      "period in cycles)");
+  }
+  if (o.variant == DesignVariant::kScr && o.staleness_bound != 0) {
+    throw ConfigError("SimOptions: " + v +
+                      " replays digests after a fixed pipeline traversal; "
+                      "the staleness_bound knob applies to variant "
+                      "'relaxed' only");
+  }
+  if (o.threads == 0) {
+    throw ConfigError("SimOptions: threads must be >= 1");
+  }
+  if (o.threads > 1) {
+    throw ConfigError("SimOptions: " + v +
+                      " does not support the parallel engine; the threads "
+                      "knob applies to variant 'mp5' only");
+  }
+  if (o.engine != SimEngine::kLockstep) {
+    throw ConfigError("SimOptions: " + v +
+                      " runs its own dense cycle walk; the engine knob "
+                      "(event engine) applies to variant 'mp5' only");
+  }
+  if (o.sharding != ShardingPolicy::kDynamic) {
+    throw ConfigError("SimOptions: " + v +
+                      " replicates every register on every pipeline; the "
+                      "sharding knob applies to variant 'mp5' only (leave "
+                      "the kDynamic default)");
+  }
+  if (o.reference_rebalance) {
+    throw ConfigError("SimOptions: " + v +
+                      " performs no rebalancing; the reference_rebalance "
+                      "knob applies to variant 'mp5' only");
+  }
+  if (!o.phantoms) {
+    throw ConfigError("SimOptions: " + v +
+                      " has no phantom packets to disable; the phantoms "
+                      "knob (D4 ablation) applies to variant 'mp5' only");
+  }
+  if (o.realistic_phantom_channel) {
+    throw ConfigError("SimOptions: " + v +
+                      " has no phantom channel; the "
+                      "realistic_phantom_channel knob applies to variant "
+                      "'mp5' only");
+  }
+  if (o.ideal_queues) {
+    throw ConfigError("SimOptions: " + v +
+                      " queues per pipeline, not per index; the "
+                      "ideal_queues knob applies to variant 'mp5' only");
+  }
+  if (o.naive_single_pipeline) {
+    throw ConfigError("SimOptions: " + v +
+                      " sprays packets across all pipelines; the "
+                      "naive_single_pipeline knob applies to variant 'mp5' "
+                      "only");
+  }
+  if (o.starvation_threshold != 0) {
+    throw ConfigError("SimOptions: " + v +
+                      " never queues packets behind state; the "
+                      "starvation_threshold knob applies to variant 'mp5' "
+                      "only");
+  }
+  if (o.ecn_threshold != 0) {
+    throw ConfigError("SimOptions: " + v +
+                      " has no stage FIFOs to mark from; the ecn_threshold "
+                      "knob applies to variant 'mp5' only");
+  }
+  if (o.fifo_capacity != 0) {
+    throw ConfigError("SimOptions: " + v +
+                      " admits through unbounded ingress queues; the "
+                      "fifo_capacity knob applies to variant 'mp5' only");
+  }
+  if (!o.faults.empty()) {
+    throw ConfigError("SimOptions: " + v +
+                      " does not model fault injection; the faults knob "
+                      "applies to variant 'mp5' only");
+  }
+  if (o.telemetry != nullptr) {
+    throw ConfigError("SimOptions: " + v +
+                      " registers no metrics; the telemetry knob applies "
+                      "to variant 'mp5' only");
+  }
+  if (o.timeline) {
+    throw ConfigError("SimOptions: " + v +
+                      " emits no simulator events; the timeline knob "
+                      "applies to variant 'mp5' only");
+  }
+  if (o.track_flow_reordering) {
+    throw ConfigError("SimOptions: " + v +
+                      " does not implement the §3.4 ordering stage; the "
+                      "track_flow_reordering knob applies to variant 'mp5' "
+                      "only");
+  }
+  if (o.egress_sink) {
+    throw ConfigError("SimOptions: " + v +
+                      " does not stream egress records; the egress_sink "
+                      "knob applies to variant 'mp5' only");
+  }
+  if (o.fault_drop_sink) {
+    throw ConfigError("SimOptions: " + v +
+                      " never drops packets to faults; the fault_drop_sink "
+                      "knob applies to variant 'mp5' only");
+  }
+  if (o.checkpoint_interval != 0 && !o.checkpoint_sink) {
+    throw ConfigError(
+        "SimOptions: checkpoint_interval requires a checkpoint_sink to "
+        "receive the blobs");
+  }
+}
+
+} // namespace
+
+ReplicatedSimulator::ReplicatedSimulator(const Mp5Program& program,
+                                         const SimOptions& options)
+    : prog_(&program), opts_(options) {
+  validate_replicated(opts_);
+  k_ = opts_.pipelines;
+  num_stages_ = prog_->num_stages;
+  replicas_.reserve(k_);
+  for (std::uint32_t p = 0; p < k_; ++p) {
+    replicas_.emplace_back(prog_->pvsm.initial_registers());
+  }
+  cells_.assign(k_, std::vector<std::optional<Pkt>>(num_stages_));
+  ingress_.resize(k_);
+  if (opts_.checkpoint_interval != 0) {
+    next_checkpoint_ = opts_.checkpoint_interval;
+  }
+}
+
+Cycle ReplicatedSimulator::deliver_cycle(Cycle now) const {
+  if (opts_.variant == DesignVariant::kScr) {
+    // One traversal of the replication channel + replay pipeline.
+    return now + num_stages_;
+  }
+  // Relaxed: the next synchronization boundary strictly after `now`.
+  const Cycle d = opts_.staleness_bound;
+  return ((now / d) + 1) * d;
+}
+
+bool ReplicatedSimulator::heap_greater(const Digest& a, const Digest& b) const {
+  return std::tie(a.deliver, a.seq, a.stage) >
+         std::tie(b.deliver, b.seq, b.stage);
+}
+
+void ReplicatedSimulator::push_digest(Digest&& d) {
+  digests_.push_back(std::move(d));
+  std::push_heap(digests_.begin(), digests_.end(),
+                 [this](const Digest& a, const Digest& b) {
+                   return heap_greater(a, b);
+                 });
+}
+
+void ReplicatedSimulator::pop_digest() {
+  std::pop_heap(digests_.begin(), digests_.end(),
+                [this](const Digest& a, const Digest& b) {
+                  return heap_greater(a, b);
+                });
+  digests_.pop_back();
+}
+
+void ReplicatedSimulator::apply_due_digests(Cycle now) {
+  // Delivery order is (deliver, seq, stage): replicas replay remote packet
+  // history in arrival order regardless of how execution interleaved.
+  while (!digests_.empty() && digests_.front().deliver <= now) {
+    const Digest d = digests_.front();
+    pop_digest();
+    const ir::Stage& stage = prog_->pvsm.stages[d.stage - 1];
+    for (PipelineId p = 0; p < k_; ++p) {
+      if (p == d.origin) continue;
+      std::vector<Value> headers = d.headers;
+      ir::exec_stage(stage, headers, replicas_[p], prog_->pvsm.registers);
+    }
+  }
+}
+
+SimResult ReplicatedSimulator::run(const Trace& trace) {
+  if (ran_) {
+    throw Error("ReplicatedSimulator::run requires a freshly constructed "
+                "simulator");
+  }
+  ran_ = true;
+  return run_loop(trace, 0);
+}
+
+SimResult ReplicatedSimulator::run_loop(const Trace& trace, Cycle start) {
+  Cycle now = start;
+  bool first = result_.offered == 0;
+  while (live_packets_ > 0 || cursor_ < trace.size() || !digests_.empty()) {
+    if (now >= opts_.max_cycles) {
+      throw Error("ReplicatedSimulator: max_cycles exceeded");
+    }
+    if (opts_.checkpoint_interval != 0 && now == next_checkpoint_) {
+      do_checkpoint(now);
+      next_checkpoint_ += opts_.checkpoint_interval;
+    }
+    if (opts_.fast_forward && live_packets_ == 0) {
+      // Nothing in flight: jump to the next arrival or digest delivery.
+      // Clamped to the next checkpoint boundary so the cadence is
+      // preserved; results (including cycles_run) are bit-identical with
+      // the optimization off.
+      Cycle target = opts_.max_cycles;
+      if (cursor_ < trace.size()) {
+        target = std::min(target,
+                          static_cast<Cycle>(trace[cursor_].arrival_time));
+      }
+      if (!digests_.empty()) {
+        target = std::min(target, digests_.front().deliver);
+      }
+      if (opts_.checkpoint_interval != 0) {
+        target = std::min(target, next_checkpoint_);
+      }
+      if (target > now) {
+        now = target;
+        continue; // re-run the boundary checks at the new cycle
+      }
+    }
+    apply_due_digests(now);
+    while (cursor_ < trace.size() &&
+           trace[cursor_].arrival_time < static_cast<double>(now + 1)) {
+      admit(trace[cursor_], now);
+      ++cursor_;
+      if (first) {
+        result_.first_arrival = now;
+        first = false;
+      }
+      result_.last_arrival = now;
+    }
+    for (StageId st = num_stages_; st-- > 0;) {
+      for (PipelineId p = 0; p < k_; ++p) step_cell(p, st, now);
+    }
+    for (PipelineId p = 0; p < k_; ++p) {
+      if (!cells_[p][0].has_value() && !ingress_[p].empty()) {
+        cells_[p][0] = std::move(ingress_[p].front());
+        ingress_[p].pop_front();
+      }
+      max_ingress_depth_ = std::max(max_ingress_depth_, ingress_[p].size());
+    }
+    if (opts_.paranoid_checks) check_accounting(now);
+    ++now;
+  }
+  result_.cycles_run = now;
+  result_.final_registers = replicas_[0].storage();
+  result_.c1_violating_packets = c1_.violating_packets();
+  result_.max_queue_depth = max_ingress_depth_;
+  std::sort(result_.egress.begin(), result_.egress.end(),
+            [](const EgressRecord& a, const EgressRecord& b) {
+              return a.seq < b.seq;
+            });
+  return std::move(result_);
+}
+
+void ReplicatedSimulator::admit(const TraceItem& item, Cycle now) {
+  Pkt pkt;
+  pkt.seq = next_seq_++;
+  pkt.arrival_cycle = now;
+  pkt.flow = item.flow;
+  pkt.headers.assign(prog_->pvsm.num_slots(), 0);
+  for (std::size_t i = 0; i < item.fields.size() && i < pkt.headers.size();
+       ++i) {
+    pkt.headers[i] = item.fields[i];
+  }
+  ++result_.offered;
+  ++live_packets_;
+  // Round-robin spray: every replica holds all state, so placement is pure
+  // load balancing (no address resolution, no steering).
+  ingress_[static_cast<PipelineId>(pkt.seq % k_)].push_back(std::move(pkt));
+}
+
+void ReplicatedSimulator::step_cell(PipelineId p, StageId st, Cycle now) {
+  if (!cells_[p][st].has_value()) return;
+  Pkt pkt = std::move(*cells_[p][st]);
+  cells_[p][st].reset();
+
+  if (st > 0) {
+    const ir::Stage& stage = prog_->pvsm.stages[st - 1];
+    const bool stateful = !stage.stateful_regs().empty();
+    std::vector<Value> snapshot;
+    if (stateful && k_ > 1) snapshot = pkt.headers;
+    C1Observer obs;
+    obs.checker = &c1_;
+    obs.seq = pkt.seq;
+    ir::exec_stage(stage, pkt.headers, replicas_[p], prog_->pvsm.registers,
+                   opts_.check_c1 ? &obs : nullptr);
+    if (stateful && k_ > 1) {
+      Digest d;
+      d.deliver = deliver_cycle(now);
+      d.seq = pkt.seq;
+      d.stage = st;
+      d.origin = p;
+      d.headers = std::move(snapshot);
+      push_digest(std::move(d));
+      // Counted as steers: the cross-pipeline replication traffic is this
+      // design's analogue of MP5's crossbar traversals.
+      ++result_.steers;
+    }
+  }
+
+  if (st == num_stages_ - 1) {
+    ++result_.egressed;
+    --live_packets_;
+    result_.last_egress = now;
+    if (opts_.record_egress) {
+      EgressRecord rec;
+      rec.seq = pkt.seq;
+      rec.egress_cycle = now;
+      rec.flow = pkt.flow;
+      rec.headers = std::move(pkt.headers);
+      result_.egress.push_back(std::move(rec));
+    }
+  } else {
+    cells_[p][st + 1] = std::move(pkt);
+  }
+}
+
+void ReplicatedSimulator::check_accounting(Cycle now) const {
+  std::uint64_t counted = 0;
+  for (PipelineId p = 0; p < k_; ++p) {
+    counted += ingress_[p].size();
+    for (StageId st = 0; st < num_stages_; ++st) {
+      if (cells_[p][st].has_value()) ++counted;
+    }
+  }
+  if (counted != live_packets_) {
+    throw Error("ReplicatedSimulator: live-packet accounting broke at cycle " +
+                std::to_string(now) + " (" + std::to_string(counted) +
+                " packets found, " + std::to_string(live_packets_) +
+                " expected)");
+  }
+  if (result_.offered != result_.egressed + live_packets_) {
+    throw Error("ReplicatedSimulator: offered/egressed/live conservation "
+                "broke at cycle " +
+                std::to_string(now));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore (mp5-checkpoint v1 framing; the config fingerprint
+// covers variant and staleness_bound, so cross-variant restores refuse).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void save_pkt(ByteWriter& w, SeqNo seq, Cycle arrival, std::uint64_t flow,
+              const std::vector<Value>& headers) {
+  w.u64(seq);
+  w.u64(arrival);
+  w.u64(flow);
+  w.u64(headers.size());
+  for (const Value v : headers) w.i64(v);
+}
+
+} // namespace
+
+std::string ReplicatedSimulator::serialize_state(Cycle now) const {
+  ByteWriter w;
+  w.u64(now);
+  w.u64(next_seq_);
+  w.u64(live_packets_);
+  w.u64(cursor_);
+  w.u64(max_ingress_depth_);
+  result_.save(w);
+  for (const ir::FlatRegFile& replica : replicas_) {
+    for (const auto& reg : replica.storage()) {
+      w.u64(reg.size());
+      for (const Value v : reg) w.i64(v);
+    }
+  }
+  for (PipelineId p = 0; p < k_; ++p) {
+    for (StageId st = 0; st < num_stages_; ++st) {
+      const auto& cell = cells_[p][st];
+      w.boolean(cell.has_value());
+      if (cell.has_value()) {
+        save_pkt(w, cell->seq, cell->arrival_cycle, cell->flow,
+                 cell->headers);
+      }
+    }
+    w.u64(ingress_[p].size());
+    for (const Pkt& pkt : ingress_[p]) {
+      save_pkt(w, pkt.seq, pkt.arrival_cycle, pkt.flow, pkt.headers);
+    }
+  }
+  // The heap's raw array is serialized as-is: restoring it verbatim
+  // preserves the exact pop order.
+  w.u64(digests_.size());
+  for (const Digest& d : digests_) {
+    w.u64(d.deliver);
+    w.u64(d.seq);
+    w.u32(d.stage);
+    w.u32(d.origin);
+    w.u64(d.headers.size());
+    for (const Value v : d.headers) w.i64(v);
+  }
+  c1_.save(w);
+  return w.take();
+}
+
+Cycle ReplicatedSimulator::restore_state(ByteReader& r) {
+  const Cycle now = r.u64();
+  next_seq_ = r.u64();
+  live_packets_ = r.u64();
+  cursor_ = static_cast<std::size_t>(r.u64());
+  max_ingress_depth_ = static_cast<std::size_t>(r.u64());
+  result_.load(r);
+
+  const std::size_t num_slots = prog_->pvsm.num_slots();
+  auto load_headers = [&](std::vector<Value>& headers) {
+    const std::uint64_t n = r.count(8);
+    if (n != num_slots) {
+      throw Error("checkpoint: packet header width mismatch");
+    }
+    headers.resize(static_cast<std::size_t>(n));
+    for (Value& v : headers) v = r.i64();
+  };
+  auto load_pkt = [&](Pkt& pkt) {
+    pkt.seq = r.u64();
+    pkt.arrival_cycle = r.u64();
+    pkt.flow = r.u64();
+    load_headers(pkt.headers);
+  };
+
+  for (ir::FlatRegFile& replica : replicas_) {
+    std::vector<std::vector<Value>> storage;
+    storage.reserve(prog_->pvsm.registers.size());
+    for (const auto& spec : prog_->pvsm.registers) {
+      const std::uint64_t n = r.count(8);
+      if (n != spec.size) {
+        throw Error("checkpoint: register size mismatch for '" + spec.name +
+                    "'");
+      }
+      std::vector<Value> values(static_cast<std::size_t>(n));
+      for (Value& v : values) v = r.i64();
+      storage.push_back(std::move(values));
+    }
+    replica = ir::FlatRegFile(std::move(storage));
+  }
+
+  for (PipelineId p = 0; p < k_; ++p) {
+    for (StageId st = 0; st < num_stages_; ++st) {
+      cells_[p][st].reset();
+      if (r.boolean()) {
+        Pkt pkt;
+        load_pkt(pkt);
+        cells_[p][st] = std::move(pkt);
+      }
+    }
+    ingress_[p].clear();
+    const std::uint64_t n = r.count(28);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Pkt pkt;
+      load_pkt(pkt);
+      ingress_[p].push_back(std::move(pkt));
+    }
+  }
+
+  digests_.clear();
+  const std::uint64_t ndigests = r.count(32);
+  digests_.reserve(static_cast<std::size_t>(ndigests));
+  for (std::uint64_t i = 0; i < ndigests; ++i) {
+    Digest d;
+    d.deliver = r.u64();
+    d.seq = r.u64();
+    d.stage = r.u32();
+    d.origin = r.u32();
+    if (d.stage == 0 || d.stage >= num_stages_ || d.origin >= k_) {
+      throw Error("checkpoint: digest addresses an invalid stage or lane");
+    }
+    load_headers(d.headers);
+    digests_.push_back(std::move(d));
+  }
+  c1_.load(r);
+  return now;
+}
+
+void ReplicatedSimulator::do_checkpoint(Cycle now) {
+  opts_.checkpoint_sink(
+      now, frame_checkpoint(config_fingerprint(*prog_, opts_), now,
+                            serialize_state(now)));
+}
+
+SimResult ReplicatedSimulator::resume(const Trace& trace,
+                                      std::string_view checkpoint_blob) {
+  if (ran_ || next_seq_ != 0) {
+    throw Error(
+        "ReplicatedSimulator::resume requires a freshly constructed "
+        "simulator");
+  }
+  ran_ = true;
+  const CheckpointInfo info = parse_checkpoint(checkpoint_blob);
+  const std::uint64_t expect = config_fingerprint(*prog_, opts_);
+  if (info.fingerprint != expect) {
+    throw Error(
+        "checkpoint configuration fingerprint mismatch: the checkpoint was "
+        "taken under a different program, variant or semantic simulator "
+        "options");
+  }
+  ByteReader r(info.payload);
+  const Cycle now = restore_state(r);
+  r.expect_done();
+  if (now != info.cycle) {
+    throw Error("checkpoint corrupted (frame/payload cycle mismatch)");
+  }
+  if (opts_.checkpoint_interval != 0) {
+    next_checkpoint_ = ((now / opts_.checkpoint_interval) + 1) *
+                       opts_.checkpoint_interval;
+  }
+  return run_loop(trace, now);
+}
+
+ScrSimulator::ScrSimulator(const Mp5Program& program,
+                           const SimOptions& options)
+    : ReplicatedSimulator(program, options) {
+  if (options.variant != DesignVariant::kScr) {
+    throw ConfigError(std::string("ScrSimulator requires SimOptions::variant "
+                                  "== 'scr' (got '") +
+                      to_string(options.variant) + "')");
+  }
+}
+
+RelaxedSimulator::RelaxedSimulator(const Mp5Program& program,
+                                   const SimOptions& options)
+    : ReplicatedSimulator(program, options) {
+  if (options.variant != DesignVariant::kRelaxed) {
+    throw ConfigError(
+        std::string("RelaxedSimulator requires SimOptions::variant == "
+                    "'relaxed' (got '") +
+        to_string(options.variant) + "')");
+  }
+}
+
+} // namespace mp5

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "banzai/single_pipeline.hpp"
+#include "baseline/replicated.hpp"
 #include "common/error.hpp"
 #include "common/hashing.hpp"
 #include "domino/ast_interp.hpp"
@@ -79,12 +80,20 @@ const char* to_string(FailureKind kind) {
     case FailureKind::kSimDivergence: return "sim-divergence";
     case FailureKind::kCheckpointDivergence: return "checkpoint-divergence";
     case FailureKind::kCrash: return "crash";
+    case FailureKind::kVariantDivergence: return "variant-divergence";
   }
   throw Error("to_string: bad failure kind");
 }
 
 std::string SimConfig::name() const {
   std::ostringstream os;
+  if (variant != DesignVariant::kMp5) {
+    os << "k" << pipelines << "-" << mp5::to_string(variant);
+    if (variant == DesignVariant::kRelaxed) os << staleness;
+    os << (fast_forward ? "-ff" : "-noff");
+    if (checkpoint_restore) os << "-ckpt";
+    return os.str();
+  }
   os << "k" << pipelines << "-" << fuzz::to_string(sharding) << "-t" << threads
      << (fast_forward ? "-ff" : "-noff")
      << (reference_rebalance ? "-ref" : "-incr");
@@ -96,18 +105,25 @@ std::string SimConfig::name() const {
 SimOptions SimConfig::to_options() const {
   SimOptions opts;
   opts.pipelines = pipelines;
-  opts.sharding = sharding;
-  opts.threads = threads;
   opts.fast_forward = fast_forward;
-  opts.reference_rebalance = reference_rebalance;
-  opts.engine = engine;
-  opts.remap_period = remap_period;
-  opts.fifo_capacity = fifo_capacity;
   opts.seed = seed;
   opts.record_egress = true;
   // Every fuzz run doubles as a watchdog run: invariant violations are
   // failures, not silent corruption.
   opts.paranoid_checks = true;
+  if (variant != DesignVariant::kMp5) {
+    // Replicated cells: the MP5-only axes must stay at their defaults —
+    // the Scr/Relaxed constructors reject each of them by name.
+    opts.variant = variant;
+    opts.staleness_bound = staleness;
+    return opts;
+  }
+  opts.sharding = sharding;
+  opts.threads = threads;
+  opts.reference_rebalance = reference_rebalance;
+  opts.engine = engine;
+  opts.remap_period = remap_period;
+  opts.fifo_capacity = fifo_capacity;
   return opts;
 }
 
@@ -159,6 +175,42 @@ std::vector<SimConfig> quick_config_matrix() {
   cfg.engine = SimEngine::kEvent;
   matrix.push_back(cfg);
   cfg.threads = 4;
+  matrix.push_back(cfg);
+  return matrix;
+}
+
+std::vector<SimConfig> variant_config_matrix() {
+  std::vector<SimConfig> matrix;
+  for (const std::uint32_t k : {2u, 4u, 8u}) {
+    for (const bool ff : {true, false}) {
+      SimConfig cfg;
+      cfg.pipelines = k;
+      cfg.fast_forward = ff;
+      cfg.variant = DesignVariant::kScr;
+      matrix.push_back(cfg);
+      cfg.variant = DesignVariant::kRelaxed;
+      for (const std::uint32_t staleness : {1u, 64u, 512u}) {
+        cfg.staleness = staleness;
+        matrix.push_back(cfg);
+      }
+    }
+  }
+  return matrix;
+}
+
+std::vector<SimConfig> quick_variant_matrix() {
+  std::vector<SimConfig> matrix;
+  SimConfig cfg;
+  cfg.variant = DesignVariant::kScr; // k4-scr-ff
+  matrix.push_back(cfg);
+  cfg.variant = DesignVariant::kRelaxed; // k4-relaxed64-ff
+  cfg.staleness = 64;
+  matrix.push_back(cfg);
+  cfg = SimConfig{};
+  cfg.variant = DesignVariant::kRelaxed; // k2-relaxed1-noff
+  cfg.staleness = 1;
+  cfg.pipelines = 2;
+  cfg.fast_forward = false;
   matrix.push_back(cfg);
   return matrix;
 }
@@ -292,6 +344,97 @@ Failure check_cell(const Compiled& compiled, const Trace& trace,
   return Failure{};
 }
 
+std::unique_ptr<ReplicatedSimulator> make_replicated(const Mp5Program& prog,
+                                                     const SimOptions& opts) {
+  if (opts.variant == DesignVariant::kScr) {
+    return std::make_unique<ScrSimulator>(prog, opts);
+  }
+  return std::make_unique<RelaxedSimulator>(prog, opts);
+}
+
+/// One replicated-variant cell under expectation mode. `failure` carries
+/// anything *unexpected* (crash, drop in a lossless design,
+/// nondeterminism, checkpoint breakage); reference divergence lands in
+/// `equivalent`/`detail` as classification data instead.
+struct VariantCheck {
+  Failure failure;
+  bool equivalent = false;
+  std::string detail;
+};
+
+VariantCheck check_variant_cell(const Compiled& compiled, const Trace& trace,
+                                const SimConfig& config) {
+  VariantCheck out;
+  out.failure.config = config;
+  try {
+    const SimResult result =
+        make_replicated(compiled.prog, config.to_options())->run(trace);
+    if (result.egressed != result.offered) {
+      // The replicated designs admit through unbounded ingress queues:
+      // any drop is a simulator bug, not a consistency relaxation.
+      out.failure.kind = FailureKind::kSimDivergence;
+      out.failure.detail = "lossless replicated design dropped packets: "
+                           "offered " +
+                           std::to_string(result.offered) + ", egressed " +
+                           std::to_string(result.egressed);
+      return out;
+    }
+    // Relaxed consistency never excuses nondeterminism: the same trace
+    // must produce the bit-identical result on a second run.
+    const SimResult again =
+        make_replicated(compiled.prog, config.to_options())->run(trace);
+    std::string why;
+    if (!same_results(result, again, &why)) {
+      out.failure.kind = FailureKind::kSimDivergence;
+      out.failure.detail = "replicated run is nondeterministic: " + why;
+      return out;
+    }
+    if (config.checkpoint_restore) {
+      SimOptions ckpt_opts = config.to_options();
+      ckpt_opts.checkpoint_interval =
+          std::max<std::uint64_t>(1, result.cycles_run / 2);
+      std::string blob;
+      Cycle ckpt_cycle = 0;
+      bool captured = false;
+      ckpt_opts.checkpoint_sink = [&](Cycle cycle, std::string&& b) {
+        if (!captured) {
+          blob = std::move(b);
+          ckpt_cycle = cycle;
+          captured = true;
+        }
+      };
+      const SimResult with_ckpt =
+          make_replicated(compiled.prog, ckpt_opts)->run(trace);
+      if (!same_results(result, with_ckpt, &why)) {
+        out.failure.kind = FailureKind::kCheckpointDivergence;
+        out.failure.detail =
+            "checkpointing run diverged from the plain run: " + why;
+        return out;
+      }
+      if (captured) {
+        const SimResult after =
+            make_replicated(compiled.prog, config.to_options())
+                ->resume(trace, blob);
+        if (!same_results(result, after, &why)) {
+          out.failure.kind = FailureKind::kCheckpointDivergence;
+          out.failure.detail = "restore at cycle " +
+                               std::to_string(ckpt_cycle) +
+                               " diverged: " + why;
+          return out;
+        }
+      }
+    }
+    const EquivalenceReport report =
+        check_equivalence(compiled.prog.pvsm, compiled.reference, result);
+    out.equivalent = report.equivalent();
+    if (!out.equivalent) out.detail = report.first_difference;
+  } catch (const std::exception& e) {
+    out.failure.kind = FailureKind::kCrash;
+    out.failure.detail = e.what();
+  }
+  return out;
+}
+
 } // namespace
 
 Failure Differ::check(const domino::Ast& ast, const Trace& trace) const {
@@ -301,12 +444,35 @@ Failure Differ::check(const domino::Ast& ast, const Trace& trace) const {
     config.checkpoint_restore |= opts_.checkpoint_restore;
     if (Failure f = check_cell(compiled, trace, config)) return f;
   }
+  for (SimConfig config : opts_.variant_matrix) {
+    config.checkpoint_restore |= opts_.checkpoint_restore;
+    VariantCheck vc = check_variant_cell(compiled, trace, config);
+    if (vc.failure) return vc.failure; // only unexpected failures surface
+  }
   return Failure{};
 }
 
 Failure Differ::check_config(const domino::Ast& ast, const Trace& trace,
                              const SimConfig& config) const {
+  if (config.variant != DesignVariant::kMp5) {
+    return check_variant_config(ast, trace, config);
+  }
   return check_cell(prepare(ast, trace), trace, config);
+}
+
+Failure Differ::check_variant_config(const domino::Ast& ast,
+                                     const Trace& trace,
+                                     const SimConfig& config) const {
+  VariantCheck vc = check_variant_cell(prepare(ast, trace), trace, config);
+  if (vc.failure) return vc.failure;
+  if (!vc.equivalent) {
+    Failure failure;
+    failure.kind = FailureKind::kVariantDivergence;
+    failure.config = config;
+    failure.detail = vc.detail;
+    return failure;
+  }
+  return Failure{};
 }
 
 FailurePredicate Differ::make_predicate(const Failure& failure) const {
@@ -319,6 +485,16 @@ FailurePredicate Differ::make_predicate(const Failure& failure) const {
         DifferOptions sub;
         sub.inject_floor_mod_bug = inject;
         return Differ(sub).check_oracle(ast, trace).kind == target.kind;
+      }
+      if (target.kind == FailureKind::kVariantDivergence) {
+        // A witness must keep demonstrating the *gap*: the replicated
+        // variant diverges while MP5 at the same pipeline count does not.
+        SimConfig mp5_cell;
+        mp5_cell.pipelines = target.config.pipelines;
+        mp5_cell.fast_forward = target.config.fast_forward;
+        if (check_config(ast, trace, mp5_cell)) return false;
+        return check_variant_config(ast, trace, target.config).kind ==
+               target.kind;
       }
       return check_config(ast, trace, target.config).kind == target.kind;
     } catch (const std::exception&) {
@@ -367,6 +543,20 @@ SeedOutcome Differ::run_seed(std::uint64_t seed) const {
       out.failure = std::move(f);
       return out;
     }
+  }
+  for (SimConfig config : opts_.variant_matrix) {
+    config.checkpoint_restore |= opts_.checkpoint_restore;
+    ++out.configs_checked;
+    VariantCheck vc = check_variant_cell(compiled, out.trace, config);
+    if (vc.failure) {
+      out.failure = std::move(vc.failure);
+      return out;
+    }
+    VariantCellOutcome cell;
+    cell.config = std::move(config);
+    cell.equivalent = vc.equivalent;
+    cell.detail = std::move(vc.detail);
+    out.variant_cells.push_back(std::move(cell));
   }
   return out;
 }

@@ -26,6 +26,15 @@ namespace mp5::fuzz {
 
 /// One cell of the simulator configuration matrix.
 struct SimConfig {
+  /// Consistency design for this cell. kMp5 cells exercise the Mp5Simulator
+  /// knob axes below; kScr/kRelaxed cells run the replicated-state
+  /// baselines, whose only knobs are pipelines, staleness (relaxed),
+  /// fast_forward and checkpoint_restore — the MP5-only axes must stay at
+  /// their defaults (to_options() would otherwise be rejected at
+  /// simulator construction).
+  DesignVariant variant = DesignVariant::kMp5;
+  /// Staleness bound Δ for kRelaxed cells; 0 otherwise.
+  std::uint32_t staleness = 0;
   std::uint32_t pipelines = 4;
   ShardingPolicy sharding = ShardingPolicy::kDynamic;
   /// Engine threads; 1 = sequential engine, >1 = parallel lane engine.
@@ -45,7 +54,8 @@ struct SimConfig {
   bool checkpoint_restore = false;
 
   /// Stable human-readable id, e.g. "k4-dynamic-t1-ff-incr"
-  /// (event-engine cells get an extra "-ev" suffix).
+  /// (event-engine cells get an extra "-ev" suffix); variant cells use
+  /// "k4-scr-ff" / "k2-relaxed64-noff".
   std::string name() const;
   SimOptions to_options() const;
 };
@@ -61,12 +71,27 @@ std::vector<SimConfig> full_config_matrix();
 /// A small subset for smoke tests (one config per distinguishing axis).
 std::vector<SimConfig> quick_config_matrix();
 
+/// Replicated-variant matrix (ISSUE 10): k ∈ {2,4,8} × {scr, relaxed Δ1,
+/// relaxed Δ64, relaxed Δ512} × fast-forward on/off. These cells run in
+/// *expectation mode*: divergence from the single-pipeline reference is a
+/// classification (the designs genuinely relax consistency), not a
+/// failure — only crashes, drops, nondeterminism and checkpoint breakage
+/// are unexpected.
+std::vector<SimConfig> variant_config_matrix();
+/// Small variant subset for smoke tests.
+std::vector<SimConfig> quick_variant_matrix();
+
 enum class FailureKind {
   kNone,
   kOracleDivergence,     // AstInterp vs single-pipeline reference
   kSimDivergence,        // MP5 simulator vs single-pipeline reference
   kCheckpointDivergence, // restore-from-checkpoint broke bit-identity
   kCrash,                // exception / invariant violation while simulating
+  /// A replicated variant (scr/relaxed) diverged from the single-pipeline
+  /// reference. Never produced by run_seed/check (expectation mode
+  /// classifies it instead); check_variant_config returns it so that
+  /// shrunk divergence *witnesses* can be replayed from the corpus.
+  kVariantDivergence,
 };
 
 const char* to_string(FailureKind kind);
@@ -79,6 +104,16 @@ struct Failure {
   explicit operator bool() const { return kind != FailureKind::kNone; }
 };
 
+/// Expectation-mode classification of one replicated-variant cell.
+struct VariantCellOutcome {
+  SimConfig config;
+  /// True when the variant matched the single-pipeline reference exactly
+  /// (final registers + declared egress fields).
+  bool equivalent = false;
+  /// First difference when !equivalent (empty otherwise).
+  std::string detail;
+};
+
 struct SeedOutcome {
   std::uint64_t seed = 0;
   /// False when the generated program was legitimately rejected by the
@@ -89,10 +124,16 @@ struct SeedOutcome {
   domino::Ast program;
   Trace trace;
   Failure failure;
+  /// Per-variant-cell equivalence classification (empty when the MP5
+  /// matrix already failed, or when variant_matrix is empty).
+  std::vector<VariantCellOutcome> variant_cells;
 };
 
 struct DifferOptions {
   std::vector<SimConfig> matrix = full_config_matrix();
+  /// Replicated-variant cells checked in expectation mode after the MP5
+  /// matrix passes. Clear to skip variants entirely.
+  std::vector<SimConfig> variant_matrix = variant_config_matrix();
   ProgramGen::Options gen;
   TraceGenOptions trace_gen;
   /// Extra seeded trace mutations applied after generation (0-3).
@@ -122,9 +163,20 @@ public:
   Failure check_config(const domino::Ast& ast, const Trace& trace,
                        const SimConfig& config) const;
 
+  /// Check a single replicated-variant cell *strictly*: unlike the
+  /// expectation-mode matrix walk, divergence from the reference comes
+  /// back as kVariantDivergence (crashes / drops / nondeterminism /
+  /// checkpoint breakage keep their own kinds). Used by witness shrinking
+  /// and reproducer replay.
+  Failure check_variant_config(const domino::Ast& ast, const Trace& trace,
+                               const SimConfig& config) const;
+
   /// Shrink predicate reproducing `failure`: oracle divergences re-run
   /// only the oracle-vs-reference comparison; simulator divergences and
-  /// crashes re-run only the failing matrix cell. Deterministic.
+  /// crashes re-run only the failing matrix cell. Variant-divergence
+  /// witnesses additionally require the MP5 cell with the same pipeline
+  /// count to PASS — a witness demonstrates the variant diverging where
+  /// MP5 does not. Deterministic.
   FailurePredicate make_predicate(const Failure& failure) const;
 
   const DifferOptions& options() const { return opts_; }

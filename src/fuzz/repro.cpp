@@ -21,6 +21,7 @@ FailureKind kind_from_string(const std::string& name) {
   if (name == "sim-divergence") return FailureKind::kSimDivergence;
   if (name == "checkpoint-divergence") return FailureKind::kCheckpointDivergence;
   if (name == "crash") return FailureKind::kCrash;
+  if (name == "variant-divergence") return FailureKind::kVariantDivergence;
   throw ConfigError("reproducer: unknown expect kind '" + name + "'");
 }
 
@@ -162,6 +163,8 @@ void save_reproducer(const Reproducer& repro, const std::string& json_path) {
   w.kv("program", fs::path(dom_path).filename().string());
   w.kv("trace", fs::path(trace_path).filename().string());
   w.key("config").begin_object();
+  w.kv("variant", mp5::to_string(repro.config.variant));
+  w.kv("staleness", repro.config.staleness);
   w.kv("pipelines", repro.config.pipelines);
   w.kv("sharding", to_string(repro.config.sharding));
   w.kv("threads", repro.config.threads);
@@ -200,6 +203,16 @@ Reproducer load_reproducer(const std::string& json_path) {
   repro.inject_floor_mod_bug = scan_bool(top_text, "inject_floor_mod_bug");
   repro.detail = scan_string(top_text, "detail");
 
+  // Keys added with the replicated variants (ISSUE 10); corpus files
+  // written before them existed mean the (then-only) MP5 design.
+  repro.config.variant =
+      config_text.find("\"variant\"") == std::string::npos
+          ? DesignVariant::kMp5
+          : variant_from_string(scan_string(config_text, "variant"));
+  repro.config.staleness =
+      config_text.find("\"staleness\"") == std::string::npos
+          ? 0
+          : static_cast<std::uint32_t>(scan_int(config_text, "staleness"));
   repro.config.pipelines =
       static_cast<std::uint32_t>(scan_int(config_text, "pipelines"));
   repro.config.sharding =
@@ -241,12 +254,27 @@ Failure replay(const Reproducer& repro) {
   DifferOptions opts;
   opts.inject_floor_mod_bug = repro.inject_floor_mod_bug;
   if (repro.kind == FailureKind::kOracleDivergence) {
-    opts.matrix.clear(); // check() then runs the oracle comparison only
+    // check() then runs the oracle comparison only.
+    opts.matrix.clear();
+    opts.variant_matrix.clear();
     return Differ(std::move(opts)).check(ast, repro.trace);
   }
   if (repro.kind == FailureKind::kNone) {
     opts.matrix = quick_config_matrix();
+    opts.variant_matrix = quick_variant_matrix();
     return Differ(std::move(opts)).check(ast, repro.trace);
+  }
+  if (repro.kind == FailureKind::kVariantDivergence) {
+    // A divergence witness demonstrates the *gap*: MP5 at the same
+    // pipeline count must pass before the variant cell is required to
+    // diverge. If MP5 itself fails, that (unexpected) failure is
+    // returned and the replay comparison flags it.
+    Differ differ(std::move(opts));
+    SimConfig mp5_cell;
+    mp5_cell.pipelines = repro.config.pipelines;
+    mp5_cell.fast_forward = repro.config.fast_forward;
+    if (Failure f = differ.check_config(ast, repro.trace, mp5_cell)) return f;
+    return differ.check_variant_config(ast, repro.trace, repro.config);
   }
   return Differ(std::move(opts)).check_config(ast, repro.trace, repro.config);
 }

@@ -151,6 +151,8 @@ std::uint64_t config_fingerprint(const Mp5Program& program,
   // checkpoint may be restored under a different engine configuration — in
   // particular, a lockstep checkpoint restores under the event engine and
   // vice versa.
+  fp.u32(static_cast<std::uint32_t>(options.variant));
+  fp.u32(options.staleness_bound);
   fp.u32(options.pipelines);
   fp.u64(options.fifo_capacity);
   fp.u32(options.remap_period);

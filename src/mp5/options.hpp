@@ -43,7 +43,62 @@ inline SimEngine engine_from_string(const std::string& s) {
                     "' (expected 'lockstep' or 'event')");
 }
 
+/// Which consistency design the options describe (SimOptions::variant).
+///
+/// kMp5 covers the whole Mp5Simulator family — full MP5 and its ablations
+/// (ideal / no-d2 / no-d4 / naive are expressed through the other knobs).
+/// kScr and kRelaxed select the replicated-state baselines implemented by
+/// ScrSimulator / RelaxedSimulator (src/baseline/replicated.hpp); the
+/// Mp5Simulator constructor rejects them, and the replicated simulators
+/// reject every MP5-only knob by name (see the variant/knob validation
+/// sweep in tests/test_variants.cpp).
+enum class DesignVariant : std::uint8_t {
+  /// Shared-state multi-pipeline switch (D1-D4 and ablations thereof).
+  kMp5 = 0,
+  /// State-Compute Replication (Xu et al., arXiv 2309.14647): every
+  /// pipeline holds a full register replica; remote updates are replayed
+  /// from packet history after a pipeline-traversal delay. No cross-
+  /// pipeline ordering (no D4), no sharding (no D2).
+  kScr = 1,
+  /// Relaxed-consistency replication (Cascone et al., arXiv 1703.05442):
+  /// same replicated layout, but remote updates are batched and applied
+  /// only at periodic synchronization boundaries every `staleness_bound`
+  /// cycles — reads may observe state up to that bound stale.
+  kRelaxed = 2,
+};
+
+inline const char* to_string(DesignVariant v) {
+  switch (v) {
+    case DesignVariant::kMp5: return "mp5";
+    case DesignVariant::kScr: return "scr";
+    case DesignVariant::kRelaxed: return "relaxed";
+  }
+  return "mp5";
+}
+
+inline DesignVariant variant_from_string(const std::string& s) {
+  if (s == "mp5") return DesignVariant::kMp5;
+  if (s == "scr") return DesignVariant::kScr;
+  if (s == "relaxed") return DesignVariant::kRelaxed;
+  throw ConfigError("SimOptions::variant: unknown variant '" + s +
+                    "' (expected 'mp5', 'scr' or 'relaxed')");
+}
+
 struct SimOptions {
+  /// Consistency design. kMp5 (the default) is consumed by Mp5Simulator;
+  /// kScr / kRelaxed select the replicated-state baselines and are only
+  /// accepted by ScrSimulator / RelaxedSimulator. Semantic — part of the
+  /// checkpoint config fingerprint, so a checkpoint taken under one
+  /// variant refuses to restore under another.
+  DesignVariant variant = DesignVariant::kMp5;
+
+  /// Staleness bound Δ for DesignVariant::kRelaxed, in cycles: buffered
+  /// remote state updates are applied at every cycle divisible by Δ, so a
+  /// read observes state at most Δ cycles stale. Required >= 1 for the
+  /// relaxed variant; must stay 0 (unset) for every other variant. Part
+  /// of the checkpoint config fingerprint.
+  std::uint32_t staleness_bound = 0;
+
   /// Number of parallel pipelines (k). The paper's default is 4 (§4.3.1).
   std::uint32_t pipelines = 4;
 

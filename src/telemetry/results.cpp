@@ -61,6 +61,8 @@ void write_results_json(std::ostream& out, const RunMeta& meta,
   json.key("meta")
       .begin_object()
       .kv("design", meta.design)
+      .kv("variant", meta.variant)
+      .kv("staleness", meta.staleness)
       .kv("program", meta.program)
       .kv("pipelines", meta.pipelines)
       .kv("packets", meta.packets)

@@ -37,6 +37,11 @@ inline constexpr int kResultsSchemaVersion = 1;
 /// Free-form description of what was run; lands in the "meta" section.
 struct RunMeta {
   std::string design;
+  /// Consistency design family ("mp5", "scr", "relaxed"); "mp5" covers
+  /// the ablations too (those differ in `design`).
+  std::string variant = "mp5";
+  /// Staleness bound Δ in cycles; 0 except for the relaxed variant.
+  std::uint32_t staleness = 0;
   std::string program;
   std::uint32_t pipelines = 0;
   std::uint64_t packets = 0;

@@ -82,6 +82,68 @@ expect_success("mp5sim fault control run"
                ${MP5SIM} --builtin figure3 --packets 400
                --fail-pipeline 1@50:300 --paranoid)
 
+# -- mp5sim replicated design variants (ISSUE 10) --
+expect_failure("mp5sim unknown design"
+               ${MP5SIM} --builtin figure3 --packets 200 --design eventual)
+expect_failure("mp5sim staleness under mp5 design"
+               ${MP5SIM} --builtin figure3 --packets 200 --staleness 8)
+expect_failure("mp5sim zero staleness"
+               ${MP5SIM} --builtin figure3 --packets 200 --design relaxed
+               --staleness 0)
+expect_failure("mp5sim staleness under scr design"
+               ${MP5SIM} --builtin figure3 --packets 200 --design scr
+               --staleness 8)
+expect_failure("mp5sim threads under scr design"
+               ${MP5SIM} --builtin figure3 --packets 200 --design scr
+               --threads 4)
+expect_failure("mp5sim event engine under relaxed design"
+               ${MP5SIM} --builtin figure3 --packets 200 --design relaxed
+               --engine event)
+expect_failure("mp5sim timeline under scr design"
+               ${MP5SIM} --builtin figure3 --packets 200 --design scr
+               --timeline 50)
+expect_success("mp5sim scr control run"
+               ${MP5SIM} --builtin figure3 --packets 400 --design scr
+               --paranoid)
+expect_success("mp5sim relaxed control run"
+               ${MP5SIM} --builtin figure3 --packets 400 --design relaxed
+               --staleness 32 --paranoid --json ${workdir}/relaxed.json)
+if(NOT EXISTS ${workdir}/relaxed.json)
+  message(FATAL_ERROR "mp5sim relaxed control run: missing relaxed.json")
+endif()
+expect_success("mp5sim scr checkpoint control run"
+               ${MP5SIM} --builtin figure3 --packets 800 --design scr
+               --checkpoint-interval 50
+               --checkpoint-out ${workdir}/scr.ckpt --paranoid)
+if(NOT EXISTS ${workdir}/scr.ckpt)
+  message(FATAL_ERROR "mp5sim scr checkpoint control run: missing scr.ckpt")
+endif()
+expect_success("mp5sim scr restore control run"
+               ${MP5SIM} --builtin figure3 --packets 800 --design scr
+               --restore ${workdir}/scr.ckpt --paranoid)
+# Cross-variant restore must be refused by the config fingerprint.
+expect_failure("mp5sim relaxed restore of scr checkpoint"
+               ${MP5SIM} --builtin figure3 --packets 800 --design relaxed
+               --staleness 32 --restore ${workdir}/scr.ckpt)
+
+# MP5-only knobs silently ignored by --design recirc before ISSUE 10 must
+# now be rejected.
+expect_failure("mp5sim recirc rejects fifo-capacity"
+               ${MP5SIM} --builtin figure3 --packets 200 --design recirc
+               --fifo-capacity 8)
+expect_failure("mp5sim recirc rejects no-fast-forward"
+               ${MP5SIM} --builtin figure3 --packets 200 --design recirc
+               --no-fast-forward)
+expect_failure("mp5sim recirc rejects phantom-channel"
+               ${MP5SIM} --builtin figure3 --packets 200 --design recirc
+               --phantom-channel)
+expect_failure("mp5sim recirc rejects timeline"
+               ${MP5SIM} --builtin figure3 --packets 200 --design recirc
+               --timeline 50)
+expect_failure("mp5sim recirc rejects staleness"
+               ${MP5SIM} --builtin figure3 --packets 200 --design recirc
+               --staleness 8)
+
 # -- mp5sim event engine (ISSUE 8) --
 expect_failure("mp5sim unknown engine"
                ${MP5SIM} --builtin figure3 --packets 200 --engine warp)

@@ -2,6 +2,7 @@
 // contract — restoring any emitted checkpoint, under any engine
 // configuration, must reproduce the uninterrupted run's SimResult
 // field-by-field, for every matrix cell and fault plan.
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -9,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "apps/programs.hpp"
+#include "baseline/presets.hpp"
+#include "baseline/replicated.hpp"
 #include "common/error.hpp"
 #include "common/serialize.hpp"
 #include "fuzz/differ.hpp"
@@ -115,6 +118,29 @@ TEST(CheckpointFingerprint, CoversSemanticsNotEngineKnobs) {
   SimOptions faulty = base;
   faulty.faults.pipeline_faults.push_back({1, 100, 500});
   EXPECT_NE(config_fingerprint(prog, faulty), fp);
+}
+
+TEST(CheckpointFingerprint, CoversVariantAndStaleness) {
+  // The design variant and its staleness bound are semantic state layout:
+  // a checkpoint taken under one must never restore under another
+  // (ISSUE 10 satellite).
+  const Mp5Program prog = test::compile_mp5(apps::make_synthetic_source(3, 64));
+  const std::uint64_t mp5_fp = config_fingerprint(prog, mp5_options(4, 1));
+  const std::uint64_t scr_fp = config_fingerprint(prog, scr_options(4, 1));
+  const std::uint64_t rel64_fp =
+      config_fingerprint(prog, relaxed_options(4, 1, 64));
+  const std::uint64_t rel128_fp =
+      config_fingerprint(prog, relaxed_options(4, 1, 128));
+  EXPECT_NE(scr_fp, mp5_fp);
+  EXPECT_NE(rel64_fp, mp5_fp);
+  EXPECT_NE(rel64_fp, scr_fp);
+  EXPECT_NE(rel128_fp, rel64_fp);
+
+  // Engine knobs stay excluded for the replicated variants too.
+  SimOptions noff = scr_options(4, 1);
+  noff.fast_forward = false;
+  noff.checkpoint_interval = 1000;
+  EXPECT_EQ(config_fingerprint(prog, noff), scr_fp);
 }
 
 // -- bit-identity property test --------------------------------------------
@@ -308,6 +334,134 @@ TEST(CheckpointRestore, RejectsMismatchAndReuse) {
     Mp5Simulator sim(prog, opts);
     VectorTraceSource source(trace);
     EXPECT_THROW(sim.resume(source, "definitely not a checkpoint"), Error);
+  }
+}
+
+// -- replicated-variant checkpointing (ISSUE 10) ---------------------------
+
+SimResult run_replicated(const Mp5Program& prog, const Trace& trace,
+                         SimOptions opts) {
+  opts.record_egress = true;
+  opts.paranoid_checks = true;
+  if (opts.variant == DesignVariant::kScr) {
+    return ScrSimulator(prog, opts).run(trace);
+  }
+  return RelaxedSimulator(prog, opts).run(trace);
+}
+
+TEST(CheckpointRestore, ReplicatedBitIdentity) {
+  const Mp5Program prog = test::compile_mp5(apps::make_synthetic_source(3, 64));
+  Rng rng(51);
+  const Trace trace = test::trace_from_fields(
+      test::random_fields(400, prog.pvsm.num_slots(), 64, rng),
+      /*pipelines=*/4, /*load=*/0.9);
+
+  for (const SimOptions& base :
+       {scr_options(4, 1), relaxed_options(4, 1, 32)}) {
+    SCOPED_TRACE(to_string(base.variant));
+    const SimResult baseline = run_replicated(prog, trace, base);
+
+    std::vector<std::pair<Cycle, std::string>> blobs;
+    SimOptions copts = base;
+    copts.record_egress = true;
+    copts.paranoid_checks = true;
+    copts.checkpoint_interval =
+        std::max<std::uint64_t>(1, baseline.cycles_run / 4);
+    copts.checkpoint_sink = [&blobs](Cycle c, std::string&& blob) {
+      blobs.emplace_back(c, std::move(blob));
+    };
+    SimResult ckpt_run;
+    if (base.variant == DesignVariant::kScr) {
+      ckpt_run = ScrSimulator(prog, copts).run(trace);
+    } else {
+      ckpt_run = RelaxedSimulator(prog, copts).run(trace);
+    }
+    std::string why;
+    ASSERT_TRUE(same_results(baseline, ckpt_run, &why))
+        << "checkpointing run diverged from the plain run: " << why;
+    ASSERT_FALSE(blobs.empty());
+
+    // Every emitted checkpoint restores to the identical SimResult, with
+    // fast-forward either on or off in the restoring simulator.
+    for (const auto& [cycle, blob] : blobs) {
+      for (const bool ff : {true, false}) {
+        SimOptions ropts = base;
+        ropts.record_egress = true;
+        ropts.paranoid_checks = true;
+        ropts.fast_forward = ff;
+        std::unique_ptr<ReplicatedSimulator> sim;
+        if (base.variant == DesignVariant::kScr) {
+          sim = std::make_unique<ScrSimulator>(prog, ropts);
+        } else {
+          sim = std::make_unique<RelaxedSimulator>(prog, ropts);
+        }
+        const SimResult result = sim->resume(trace, blob);
+        EXPECT_TRUE(same_results(baseline, result, &why))
+            << "restore at cycle " << cycle << " (ff=" << ff
+            << ") diverged: " << why;
+      }
+    }
+  }
+}
+
+TEST(CheckpointRestore, ReplicatedRefusesCrossVariantRestore) {
+  const Mp5Program prog = test::compile_mp5(apps::make_synthetic_source(3, 64));
+  Rng rng(61);
+  const Trace trace = test::trace_from_fields(
+      test::random_fields(300, prog.pvsm.num_slots(), 64, rng), 4);
+
+  std::vector<std::string> blobs;
+  SimOptions copts = scr_options(4, 1);
+  copts.record_egress = true;
+  copts.checkpoint_interval = 40;
+  copts.checkpoint_sink = [&blobs](Cycle, std::string&& blob) {
+    blobs.push_back(std::move(blob));
+  };
+  (void)ScrSimulator(prog, copts).run(trace);
+  ASSERT_FALSE(blobs.empty());
+  const std::string& scr_blob = blobs.front();
+
+  // An SCR checkpoint must not restore into a relaxed simulator, into the
+  // MP5 simulator, or into SCR at a different pipeline count.
+  {
+    RelaxedSimulator sim(prog, relaxed_options(4, 1, 32));
+    EXPECT_THROW((void)sim.resume(trace, scr_blob), Error);
+  }
+  {
+    SimOptions mp5 = mp5_options(4, 1);
+    Mp5Simulator sim(prog, mp5);
+    VectorTraceSource source(trace);
+    EXPECT_THROW((void)sim.resume(source, scr_blob), Error);
+  }
+  {
+    ScrSimulator sim(prog, scr_options(8, 1));
+    EXPECT_THROW((void)sim.resume(trace, scr_blob), Error);
+  }
+
+  // Two relaxed runs differing only in Δ must refuse each other's blobs.
+  std::vector<std::string> rel_blobs;
+  SimOptions rel_copts = relaxed_options(4, 1, 64);
+  rel_copts.record_egress = true;
+  rel_copts.checkpoint_interval = 40;
+  rel_copts.checkpoint_sink = [&rel_blobs](Cycle, std::string&& blob) {
+    rel_blobs.push_back(std::move(blob));
+  };
+  (void)RelaxedSimulator(prog, rel_copts).run(trace);
+  ASSERT_FALSE(rel_blobs.empty());
+  {
+    RelaxedSimulator sim(prog, relaxed_options(4, 1, 128));
+    EXPECT_THROW((void)sim.resume(trace, rel_blobs.front()), Error);
+  }
+
+  // Reuse and garbage are refused like the MP5 path.
+  {
+    ScrSimulator sim(prog, scr_options(4, 1));
+    (void)sim.run(trace);
+    EXPECT_THROW((void)sim.resume(trace, scr_blob), Error);
+  }
+  {
+    ScrSimulator sim(prog, scr_options(4, 1));
+    EXPECT_THROW((void)sim.resume(trace, "not a checkpoint"), Error);
   }
 }
 

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,96 @@ TEST(FuzzReplay, EveryCorpusEntryMatchesItsExpectedOutcome) {
         << "expected " << fuzz::to_string(repro.kind) << ", observed "
         << fuzz::to_string(observed.kind) << ": " << observed.detail;
   }
+}
+
+// --- repro schema compatibility across the variant axis (ISSUE 10) ------
+
+fuzz::Reproducer sample_repro() {
+  fuzz::Reproducer repro;
+  repro.kind = fuzz::FailureKind::kNone;
+  repro.seed = 7;
+  repro.detail = "compat test";
+  repro.program_source =
+      "struct Packet { int a; };\n"
+      "int last = 0;\n"
+      "void prog(struct Packet p) { last = p.a; }\n";
+  TraceItem item;
+  item.arrival_time = 0.0;
+  item.fields = {3};
+  repro.trace.push_back(item);
+  return repro;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ReproCompat, VariantConfigRoundTrips) {
+  fuzz::Reproducer repro = sample_repro();
+  repro.kind = fuzz::FailureKind::kVariantDivergence;
+  repro.config.variant = DesignVariant::kRelaxed;
+  repro.config.staleness = 64;
+  repro.config.pipelines = 8;
+  repro.config.fast_forward = false;
+
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mp5-repro-compat";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "roundtrip.json").string();
+  fuzz::save_reproducer(repro, path);
+
+  const fuzz::Reproducer loaded = fuzz::load_reproducer(path);
+  EXPECT_EQ(loaded.kind, fuzz::FailureKind::kVariantDivergence);
+  EXPECT_EQ(loaded.config.variant, DesignVariant::kRelaxed);
+  EXPECT_EQ(loaded.config.staleness, 64u);
+  EXPECT_EQ(loaded.config.pipelines, 8u);
+  EXPECT_EQ(loaded.config.name(), repro.config.name());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReproCompat, PreVariantReproLoadsAsMp5) {
+  // A corpus file written before ISSUE 10 has no "variant"/"staleness"
+  // keys in its config object; it must keep loading as the (then-only)
+  // MP5 design, like the PR 8 "engine" key before it.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mp5-repro-compat-legacy";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "legacy.json").string();
+  fuzz::save_reproducer(sample_repro(), path);
+
+  std::string text = slurp(path);
+  const std::size_t from = text.find("\"variant\"");
+  const std::size_t to = text.find("\"pipelines\"");
+  ASSERT_NE(from, std::string::npos);
+  ASSERT_LT(from, to);
+  text.erase(from, to - from); // drops the variant and staleness keys
+  ASSERT_EQ(text.find("\"variant\""), std::string::npos);
+  std::ofstream(path) << text;
+
+  const fuzz::Reproducer loaded = fuzz::load_reproducer(path);
+  EXPECT_EQ(loaded.config.variant, DesignVariant::kMp5);
+  EXPECT_EQ(loaded.config.staleness, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReproCompat, UnknownVariantNameIsRejected) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "mp5-repro-compat-bad";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "bad.json").string();
+  fuzz::save_reproducer(sample_repro(), path);
+
+  std::string text = slurp(path);
+  const std::size_t pos = text.find("\"mp5\"");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "\"eventual\"");
+  std::ofstream(path) << text;
+
+  EXPECT_THROW(fuzz::load_reproducer(path), ConfigError);
+  std::filesystem::remove_all(dir);
 }
 
 } // namespace

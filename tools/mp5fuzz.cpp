@@ -7,11 +7,21 @@
 // pair is shrunk by delta debugging and written to the corpus directory
 // as a self-contained reproducer (.json + .dom + .trace.csv).
 //
+// The replicated design variants (scr / relaxed, ISSUE 10) run in
+// *expectation mode*: they genuinely relax consistency, so divergence from
+// the single-pipeline reference is per-seed classification data (the
+// equivalence-class table printed at the end), not a failure. Crashes,
+// drops, nondeterminism and checkpoint breakage in a variant cell remain
+// failures. --witnesses N shrinks up to N divergent (seed, cell) pairs
+// into committed-corpus-style reproducers that demonstrate the variant
+// diverging while MP5 at the same pipeline count passes.
+//
 // Usage:
 //   mp5fuzz --seeds 500                       full-matrix campaign
 //   mp5fuzz --budget-s 60 --fail-on-divergence   CI smoke (time-boxed)
 //   mp5fuzz --replay corpus/seed42-sim-divergence.json
 //   mp5fuzz --inject-floor-mod-bug --seeds 50  detection self-test
+//   mp5fuzz --seeds 200 --witnesses 2         collect divergence witnesses
 //
 // Options:
 //   --seeds N            number of seeds to try (default 500; 0 = until
@@ -28,7 +38,11 @@
 //                        restored into a fresh simulator; any deviation
 //                        from the uninterrupted SimResult is a
 //                        checkpoint-divergence failure
-//   --fail-on-divergence exit 2 when any failure was found
+//   --no-variants        skip the replicated-variant (scr/relaxed) cells
+//   --witnesses N        shrink and save up to N variant-divergence
+//                        witnesses (default 0)
+//   --fail-on-divergence exit 2 when any failure was found (expected
+//                        variant divergences never count)
 //   --inject-floor-mod-bug  self-test: off-by-one fault in the oracle's
 //                        index reduction; the fuzzer must catch it
 //   --replay FILE.json   replay one reproducer; exit 0 iff the observed
@@ -36,7 +50,9 @@
 #include <chrono>
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "fuzz/ast_printer.hpp"
@@ -58,6 +74,8 @@ struct Args {
   std::uint32_t trace_mutations = 2;
   std::string corpus = "fuzz-corpus";
   bool shrink_failures = true;
+  bool variants = true;
+  std::uint64_t witnesses = 0;
   bool checkpoint_restore = false;
   bool fail_on_divergence = false;
   bool inject_floor_mod_bug = false;
@@ -81,6 +99,8 @@ Args parse_args(int argc, char** argv) {
       args.trace_mutations = static_cast<std::uint32_t>(std::stoul(next()));
     else if (arg == "--corpus") args.corpus = next();
     else if (arg == "--no-shrink") args.shrink_failures = false;
+    else if (arg == "--no-variants") args.variants = false;
+    else if (arg == "--witnesses") args.witnesses = std::stoull(next());
     else if (arg == "--checkpoint") args.checkpoint_restore = true;
     else if (arg == "--fail-on-divergence") args.fail_on_divergence = true;
     else if (arg == "--inject-floor-mod-bug")
@@ -123,6 +143,11 @@ int run(int argc, char** argv) {
   DifferOptions opts;
   opts.matrix =
       args.matrix == "quick" ? quick_config_matrix() : full_config_matrix();
+  if (!args.variants) {
+    opts.variant_matrix.clear();
+  } else if (args.matrix == "quick") {
+    opts.variant_matrix = quick_variant_matrix();
+  }
   opts.trace_gen.max_packets = args.packets;
   if (opts.trace_gen.min_packets > args.packets) {
     opts.trace_gen.min_packets = args.packets;
@@ -141,6 +166,12 @@ int run(int argc, char** argv) {
 
   std::uint64_t tried = 0, compiled = 0, failures = 0;
   std::uint64_t configs_checked = 0;
+  std::uint64_t witnesses_saved = 0;
+  // Per variant family ("scr", "relaxed1", ...): how many compiled seeds
+  // were fully equivalent to the single-pipeline reference vs diverged in
+  // at least one cell of that family. Expected divergences — the designs
+  // relax consistency by construction.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> families;
   for (std::uint64_t seed = args.seed_start;
        args.seeds == 0 || seed < args.seed_start + args.seeds; ++seed) {
     if (args.budget_s > 0 && elapsed_s() >= args.budget_s) break;
@@ -149,7 +180,52 @@ int run(int argc, char** argv) {
     if (!outcome.compiled) continue; // legitimately rejected program
     ++compiled;
     configs_checked += outcome.configs_checked;
-    if (!outcome.failure) continue;
+    if (!outcome.failure) {
+      std::map<std::string, bool> diverged;
+      for (const VariantCellOutcome& cell : outcome.variant_cells) {
+        std::string family = mp5::to_string(cell.config.variant);
+        if (cell.config.variant == DesignVariant::kRelaxed) {
+          family += std::to_string(cell.config.staleness);
+        }
+        diverged[family] |= !cell.equivalent;
+      }
+      for (const auto& [family, div] : diverged) {
+        (div ? families[family].second : families[family].first) += 1;
+      }
+      if (witnesses_saved < args.witnesses) {
+        for (const VariantCellOutcome& cell : outcome.variant_cells) {
+          if (cell.equivalent) continue;
+          Failure target;
+          target.kind = FailureKind::kVariantDivergence;
+          target.config = cell.config;
+          target.detail = cell.detail;
+          const ShrinkResult shrunk = shrink(
+              outcome.program, outcome.trace, differ.make_predicate(target));
+          if (!shrunk.reproduced) continue; // MP5 cell didn't pass clean
+          Reproducer repro;
+          repro.kind = FailureKind::kVariantDivergence;
+          repro.config = cell.config;
+          repro.seed = seed;
+          repro.detail = cell.detail;
+          repro.program_source = to_source(shrunk.program);
+          repro.trace = shrunk.trace;
+          std::filesystem::create_directories(args.corpus);
+          const std::string path = args.corpus + "/seed" +
+                                   std::to_string(seed) +
+                                   "-variant-divergence.json";
+          save_reproducer(repro, path);
+          ++witnesses_saved;
+          std::cout << "seed " << seed << ": variant-divergence witness ["
+                    << cell.config.name() << "]\n  " << cell.detail
+                    << "\n  shrunk to " << count_stmts(shrunk.program)
+                    << " statement(s), " << shrunk.trace.size()
+                    << " packet(s) (" << shrunk.evals << " evals)\n"
+                    << "  witness: " << path << "\n";
+          break; // at most one witness per seed
+        }
+      }
+      continue;
+    }
 
     ++failures;
     std::cout << "seed " << seed << ": "
@@ -189,9 +265,22 @@ int run(int argc, char** argv) {
     std::cout << "  reproducer: " << path << "\n";
   }
 
+  if (!families.empty()) {
+    std::cout << "variant equivalence classes (per compiled seed, vs the "
+                 "single-pipeline reference):\n";
+    for (const auto& [family, counts] : families) {
+      const auto [equivalent, divergent] = counts;
+      std::cout << "  " << family << ": " << equivalent << " equivalent, "
+                << divergent << " divergent (expected)\n";
+    }
+  }
   std::cout << "mp5fuzz: " << tried << " seeds (" << compiled
             << " compiled), " << configs_checked << " config runs, "
-            << failures << " failure(s) in " << elapsed_s() << "s\n";
+            << failures << " unexpected failure(s)";
+  if (witnesses_saved > 0) {
+    std::cout << ", " << witnesses_saved << " witness(es)";
+  }
+  std::cout << " in " << elapsed_s() << "s\n";
   if (failures > 0 && args.fail_on_divergence) return 2;
   return 0;
 }

@@ -14,7 +14,10 @@
 //   --rand-fields B                    uniform random fields in [0, B)
 //                                      (default, B=1024)
 // Options:
-//   --design mp5|ideal|no-d2|no-d4|naive|recirc    (default mp5)
+//   --design mp5|ideal|no-d2|no-d4|naive|recirc|scr|relaxed  (default mp5)
+//   --staleness N           synchronization period Δ in cycles for
+//                           --design relaxed (default 64); rejected for
+//                           every other design
 //   --pipelines K  --packets N  --seed S  --load F
 //   --fifo-capacity N  --remap N  --flow-order f1,f2
 //   --threads N             parallel per-lane engine (bit-identical to
@@ -27,8 +30,8 @@
 //                           bit-identical to lockstep)
 //   --check-equivalence     verify vs the single-pipeline reference
 //   --save-trace file.csv   store the generated trace
-// Checkpoint/restore (MP5 designs only; see DESIGN.md "Soak & crash
-// recovery"):
+// Checkpoint/restore (MP5 and replicated designs; see DESIGN.md "Soak &
+// crash recovery"):
 //   --checkpoint-interval N write an mp5-checkpoint v1 file every N
 //                           cycles (requires --checkpoint-out)
 //   --checkpoint-out FILE   checkpoint destination (atomically replaced
@@ -72,6 +75,7 @@
 #include "banzai/single_pipeline.hpp"
 #include "baseline/presets.hpp"
 #include "baseline/recirc.hpp"
+#include "baseline/replicated.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -101,6 +105,7 @@ struct Args {
   bool flow_workload = false;
   Value rand_bound = 1024;
   std::uint32_t pipelines = 4;
+  std::uint32_t staleness = 0; // 0 = unset (relaxed defaults to 64)
   std::uint64_t packets = 20000;
   std::uint64_t seed = 1;
   double load = 1.0;
@@ -168,6 +173,15 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--rand-fields") args.rand_bound = std::stoll(next());
     else if (arg == "--pipelines") args.pipelines =
         static_cast<std::uint32_t>(std::stoul(next()));
+    else if (arg == "--staleness") {
+      args.staleness = static_cast<std::uint32_t>(std::stoul(next()));
+      // 0 internally means "flag absent"; accepting it here would silently
+      // run the relaxed design at its default bound instead.
+      if (args.staleness == 0) {
+        throw ConfigError("--staleness must be >= 1 (cycles between "
+                          "synchronization boundaries)");
+      }
+    }
     else if (arg == "--packets") args.packets = std::stoull(next());
     else if (arg == "--seed") args.seed = std::stoull(next());
     else if (arg == "--load") args.load = std::stod(next());
@@ -345,6 +359,30 @@ int run(int argc, char** argv) {
           "--telemetry/--trace-out apply to the MP5 designs only, not "
           "recirc");
     }
+    // The remaining knobs used to be accepted and silently ignored
+    // (ISSUE 10 validation sweep): recirc has no stage FIFOs, no idle
+    // fast-forward path, no phantom channel and no timeline hook.
+    if (args.fifo_capacity != 0) {
+      throw ConfigError(
+          "--fifo-capacity applies to the MP5 designs only, not recirc");
+    }
+    if (!args.fast_forward) {
+      throw ConfigError(
+          "--no-fast-forward applies to the MP5 and replicated designs "
+          "only, not recirc");
+    }
+    if (args.phantom_channel) {
+      throw ConfigError(
+          "--phantom-channel applies to the MP5 designs only, not recirc");
+    }
+    if (args.timeline > 0) {
+      throw ConfigError(
+          "--timeline applies to the MP5 designs only, not recirc");
+    }
+    if (args.staleness != 0) {
+      throw ConfigError(
+          "--staleness applies to --design relaxed only, not recirc");
+    }
     RecircOptions ropts;
     ropts.pipelines = args.pipelines;
     ropts.seed = args.seed;
@@ -358,7 +396,13 @@ int run(int argc, char** argv) {
     else if (args.design == "no-d2") opts = no_d2_options(args.pipelines, args.seed);
     else if (args.design == "no-d4") opts = no_d4_options(args.pipelines, args.seed);
     else if (args.design == "naive") opts = naive_options(args.pipelines, args.seed);
+    else if (args.design == "scr") opts = scr_options(args.pipelines, args.seed);
+    else if (args.design == "relaxed")
+      opts = relaxed_options(args.pipelines, args.seed);
     else throw ConfigError("unknown design '" + args.design + "'");
+    // --staleness overrides the relaxed preset's default; passing it for
+    // any other design trips the constructors' variant/knob validation.
+    if (args.staleness != 0) opts.staleness_bound = args.staleness;
     opts.fifo_capacity = args.fifo_capacity;
     opts.remap_period = args.remap;
     opts.threads = args.threads;
@@ -391,15 +435,32 @@ int run(int argc, char** argv) {
         ++checkpoints_written;
       };
     }
-    Mp5Simulator sim(program, opts);
-    if (!args.restore_from.empty()) {
-      VectorTraceSource source(trace);
-      const std::string blob = read_checkpoint_file(args.restore_from);
-      std::cout << "resumed from cycle " << parse_checkpoint(blob).cycle
-                << " (" << args.restore_from << ")\n";
-      result = sim.resume(source, blob);
+    if (args.design == "scr" || args.design == "relaxed") {
+      std::unique_ptr<ReplicatedSimulator> sim;
+      if (args.design == "scr") {
+        sim = std::make_unique<ScrSimulator>(program, opts);
+      } else {
+        sim = std::make_unique<RelaxedSimulator>(program, opts);
+      }
+      if (!args.restore_from.empty()) {
+        const std::string blob = read_checkpoint_file(args.restore_from);
+        std::cout << "resumed from cycle " << parse_checkpoint(blob).cycle
+                  << " (" << args.restore_from << ")\n";
+        result = sim->resume(trace, blob);
+      } else {
+        result = sim->run(trace);
+      }
     } else {
-      result = sim.run(trace);
+      Mp5Simulator sim(program, opts);
+      if (!args.restore_from.empty()) {
+        VectorTraceSource source(trace);
+        const std::string blob = read_checkpoint_file(args.restore_from);
+        std::cout << "resumed from cycle " << parse_checkpoint(blob).cycle
+                  << " (" << args.restore_from << ")\n";
+        result = sim.resume(source, blob);
+      } else {
+        result = sim.run(trace);
+      }
     }
     if (args.checkpoint_interval != 0) {
       std::cout << "checkpoints written: " << checkpoints_written << " ("
@@ -464,6 +525,12 @@ int run(int argc, char** argv) {
     }
     telemetry::RunMeta meta;
     meta.design = args.design;
+    if (args.design == "scr" || args.design == "relaxed") {
+      meta.variant = args.design;
+      if (args.design == "relaxed") {
+        meta.staleness = args.staleness != 0 ? args.staleness : 64;
+      }
+    }
     meta.program = !args.builtin.empty() ? args.builtin : "custom";
     meta.pipelines = args.pipelines;
     meta.packets = trace.size();

@@ -117,6 +117,14 @@ def validate_results(doc, where):
     for key, types in (("design", str), ("program", str), ("pipelines", int),
                        ("packets", int), ("seed", int), ("load", NUM)):
         require(meta, key, types, f"{where}.meta")
+    # Keys added with the replicated variants (ISSUE 10); older documents
+    # predate them.
+    if "variant" in meta:
+        variant = require(meta, "variant", str, f"{where}.meta")
+        if variant not in FUZZ_VARIANTS:
+            fail(f"{where}.meta: variant '{variant}' not in "
+                 f"{sorted(FUZZ_VARIANTS)}")
+        require(meta, "staleness", int, f"{where}.meta")
 
     packets = require(doc, "packets", dict, where)
     fields = ("offered", "egressed", "dropped_phantom", "dropped_data",
@@ -218,7 +226,8 @@ def validate_bench(doc, where):
 
 
 FUZZ_EXPECT = {"pass", "oracle-divergence", "sim-divergence",
-               "checkpoint-divergence", "crash"}
+               "checkpoint-divergence", "crash", "variant-divergence"}
+FUZZ_VARIANTS = {"mp5", "scr", "relaxed"}
 FUZZ_SHARDING = {"dynamic", "static-random", "single-pipeline", "ideal-lpt"}
 
 
@@ -252,6 +261,19 @@ def validate_repro(doc, where):
     # Added after schema_version 1 shipped; absent in older corpus files.
     if "checkpoint_restore" in config:
         require(config, "checkpoint_restore", bool, cwhere)
+    if "variant" in config:
+        variant = require(config, "variant", str, cwhere)
+        if variant not in FUZZ_VARIANTS:
+            fail(f"{cwhere}: variant '{variant}' not in "
+                 f"{sorted(FUZZ_VARIANTS)}")
+        staleness = require(config, "staleness", int, cwhere)
+        if variant == "relaxed" and staleness < 1:
+            fail(f"{cwhere}: relaxed variant needs staleness >= 1")
+        if variant != "relaxed" and staleness != 0:
+            fail(f"{cwhere}: staleness is only meaningful for the relaxed "
+                 "variant")
+    elif expect == "variant-divergence":
+        fail(f"{cwhere}: variant-divergence entries must name their variant")
 
 
 FABRIC_LB_MODES = {"ecmp", "wcmp", "flowlet", "conga"}
